@@ -1,0 +1,70 @@
+//! Benchmarks of the locking protocols themselves: Figure 1 vs Figure 2
+//! message-trace construction and the callback/window machinery.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siteselect_locks::protocol_costs::{cached_two_pl_trace, grouped_trace};
+use siteselect_locks::{CallbackTracker, ForwardEntry, WindowManager};
+use siteselect_types::{ClientId, LockMode, ObjectId, SimDuration, SimTime, TransactionId};
+
+fn bench_figure_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_traces");
+    for &n in &[2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("figure1_cached_2pl", n), &n, |b, &n| {
+            b.iter(|| black_box(cached_two_pl_trace(n).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("figure2_grouped", n), &n, |b, &n| {
+            b.iter(|| black_box(grouped_trace(n).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_callback_tracker(c: &mut Criterion) {
+    c.bench_function("callbacks/begin_ack_cycle", |b| {
+        let mut cb = CallbackTracker::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let obj = ObjectId(i % 64);
+            i += 1;
+            let holders = [ClientId(1), ClientId(2), ClientId(3)];
+            let fresh = cb.begin(obj, holders, LockMode::Exclusive);
+            for h in fresh {
+                let _ = black_box(cb.acknowledge(obj, h));
+            }
+        });
+    });
+}
+
+fn bench_window_manager(c: &mut Criterion) {
+    c.bench_function("windows/offer_close_batch8", |b| {
+        let mut wm = WindowManager::new(SimDuration::from_millis(100));
+        let mut t = 0u64;
+        b.iter(|| {
+            let obj = ObjectId((t % 32) as u32);
+            for i in 0..8u16 {
+                wm.offer(
+                    obj,
+                    ForwardEntry {
+                        client: ClientId(i),
+                        txn: TransactionId::new(ClientId(i), t),
+                        deadline: SimTime::from_secs(t + u64::from(i)),
+                        mode: LockMode::Exclusive,
+                    },
+                    SimTime::from_secs(t),
+                );
+            }
+            t += 1;
+            black_box(wm.close(obj))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figure_traces,
+    bench_callback_tracker,
+    bench_window_manager
+);
+criterion_main!(benches);

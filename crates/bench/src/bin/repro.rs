@@ -1,0 +1,217 @@
+//! Regenerates every table and figure of Kanitkar & Delis (ICDCS 1999).
+//!
+//! ```text
+//! cargo run -p siteselect-bench --release --bin repro -- all [--quick]
+//! cargo run -p siteselect-bench --release --bin repro -- figure3
+//! ```
+//!
+//! Targets: `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
+//! `figure5`, `table2`, `table3`, `table4`, `ablations`, `all`.
+//! `--quick` shortens the simulated runs (coarser numbers, same shapes).
+//! `--clients N` overrides the Table 4 cluster size.
+
+use std::process::ExitCode;
+
+use siteselect_bench::repro_options;
+use siteselect_core::experiments::{
+    cache_table, deadline_figure, message_table, response_table, SweepOptions, FIGURE_CLIENTS,
+    TABLE_CLIENTS,
+};
+use siteselect_core::run_experiment;
+use siteselect_locks::protocol_costs;
+use siteselect_types::{ExperimentConfig, SystemKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients_override = args
+        .iter()
+        .position(|a| a == "--clients")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u16>().ok());
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && clients_override.map_or(true, |c| a.parse::<u16>() != Ok(c)))
+        .map(String::as_str)
+        .collect();
+    let target = targets.first().copied().unwrap_or("all");
+    let opts = repro_options(quick);
+
+    let result = match target {
+        "table1" => table1(),
+        "figure1" => figure1(),
+        "figure2" => figure2(),
+        "figure3" => figure(0.01, opts),
+        "figure4" => figure(0.05, opts),
+        "figure5" => figure(0.20, opts),
+        "table2" => table2(opts),
+        "table3" => table3(opts),
+        "table4" => table4(opts, clients_override.unwrap_or(100)),
+        "ablations" => ablations(opts),
+        "all" => all(opts, clients_override.unwrap_or(100)),
+        other => {
+            eprintln!("unknown target: {other}");
+            eprintln!(
+                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations all"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn table1() -> Result<(), AnyError> {
+    banner("Table 1: experimental parameters (active preset)");
+    let cfg = ExperimentConfig::paper(SystemKind::ClientServer, 100, 0.05);
+    println!("Database size                     {} objects", cfg.database.num_objects);
+    println!("Object / page size                {} bytes", cfg.database.object_size_bytes);
+    let ce = ExperimentConfig::paper(SystemKind::Centralized, 100, 0.05);
+    println!("Centralized server memory         {} objects", ce.server.buffer_objects);
+    println!("CS server memory                  {} objects", cfg.server.buffer_objects);
+    println!("Client disk cache                 {} objects", cfg.client.disk_cache_objects);
+    println!("Client memory cache               {} objects", cfg.client.memory_cache_objects);
+    println!(
+        "Mean txn inter-arrival (Poisson)  {}",
+        cfg.workload.mean_interarrival
+    );
+    println!("Mean txn length (exponential)     {}", cfg.workload.mean_length);
+    println!("Mean txn deadline (exponential)   {:?}", cfg.workload.deadline);
+    println!("Updates                           1%, 5%, 20% (per access)");
+    println!(
+        "Mean objects per transaction      {}",
+        cfg.workload.mean_objects_per_txn
+    );
+    println!(
+        "CPU calibration                   txn_cpu_fraction = {} (see DESIGN.md)",
+        cfg.cpu.txn_cpu_fraction
+    );
+    Ok(())
+}
+
+fn figure1() -> Result<(), AnyError> {
+    banner("Figure 1: the 2PL (callback caching) protocol");
+    let trace = protocol_costs::figure1_trace();
+    print!("{}", protocol_costs::render_trace(&trace));
+    println!("total: {} messages", trace.len());
+    Ok(())
+}
+
+fn figure2() -> Result<(), AnyError> {
+    banner("Figure 2: the lock grouping protocol");
+    let trace = protocol_costs::figure2_trace();
+    print!("{}", protocol_costs::render_trace(&trace));
+    println!("total: {} messages", trace.len());
+    Ok(())
+}
+
+fn figure(update_fraction: f64, opts: SweepOptions) -> Result<(), AnyError> {
+    let fig_no = match update_fraction {
+        x if x < 0.02 => 3,
+        x if x < 0.10 => 4,
+        _ => 5,
+    };
+    banner(&format!(
+        "Figure {fig_no}: transactions completed within deadline ({}% updates)",
+        update_fraction * 100.0
+    ));
+    let f = deadline_figure(update_fraction, &FIGURE_CLIENTS, opts)?;
+    print!("{}", f.render());
+    Ok(())
+}
+
+fn table2(opts: SweepOptions) -> Result<(), AnyError> {
+    banner("Table 2: average client cache hit rates");
+    let t = cache_table(&TABLE_CLIENTS, opts)?;
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn table3(opts: SweepOptions) -> Result<(), AnyError> {
+    banner("Table 3: average object response times (1% updates)");
+    let t = response_table(&TABLE_CLIENTS, opts)?;
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn table4(opts: SweepOptions, clients: u16) -> Result<(), AnyError> {
+    banner(&format!(
+        "Table 4: messages passed ({clients} clients, 1% updates)"
+    ));
+    let t = message_table(clients, opts)?;
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// Ablations of the design choices DESIGN.md calls out: each LS feature
+/// switched off individually at the most contended point (100 clients, 20%
+/// updates).
+fn ablations(opts: SweepOptions) -> Result<(), AnyError> {
+    banner("Ablations: LS-CS-RTDBS feature knockouts (100 clients, 20% updates)");
+    let base = |label: &str, f: &dyn Fn(&mut ExperimentConfig)| -> Result<(), AnyError> {
+        let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, 100, 0.20);
+        cfg.runtime.duration = opts.duration;
+        cfg.runtime.warmup = opts.warmup;
+        cfg.runtime.seed = opts.seed;
+        f(&mut cfg);
+        let m = run_experiment(&cfg)?;
+        println!(
+            "{label:<34} success {:>6.2}%  shipped {:>6}  decomposed {:>5}  forwards {:>6}",
+            m.success_percent(),
+            m.load_sharing.shipped,
+            m.load_sharing.decomposed,
+            m.load_sharing.forward_satisfied
+        );
+        Ok(())
+    };
+    base("full LS", &|_| {})?;
+    base("no H1 (admission)", &|c| c.load_sharing.h1_enabled = false)?;
+    base("no H2 (site selection)", &|c| c.load_sharing.h2_enabled = false)?;
+    base("no decomposition", &|c| {
+        c.load_sharing.decomposition_enabled = false;
+    })?;
+    base("no forward lists", &|c| {
+        c.load_sharing.forward_lists_enabled = false;
+    })?;
+    base("no request scheduling", &|c| {
+        c.load_sharing.request_scheduling_enabled = false;
+    })?;
+    base("no directory server", &|c| {
+        c.load_sharing.directory_enabled = false;
+    })?;
+    base("switched LAN", &|c| {
+        c.network.kind = siteselect_types::LanKind::Switched;
+    })?;
+    base("collection window 10 ms", &|c| {
+        c.load_sharing.collection_window = siteselect_types::SimDuration::from_millis(10);
+    })?;
+    base("collection window 500 ms", &|c| {
+        c.load_sharing.collection_window = siteselect_types::SimDuration::from_millis(500);
+    })?;
+    Ok(())
+}
+
+fn all(opts: SweepOptions, table4_clients: u16) -> Result<(), AnyError> {
+    table1()?;
+    figure1()?;
+    figure2()?;
+    figure(0.01, opts)?;
+    figure(0.05, opts)?;
+    figure(0.20, opts)?;
+    table2(opts)?;
+    table3(opts)?;
+    table4(opts, table4_clients)?;
+    ablations(opts)?;
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Aggregated results of one cluster run.
+
+use std::sync::Arc;
+
+use crate::client::WorkerReport;
+use crate::history::HistoryLog;
+use crate::server::ServerStats;
+
+/// The outcome of a [`Cluster::run`](crate::Cluster::run).
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Transactions generated across all clients.
+    pub generated: u64,
+    /// Committed at or before their deadline.
+    pub in_time: u64,
+    /// Committed late.
+    pub late: u64,
+    /// Aborted by deadlock avoidance.
+    pub deadlock_aborts: u64,
+    /// Abandoned on lock-wait timeout.
+    pub timeouts: u64,
+    /// Dropped before execution (deadline already passed).
+    pub expired: u64,
+    /// Server-side counters.
+    pub server: ServerStats,
+    /// The committed-access history (serializability evidence).
+    pub history: Arc<HistoryLog>,
+}
+
+impl ClusterReport {
+    pub(crate) fn aggregate(
+        workers: &[WorkerReport],
+        server: ServerStats,
+        history: Arc<HistoryLog>,
+    ) -> Self {
+        let mut r = ClusterReport {
+            generated: 0,
+            in_time: 0,
+            late: 0,
+            deadlock_aborts: 0,
+            timeouts: 0,
+            expired: 0,
+            server,
+            history,
+        };
+        for w in workers {
+            r.generated += w.generated;
+            r.in_time += w.in_time;
+            r.late += w.late;
+            r.deadlock_aborts += w.deadlock_aborts;
+            r.timeouts += w.timeouts;
+            r.expired += w.expired;
+        }
+        r
+    }
+
+    /// Every generated transaction is accounted for exactly once.
+    #[must_use]
+    pub fn is_balanced(&self) -> bool {
+        self.in_time + self.late + self.deadlock_aborts + self.timeouts + self.expired
+            == self.generated
+    }
+
+    /// Percentage of transactions that met their deadline.
+    #[must_use]
+    pub fn success_percent(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.in_time as f64 * 100.0 / self.generated as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster: {}/{} in time ({:.1}%), {} late, {} deadlock, {} timeout, {} expired",
+            self.in_time,
+            self.generated,
+            self.success_percent(),
+            self.late,
+            self.deadlock_aborts,
+            self.timeouts,
+            self.expired
+        )?;
+        writeln!(
+            f,
+            "server: {} grants, {} recalls, {} returns, {} downgrades",
+            self.server.grants, self.server.recalls, self.server.returns, self.server.downgrades
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_and_balance() {
+        let workers = vec![
+            WorkerReport {
+                generated: 10,
+                in_time: 7,
+                late: 1,
+                deadlock_aborts: 1,
+                timeouts: 1,
+                expired: 0,
+            },
+            WorkerReport {
+                generated: 5,
+                in_time: 5,
+                ..WorkerReport::default()
+            },
+        ];
+        let r = ClusterReport::aggregate(&workers, ServerStats::default(), Arc::new(HistoryLog::new()));
+        assert_eq!(r.generated, 15);
+        assert_eq!(r.in_time, 12);
+        assert!(r.is_balanced());
+        assert!((r.success_percent() - 80.0).abs() < 1e-12);
+        assert!(r.to_string().contains("80.0%"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = ClusterReport::aggregate(&[], ServerStats::default(), Arc::new(HistoryLog::new()));
+        assert!(r.is_balanced());
+        assert_eq!(r.success_percent(), 0.0);
+    }
+}

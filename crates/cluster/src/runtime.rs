@@ -1,0 +1,307 @@
+//! Cluster assembly: spawns the server, one worker thread and one callback
+//! thread per client, runs a scaled-down Table 1 workload, and gathers the
+//! report.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+use siteselect_sim::Prng;
+use siteselect_types::{
+    AccessPatternConfig, ClientId, ConfigError, DeadlinePolicy, SimDuration, WorkloadConfig,
+};
+use siteselect_workload::TransactionGenerator;
+
+use crate::client::{run_transaction, scale_duration, ClientShared, WorkerReport};
+use crate::history::HistoryLog;
+use crate::report::ClusterReport;
+use crate::server::SharedServer;
+
+/// Configuration of a threaded cluster run.
+///
+/// Times are expressed in the workload's simulated units and scaled to real
+/// time by `time_scale` (default: 1 simulated second → 1 real millisecond),
+/// so the paper's 10 s transactions become ~10 ms of real work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of client workstations (threads × 2).
+    pub clients: u16,
+    /// Database pages.
+    pub db_objects: u32,
+    /// Server buffer frames.
+    pub server_buffer: usize,
+    /// Per-client cache capacity (objects).
+    pub client_cache: usize,
+    /// Transactions generated per client.
+    pub txns_per_client: u32,
+    /// Workload shape (Table 1 semantics).
+    pub workload: WorkloadConfig,
+    /// Simulated-seconds → real-seconds factor.
+    pub time_scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            clients: 4,
+            db_objects: 256,
+            server_buffer: 64,
+            client_cache: 32,
+            txns_per_client: 25,
+            workload: WorkloadConfig {
+                mean_interarrival: SimDuration::from_secs(5),
+                mean_length: SimDuration::from_secs(2),
+                deadline: DeadlinePolicy::ExponentialOffset {
+                    mean: SimDuration::from_secs(20),
+                },
+                update_fraction: 0.2,
+                mean_objects_per_txn: 4.0,
+                decomposable_fraction: 0.0,
+                access_pattern: AccessPatternConfig {
+                    hot_region_objects: 64,
+                    hot_access_fraction: 0.75,
+                    zipf_theta: 0.95,
+                },
+            },
+            time_scale: 0.001,
+            seed: 0xC1u64 << 32 | 0x5e1e,
+        }
+    }
+}
+
+/// Errors surfaced by [`Cluster::run`].
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The configuration is inconsistent.
+    Config(ConfigError),
+    /// A worker thread panicked.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(e) => write!(f, "cluster config: {e}"),
+            ClusterError::WorkerPanicked => write!(f, "a cluster worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Config(e) => Some(e),
+            ClusterError::WorkerPanicked => None,
+        }
+    }
+}
+
+/// The threaded mini CS-RTDBS.
+#[derive(Debug)]
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs the cluster to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for invalid parameters;
+    /// [`ClusterError::WorkerPanicked`] if a thread died.
+    pub fn run(cfg: ClusterConfig) -> Result<ClusterReport, ClusterError> {
+        if cfg.clients == 0 {
+            return Err(ClusterError::Config(ConfigError::new(
+                "clients",
+                "must be at least 1",
+            )));
+        }
+        if cfg.db_objects == 0 {
+            return Err(ClusterError::Config(ConfigError::new(
+                "db_objects",
+                "must be positive",
+            )));
+        }
+        if cfg.client_cache == 0 {
+            return Err(ClusterError::Config(ConfigError::new(
+                "client_cache",
+                "must be positive",
+            )));
+        }
+        if !(cfg.time_scale > 0.0) {
+            return Err(ClusterError::Config(ConfigError::new(
+                "time_scale",
+                "must be positive",
+            )));
+        }
+        if cfg.workload.access_pattern.hot_region_objects > cfg.db_objects {
+            return Err(ClusterError::Config(ConfigError::new(
+                "workload.access_pattern.hot_region_objects",
+                "hot region cannot exceed the database size",
+            )));
+        }
+
+        let mut callback_tx = Vec::new();
+        let mut callback_rx = Vec::new();
+        for _ in 0..cfg.clients {
+            let (tx, rx) = unbounded();
+            callback_tx.push(tx);
+            callback_rx.push(rx);
+        }
+        let server = SharedServer::new(cfg.db_objects, cfg.server_buffer, callback_tx);
+        let history = Arc::new(HistoryLog::new());
+        let shareds: Vec<Arc<ClientShared>> = (0..cfg.clients)
+            .map(|i| ClientShared::new(ClientId(i), cfg.client_cache))
+            .collect();
+        let root = Prng::seed_from_u64(cfg.seed);
+        let start = Instant::now();
+
+        let mut worker_reports: Vec<WorkerReport> = Vec::new();
+        let result = crossbeam::scope(|scope| {
+            // Callback threads.
+            let mut cb_handles = Vec::new();
+            for (i, rx) in callback_rx.into_iter().enumerate() {
+                let shared = Arc::clone(&shareds[i]);
+                let server = Arc::clone(&server);
+                cb_handles.push(scope.spawn(move |_| {
+                    shared.callback_loop(&rx, &server);
+                }));
+            }
+            // Worker threads.
+            let mut handles = Vec::new();
+            for i in 0..cfg.clients {
+                let shared = Arc::clone(&shareds[i as usize]);
+                let server = Arc::clone(&server);
+                let history = Arc::clone(&history);
+                let cfg = cfg.clone();
+                let rng = root.derive(u64::from(i) + 1);
+                handles.push(scope.spawn(move |_| {
+                    worker_main(&cfg, shared, &server, &history, rng, start)
+                }));
+            }
+            let mut reports = Vec::new();
+            for h in handles {
+                reports.push(h.join().map_err(|_| ClusterError::WorkerPanicked)?);
+            }
+            // Flush caches so the store holds the final committed state,
+            // then close the callback channels so the callback threads
+            // drain and exit before the scope joins them.
+            for shared in &shareds {
+                shared.flush_all(&server);
+            }
+            server.close();
+            Ok::<Vec<WorkerReport>, ClusterError>(reports)
+        })
+        .map_err(|_| ClusterError::WorkerPanicked)?;
+        worker_reports.extend(result?);
+        let stats = server.stats();
+        Ok(ClusterReport::aggregate(&worker_reports, stats, history))
+    }
+}
+
+fn worker_main(
+    cfg: &ClusterConfig,
+    shared: Arc<ClientShared>,
+    server: &SharedServer,
+    history: &HistoryLog,
+    rng: Prng,
+    start: Instant,
+) -> WorkerReport {
+    let mut gen = TransactionGenerator::new(
+        shared.id,
+        &cfg.workload,
+        1.0, // cpu demand = full nominal length (scaled down globally)
+        cfg.db_objects,
+        cfg.clients,
+        rng,
+    );
+    let mut total = WorkerReport::default();
+    for _ in 0..cfg.txns_per_client {
+        let spec = gen.next_txn();
+        // Pace arrivals on the scaled clock.
+        let due = start + scale_duration(spec.arrival.as_micros(), cfg.time_scale);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let r = run_transaction(&shared, server, history, &spec, start, cfg.time_scale);
+        total.generated += r.generated;
+        total.in_time += r.in_time;
+        total.late += r.late;
+        total.deadlock_aborts += r.deadlock_aborts;
+        total.timeouts += r.timeouts;
+        total.expired += r.expired;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cluster_runs_and_is_serializable() {
+        let report = Cluster::run(ClusterConfig {
+            clients: 4,
+            txns_per_client: 15,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.generated, 60);
+        assert!(report.is_balanced());
+        report.history.check_serializable().unwrap();
+    }
+
+    #[test]
+    fn contended_cluster_stays_serializable() {
+        // Tiny hot database: heavy conflicts, callbacks and downgrades.
+        let mut cfg = ClusterConfig {
+            clients: 6,
+            db_objects: 8,
+            server_buffer: 8,
+            client_cache: 8,
+            txns_per_client: 30,
+            ..ClusterConfig::default()
+        };
+        cfg.workload.access_pattern.hot_region_objects = 8;
+        cfg.workload.update_fraction = 0.8;
+        cfg.workload.mean_objects_per_txn = 3.0;
+        cfg.workload.mean_interarrival = SimDuration::from_secs(1);
+        let report = Cluster::run(cfg).unwrap();
+        assert!(report.is_balanced());
+        assert!(
+            report.server.recalls > 0,
+            "six clients hammering eight objects at 80% updates must recall locks"
+        );
+        report.history.check_serializable().unwrap();
+    }
+
+    #[test]
+    fn store_versions_match_committed_writes() {
+        let report = Cluster::run(ClusterConfig {
+            clients: 3,
+            txns_per_client: 10,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        report.history.check_serializable().unwrap();
+        assert!(report.is_balanced());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = ClusterConfig {
+            clients: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(Cluster::run(bad), Err(ClusterError::Config(_))));
+        let bad = ClusterConfig {
+            time_scale: 0.0,
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(Cluster::run(bad), Err(ClusterError::Config(_))));
+        let mut bad = ClusterConfig::default();
+        bad.workload.access_pattern.hot_region_objects = 10_000;
+        assert!(matches!(Cluster::run(bad), Err(ClusterError::Config(_))));
+    }
+}

@@ -1,0 +1,442 @@
+//! The centralized real-time database (CE-RTDBS, §2).
+//!
+//! Clients are terminals: they forward transactions to the server and
+//! receive results. The server schedules transactions Earliest-Deadline-
+//! First, executes up to `max_concurrent_txns` of them concurrently on a
+//! processor-sharing CPU (the prototype's thread-per-transaction design),
+//! locks objects with strict 2PL under wait-for-graph deadlock avoidance,
+//! and reads missed pages through its 5,000-object buffer. Transactions
+//! whose deadline has passed are dropped, not processed.
+
+use std::collections::HashMap;
+
+use siteselect_net::{Fabric, MessageKind};
+use siteselect_sim::EventQueue;
+use siteselect_storage::ClientCache;
+use siteselect_storage::DiskModel;
+use siteselect_locks::{Acquire, LockTable, QueueDiscipline, WaitForGraph};
+use siteselect_types::{
+    AbortReason, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime, SiteId,
+    TransactionSpec, TxnOutcome,
+};
+use siteselect_workload::Trace;
+
+use crate::cpu::{PsCpu, Tick};
+use crate::metrics::RunMetrics;
+
+type Key = u64;
+
+#[derive(Debug)]
+enum Ev {
+    /// A transaction is initiated at its client terminal.
+    Arrive(usize),
+    /// Transaction submission arrives at the server.
+    Submit(usize),
+    /// Buffer/disk I/O for a transaction finished.
+    IoDone(Key),
+    /// Processor-sharing completion tick.
+    CpuTick(u64),
+    /// Commit result reaches the originating client; carries what is needed
+    /// to score the transaction at delivery time.
+    Result {
+        measured: bool,
+        deadline: SimTime,
+        arrival: SimTime,
+    },
+    /// Periodic pruning of expired lock waiters.
+    Sweep,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Locks,
+    Io,
+    Cpu,
+    Done,
+}
+
+#[derive(Debug)]
+struct CeTxn {
+    spec: TransactionSpec,
+    phase: Phase,
+    blocked: Vec<ObjectId>,
+    wait_started: SimTime,
+    blocked_total: SimDuration,
+}
+
+/// Discrete-event simulator of the centralized system.
+pub struct CentralizedSim {
+    cfg: ExperimentConfig,
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    fabric: Fabric,
+    cpu: PsCpu<Key>,
+    locks: LockTable<Key>,
+    wfg: WaitForGraph<Key>,
+    buffer: ClientCache,
+    disk: DiskModel,
+    txns: HashMap<Key, CeTxn>,
+    inflight: usize,
+    warmup_end: SimTime,
+    metrics: RunMetrics,
+}
+
+impl CentralizedSim {
+    /// Builds the simulator for `cfg` (the trace is generated internally
+    /// from the config's workload and seed).
+    #[must_use]
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        let warmup_end = SimTime::ZERO + cfg.runtime.warmup;
+        let metrics = RunMetrics::new(
+            cfg.system,
+            cfg.clients,
+            cfg.workload.update_fraction,
+            cfg.runtime.seed,
+        );
+        CentralizedSim {
+            fabric: Fabric::new(cfg.network, cfg.database.object_size_bytes),
+            cpu: PsCpu::new(cfg.cpu.server_speed, cfg.server.max_concurrent_txns),
+            locks: LockTable::new(QueueDiscipline::Deadline),
+            wfg: WaitForGraph::new(),
+            buffer: ClientCache::new(cfg.server.buffer_objects, 0),
+            disk: DiskModel::new(cfg.server.disk.page_service_time),
+            txns: HashMap::new(),
+            inflight: 0,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            warmup_end,
+            metrics,
+            cfg,
+        }
+    }
+
+    /// Runs the experiment to completion and returns its metrics.
+    #[must_use]
+    pub fn run(mut self) -> RunMetrics {
+        let trace = Trace::generate(
+            &self.cfg.workload,
+            self.cfg.cpu.txn_cpu_fraction,
+            self.cfg.database.num_objects,
+            self.cfg.clients,
+            self.cfg.runtime.duration,
+            self.cfg.runtime.seed,
+        );
+        // Arrivals fire at the client terminals; the submission message is
+        // sent at arrival time so fabric bookings stay chronological.
+        for (i, spec) in trace.transactions().iter().enumerate() {
+            self.queue.push(spec.arrival, Ev::Arrive(i));
+        }
+        self.queue
+            .push(self.warmup_end.max(SimTime::from_secs(1)), Ev::Sweep);
+        let specs: Vec<TransactionSpec> = trace.transactions().to_vec();
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(ev, &specs);
+        }
+        let span = self
+            .now
+            .duration_since(SimTime::ZERO)
+            .as_secs_f64()
+            .max(1e-9);
+        self.metrics.server_cpu_utilization =
+            (self.cpu.busy_time().as_secs_f64() / span).min(1.0);
+        self.metrics.messages = self.fabric.stats().clone();
+        self.metrics
+    }
+
+    fn measured(&self, spec: &TransactionSpec) -> bool {
+        spec.arrival >= self.warmup_end
+    }
+
+    fn handle(&mut self, ev: Ev, specs: &[TransactionSpec]) {
+        match ev {
+            Ev::Arrive(i) => {
+                let spec = &specs[i];
+                let delivery = self.fabric.send(
+                    self.now,
+                    SiteId::Client(spec.origin),
+                    SiteId::Server,
+                    MessageKind::TxnSubmit,
+                    0,
+                );
+                self.queue.push(delivery, Ev::Submit(i));
+            }
+            Ev::Submit(i) => self.on_submit(&specs[i]),
+            Ev::IoDone(key) => self.on_io_done(key),
+            Ev::CpuTick(generation) => self.on_cpu_tick(generation),
+            Ev::Result {
+                measured,
+                deadline,
+                arrival,
+            } => self.on_result(measured, deadline, arrival),
+            Ev::Sweep => self.on_sweep(),
+        }
+    }
+
+    fn on_submit(&mut self, spec: &TransactionSpec) {
+        let key = spec.id.as_u64();
+        if spec.is_expired(self.now) {
+            self.finish(spec.clone(), TxnOutcome::Aborted(AbortReason::Expired));
+            return;
+        }
+        self.inflight += 1;
+        let mut txn = CeTxn {
+            spec: spec.clone(),
+            phase: Phase::Locks,
+            blocked: Vec::new(),
+            wait_started: self.now,
+            blocked_total: SimDuration::ZERO,
+        };
+        // Acquire all locks up front (the access set is known, §5.1).
+        let mut deadlocked = false;
+        for access in &spec.accesses {
+            let mode = access.mode();
+            let conflicts = self.locks.conflicting_holders(access.object, key, mode);
+            if self.wfg.would_deadlock(key, &conflicts) {
+                deadlocked = true;
+                break;
+            }
+            match self.locks.request(access.object, key, mode, spec.deadline) {
+                Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {}
+                Acquire::Blocked { conflicts } => {
+                    txn.blocked.push(access.object);
+                    self.wfg.add_waits(key, conflicts);
+                }
+            }
+        }
+        if deadlocked {
+            self.abort(key, txn, AbortReason::Deadlock);
+            return;
+        }
+        let ready = txn.blocked.is_empty();
+        self.txns.insert(key, txn);
+        if ready {
+            self.start_io(key);
+        }
+    }
+
+    /// Removes every trace of an un-inserted transaction.
+    fn abort(&mut self, key: Key, txn: CeTxn, reason: AbortReason) {
+        self.release_locks(key);
+        self.wfg.remove_node(key);
+        self.inflight -= 1;
+        self.send_result(key, &txn.spec, false);
+        if self.measured(&txn.spec) {
+            self.metrics.record_outcome(TxnOutcome::Aborted(reason));
+            self.metrics.blocking.push_duration(txn.blocked_total);
+        }
+    }
+
+    fn abort_inflight(&mut self, key: Key, reason: AbortReason) {
+        if let Some(txn) = self.txns.remove(&key) {
+            if txn.phase == Phase::Cpu {
+                if let Some((t, g)) = self.cpu.remove(self.now, key) {
+                    self.queue.push(t, Ev::CpuTick(g));
+                }
+            }
+            self.abort(key, txn, reason);
+        }
+    }
+
+    fn release_locks(&mut self, key: Key) {
+        let grants = self.locks.release_all(key);
+        self.wfg.remove_node(key);
+        for (object, waiters) in grants {
+            for w in waiters {
+                self.on_lock_granted(object, w.owner);
+            }
+        }
+    }
+
+    fn on_lock_granted(&mut self, object: ObjectId, key: Key) {
+        let Some(txn) = self.txns.get_mut(&key) else {
+            // Granted to a transaction that already aborted: free it again,
+            // cascading to any waiters unblocked by the release.
+            let grants = self.locks.release(object, key);
+            for w in grants {
+                self.on_lock_granted(object, w.owner);
+            }
+            return;
+        };
+        txn.blocked.retain(|&o| o != object);
+        // Refresh this waiter's wait-for edges against current holders.
+        self.wfg.clear_waits(key);
+        let still_blocked = txn.blocked.clone();
+        let deadline_passed = txn.spec.is_expired(self.now);
+        if deadline_passed {
+            self.abort_inflight(key, AbortReason::Expired);
+            return;
+        }
+        for o in still_blocked {
+            let mode = self
+                .txns
+                .get(&key)
+                .and_then(|t| t.spec.required_mode(o))
+                .unwrap_or(LockMode::Shared);
+            let conflicts = self.locks.conflicting_holders(o, key, mode);
+            self.wfg.add_waits(key, conflicts);
+        }
+        let ready = self
+            .txns
+            .get(&key)
+            .is_some_and(|t| t.blocked.is_empty() && t.phase == Phase::Locks);
+        if ready {
+            self.start_io(key);
+        }
+    }
+
+    fn start_io(&mut self, key: Key) {
+        let Some(txn) = self.txns.get_mut(&key) else {
+            return;
+        };
+        txn.blocked_total += self.now.duration_since(txn.wait_started);
+        txn.phase = Phase::Io;
+        let objects: Vec<ObjectId> = txn.spec.objects().collect();
+        let measured = txn.spec.arrival >= self.warmup_end;
+        let mut misses = 0u32;
+        for o in objects {
+            let hit = self.buffer.probe(o).is_some();
+            if !hit {
+                misses += 1;
+                self.buffer.insert(o);
+            }
+            if measured {
+                self.metrics.server_buffer.record(hit);
+            }
+        }
+        let done = if misses == 0 {
+            self.now
+        } else {
+            self.disk.schedule_batch(self.now, misses)
+        };
+        self.queue.push(done, Ev::IoDone(key));
+    }
+
+    fn on_io_done(&mut self, key: Key) {
+        let Some(txn) = self.txns.get_mut(&key) else {
+            return;
+        };
+        if txn.spec.is_expired(self.now) {
+            self.abort_inflight(key, AbortReason::Expired);
+            return;
+        }
+        txn.phase = Phase::Cpu;
+        let deadline = txn.spec.deadline;
+        let demand = txn.spec.cpu_demand;
+        if let Some((t, g)) = self.cpu.submit(self.now, key, deadline, demand) {
+            self.queue.push(t, Ev::CpuTick(g));
+        }
+    }
+
+    fn on_cpu_tick(&mut self, generation: u64) {
+        match self.cpu.on_completion(self.now, generation) {
+            Tick::Stale => {}
+            Tick::Done { finished, next } => {
+                if let Some((t, g)) = next {
+                    self.queue.push(t, Ev::CpuTick(g));
+                }
+                for key in finished {
+                    self.commit(key);
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, key: Key) {
+        let Some(mut txn) = self.txns.remove(&key) else {
+            return;
+        };
+        txn.phase = Phase::Done;
+        self.release_locks(key);
+        self.inflight -= 1;
+        let spec = txn.spec.clone();
+        self.send_result(key, &spec, true);
+        if self.measured(&spec) {
+            self.metrics.blocking.push_duration(txn.blocked_total);
+        }
+    }
+
+    fn send_result(&mut self, _key: Key, spec: &TransactionSpec, committed: bool) {
+        let delivery = self.fabric.send(
+            self.now,
+            SiteId::Server,
+            SiteId::Client(spec.origin),
+            MessageKind::TxnResult,
+            0,
+        );
+        if committed {
+            self.queue.push(
+                delivery,
+                Ev::Result {
+                    measured: self.measured(spec),
+                    deadline: spec.deadline,
+                    arrival: spec.arrival,
+                },
+            );
+        }
+    }
+
+    fn on_result(&mut self, measured: bool, deadline: SimTime, arrival: SimTime) {
+        // Only commits route through here; aborts are recorded at abort
+        // time. The deadline test uses the instant the user-facing client
+        // learns the result.
+        if measured {
+            let outcome = if self.now <= deadline {
+                TxnOutcome::Committed
+            } else {
+                TxnOutcome::CommittedLate
+            };
+            self.metrics.record_outcome(outcome);
+            self.metrics
+                .latency
+                .push_duration(self.now.duration_since(arrival));
+        }
+    }
+
+    fn finish(&mut self, spec: TransactionSpec, outcome: TxnOutcome) {
+        self.send_result(spec.id.as_u64(), &spec, false);
+        if self.measured(&spec) {
+            self.metrics.record_outcome(outcome);
+        }
+    }
+
+    fn on_sweep(&mut self) {
+        // Drop transactions that missed their deadline, including ones on
+        // the CPU ("tasks that have missed their deadlines are not
+        // processed at all", §2) — this is what keeps the overloaded
+        // centralized server doing useful work for feasible transactions.
+        let dead: Vec<Key> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.spec.is_expired(self.now))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in dead {
+            self.abort_inflight(key, AbortReason::Expired);
+        }
+        let (expired, grants) = self.locks.cancel_expired(self.now);
+        for (_obj, waiter) in expired {
+            self.abort_inflight(waiter.owner, AbortReason::Expired);
+        }
+        for (object, waiters) in grants {
+            for w in waiters {
+                self.on_lock_granted(object, w.owner);
+            }
+        }
+        if self.inflight > 0 || !self.queue.is_empty() {
+            self.queue
+                .push(self.now + SimDuration::from_secs(1), Ev::Sweep);
+        }
+    }
+}
+
+impl std::fmt::Debug for CentralizedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CentralizedSim")
+            .field("now", &self.now)
+            .field("inflight", &self.inflight)
+            .field("events", &self.queue.len())
+            .finish()
+    }
+}

@@ -1,0 +1,1419 @@
+//! Client-side behaviour: transaction admission (H1), acquisition of
+//! objects and locks, local EDF execution, callback handling with
+//! downgrade, forward-list hops, shipping and decomposition.
+
+use siteselect_locks::{Acquire, ForwardList};
+use siteselect_net::MessageKind;
+use siteselect_storage::CacheTier;
+use siteselect_types::{
+    AbortReason, AccessSpec, ClientId, LockMode, ObjectId, SimTime, SiteId, TxnOutcome,
+};
+
+use super::{
+    subtask_key, ClientServerSim, Ev, Fetch, InfoReason, Msg, Need, Revoke, RunKind, RunState,
+    SiteDest, TKey, TxnRun, Want,
+};
+
+/// Fraction of a decomposed transaction's CPU demand spent synthesizing the
+/// subtask answers at the origin (§3.2's "answer synthesis" phase).
+const SYNTHESIS_FRACTION: f64 = 0.1;
+
+impl ClientServerSim {
+    // ------------------------------------------------------------------
+    // Messaging helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_to_server(
+        &mut self,
+        from: ClientId,
+        kind: MessageKind,
+        objects: u32,
+        logical: u32,
+        msg: Msg,
+    ) {
+        let delivery =
+            self.fabric
+                .send_counted(self.now, SiteId::Client(from), SiteId::Server, kind, objects, logical);
+        self.queue.push(
+            delivery,
+            Ev::Deliver {
+                to: SiteDest::Server,
+                msg,
+            },
+        );
+    }
+
+    pub(crate) fn send_to_client(
+        &mut self,
+        from: SiteDest,
+        to: ClientId,
+        kind: MessageKind,
+        objects: u32,
+        msg: Msg,
+    ) {
+        let from_site = match from {
+            SiteDest::Server => SiteId::Server,
+            SiteDest::Client(c) => SiteId::Client(c),
+        };
+        let to_site = SiteId::Client(to);
+        let client_to_client = matches!(from, SiteDest::Client(_));
+        let delivery = if client_to_client && self.cfg.load_sharing.directory_enabled {
+            self.fabric
+                .send_via_directory(self.now, from_site, to_site, kind, objects)
+        } else {
+            self.fabric.send(self.now, from_site, to_site, kind, objects)
+        };
+        self.queue.push(
+            delivery,
+            Ev::Deliver {
+                to: SiteDest::Client(to),
+                msg,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Arrival, H1 and routing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_arrive(&mut self, i: usize) {
+        let spec = self.specs[i].clone();
+        let key = spec.id.as_u64();
+        let ci = spec.origin.index();
+        self.inflight += 1;
+        let run = TxnRun {
+            kind: RunKind::Normal,
+            state: RunState::Acquiring,
+            needed: Default::default(),
+            acquire_started: self.now,
+            exec_started: self.now,
+            spec,
+        };
+        self.admit(ci, key, run);
+    }
+
+    /// Routes a fresh unit of work at client `ci` through the LS heuristics
+    /// or straight into acquisition.
+    pub(crate) fn admit(&mut self, ci: usize, key: TKey, run: TxnRun) {
+        let spec_deadline = run.spec.deadline;
+        if run.spec.is_expired(self.now) {
+            // Dead on arrival (e.g. shipped transaction that travelled too
+            // long).
+            self.clients[ci].txns.insert(key, run);
+            self.abort_txn(ci, key, AbortReason::Expired);
+            return;
+        }
+        let is_plain = matches!(run.kind, RunKind::Normal);
+        let ls_cfg = self.cfg.load_sharing;
+        if self.ls && is_plain {
+            let c = &self.clients[ci];
+            let feasible = !ls_cfg.h1_enabled || {
+                let n = c.queue_ahead() as f64;
+                let projected = self.now + siteselect_types::SimDuration::from_secs_f64(n * c.atl());
+                projected <= spec_deadline
+            };
+            let objects: Vec<ObjectId> = run.spec.objects().collect();
+            if !feasible {
+                if self.measured_arrival(run.spec.arrival) {
+                    self.metrics.load_sharing.h1_rejections += 1;
+                }
+                let origin = run.spec.origin;
+                let mut run = run;
+                run.state = RunState::AwaitInfo {
+                    reason: InfoReason::H1Infeasible,
+                };
+                self.clients[ci].txns.insert(key, run);
+                self.send_to_server(
+                    origin,
+                    MessageKind::LoadQuery,
+                    0,
+                    1,
+                    Msg::LoadQuery { txn: key, objects },
+                );
+                return;
+            }
+            if run.spec.decomposable && ls_cfg.decomposition_enabled && run.spec.accesses.len() > 1
+            {
+                let origin = run.spec.origin;
+                let mut run = run;
+                run.state = RunState::AwaitInfo {
+                    reason: InfoReason::Decompose,
+                };
+                self.clients[ci].txns.insert(key, run);
+                self.send_to_server(
+                    origin,
+                    MessageKind::LoadQuery,
+                    0,
+                    1,
+                    Msg::LoadQuery { txn: key, objects },
+                );
+                return;
+            }
+        }
+        self.clients[ci].txns.insert(key, run);
+        self.begin_acquisition(ci, key, self.ls);
+    }
+
+    // ------------------------------------------------------------------
+    // Acquisition
+    // ------------------------------------------------------------------
+
+    /// Classifies every access of `key` and sends one batched request for
+    /// the objects the client cannot serve locally.
+    pub(crate) fn begin_acquisition(&mut self, ci: usize, key: TKey, grant_all: bool) {
+        let Some(run) = self.clients[ci].txns.get(&key) else {
+            return;
+        };
+        let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
+        let measured = self.measured_arrival(run.spec.arrival);
+        let deadline = run.spec.deadline;
+        if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+            run.state = RunState::Acquiring;
+            run.acquire_started = self.now;
+        }
+        let mut wants: Vec<Want> = Vec::new();
+        for a in accesses {
+            let mode = a.mode();
+            // Table 2 accounting: a hit is data present in either tier.
+            let tier = self.clients[ci].cache.probe(a.object);
+            if measured {
+                match tier {
+                    Some(CacheTier::Memory) => self.metrics.cache.memory_hits += 1,
+                    Some(CacheTier::Disk) => self.metrics.cache.disk_hits += 1,
+                    None => self.metrics.cache.misses += 1,
+                }
+            }
+            let c = &self.clients[ci];
+            let covered = c
+                .cached_locks
+                .get(&a.object)
+                .is_some_and(|m| m.covers(mode));
+            let usable = covered && tier.is_some() && !c.revokes.contains_key(&a.object);
+            if usable {
+                let promote = tier == Some(CacheTier::Disk);
+                if self.request_local_lock(ci, key, a.object, mode, promote) {
+                    return; // transaction aborted (local deadlock)
+                }
+            } else {
+                let needs_data = tier.is_none() || c.revokes.contains_key(&a.object);
+                if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+                    run.needed.insert(a.object, (mode, Need::Fetch));
+                }
+                if let Some(w) = self.join_fetch(ci, key, a.object, mode, needs_data, deadline) {
+                    wants.push(w);
+                }
+            }
+        }
+        if wants.is_empty() {
+            self.check_ready(ci, key);
+            return;
+        }
+        let client = self.clients[ci].id;
+        let logical = wants.len() as u32;
+        let use_grant_all = grant_all && self.ls;
+        if use_grant_all {
+            if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+                run.state = RunState::AwaitGrantAll;
+            }
+        }
+        self.send_to_server(
+            client,
+            MessageKind::ObjectRequest,
+            0,
+            logical,
+            Msg::RequestBatch {
+                txn: key,
+                client,
+                wants,
+                grant_all: use_grant_all,
+            },
+        );
+    }
+
+    /// Joins (or creates) the outstanding fetch of `object`; returns the
+    /// `Want` to transmit if a new/stronger request must go to the server.
+    fn join_fetch(
+        &mut self,
+        ci: usize,
+        key: TKey,
+        object: ObjectId,
+        mode: LockMode,
+        needs_data: bool,
+        deadline: SimTime,
+    ) -> Option<Want> {
+        let c = &mut self.clients[ci];
+        if let Some(f) = c.fetches.get_mut(&object) {
+            if !f.waiters.contains(&key) {
+                f.waiters.push(key);
+            }
+            if f.mode.covers(mode) {
+                return None;
+            }
+            if !f.sent {
+                // Still staged: strengthen in place.
+                f.mode = LockMode::Exclusive;
+                return None;
+            }
+            // Already on the wire in a weaker mode; the upgrade is issued
+            // when the weak grant resolves (see resolve_fetch).
+            return None;
+        }
+        c.fetches.insert(
+            object,
+            Fetch {
+                mode,
+                sent_at: self.now,
+                waiters: vec![key],
+                sent: true,
+            },
+        );
+        Some(Want {
+            object,
+            mode,
+            needs_data,
+            deadline,
+        })
+    }
+
+    /// Requests the local (transaction-level) lock. Returns `true` if the
+    /// transaction was aborted to avoid a local deadlock.
+    fn request_local_lock(
+        &mut self,
+        ci: usize,
+        key: TKey,
+        object: ObjectId,
+        mode: LockMode,
+        promote: bool,
+    ) -> bool {
+        let deadline = self.clients[ci]
+            .txns
+            .get(&key)
+            .map_or(SimTime::MAX, |r| r.spec.deadline);
+        let c = &mut self.clients[ci];
+        let conflicts = c.local_locks.conflicting_holders(object, key, mode);
+        if c.local_wfg.would_deadlock(key, &conflicts) {
+            self.abort_txn(ci, key, AbortReason::Deadlock);
+            return true;
+        }
+        match c.local_locks.request(object, key, mode, deadline) {
+            Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
+                if promote {
+                    let done = c.disk.schedule_io(self.now);
+                    if let Some(run) = c.txns.get_mut(&key) {
+                        run.needed.insert(object, (mode, Need::DiskPromote));
+                    }
+                    self.queue.push(
+                        done,
+                        Ev::ClientDiskReady {
+                            client: ci,
+                            txn: key,
+                            object,
+                        },
+                    );
+                } else if let Some(run) = c.txns.get_mut(&key) {
+                    run.needed.insert(object, (mode, Need::Held));
+                }
+            }
+            Acquire::Blocked { conflicts } => {
+                c.local_wfg.add_waits(key, conflicts);
+                if let Some(run) = c.txns.get_mut(&key) {
+                    run.needed.insert(object, (mode, Need::LocalWait));
+                }
+            }
+        }
+        false
+    }
+
+    pub(crate) fn on_client_disk_ready(&mut self, ci: usize, key: TKey, object: ObjectId) {
+        let Some(run) = self.clients[ci].txns.get_mut(&key) else {
+            return;
+        };
+        if let Some(entry) = run.needed.get_mut(&object) {
+            if entry.1 == Need::DiskPromote {
+                entry.1 = Need::Held;
+            }
+        }
+        self.check_ready(ci, key);
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    pub(crate) fn client_on_msg(&mut self, to: ClientId, msg: Msg) {
+        let ci = to.index();
+        match msg {
+            Msg::GrantBatch { items } => {
+                for (object, mode, with_data) in items {
+                    self.resolve_fetch(ci, object, mode, with_data);
+                }
+            }
+            Msg::ConflictReport { txn, conflicts } => self.on_conflict_report(ci, txn, conflicts),
+            Msg::Rejected { txn, expired } => {
+                let reason = if expired {
+                    AbortReason::Expired
+                } else {
+                    AbortReason::Deadlock
+                };
+                // The server rejected one object of the batch: the
+                // transaction as a whole cannot proceed.
+                self.abort_txn(ci, txn, reason);
+            }
+            Msg::Recall {
+                object,
+                desired,
+                forward,
+            } => self.on_recall(ci, object, desired, forward),
+            Msg::ObjectForward { object, mode, rest } => {
+                if self.now >= self.warmup_end {
+                    self.metrics.load_sharing.forward_satisfied += 1;
+                }
+                // Receiving a forwarded object: it must keep moving after
+                // local use (the last client returns it to the server).
+                self.clients[ci].revokes.insert(
+                    object,
+                    Revoke {
+                        desired: LockMode::Exclusive,
+                        forward: Some(rest),
+                    },
+                );
+                self.resolve_fetch(ci, object, mode, true);
+                // If no local transaction wanted it any more, move it on
+                // immediately.
+                self.try_execute_revoke(ci, object);
+            }
+            Msg::TxnShip { spec } => {
+                let key = spec.id.as_u64();
+                let origin = spec.origin;
+                let run = TxnRun {
+                    kind: RunKind::Shipped { origin },
+                    state: RunState::Acquiring,
+                    needed: Default::default(),
+                    acquire_started: self.now,
+                    exec_started: self.now,
+                    spec,
+                };
+                self.admit(ci, key, run);
+            }
+            Msg::TxnShipResult {
+                committed,
+                deadline,
+                arrival,
+            } => {
+                // Origin scores the shipped transaction when the result
+                // arrives back.
+                self.inflight -= 1;
+                if self.measured_arrival(arrival) {
+                    let outcome = if committed && self.now <= deadline {
+                        TxnOutcome::Committed
+                    } else if committed {
+                        TxnOutcome::CommittedLate
+                    } else {
+                        TxnOutcome::Aborted(AbortReason::Expired)
+                    };
+                    self.metrics.record_outcome(outcome);
+                    if outcome == TxnOutcome::Committed {
+                        self.metrics
+                            .latency
+                            .push_duration(self.now.duration_since(arrival));
+                    }
+                }
+            }
+            Msg::SubtaskShip {
+                parent,
+                index,
+                origin,
+                spec,
+            } => {
+                let key = subtask_key(parent, index);
+                let run = TxnRun {
+                    kind: RunKind::Subtask {
+                        parent,
+                        index,
+                        origin,
+                    },
+                    state: RunState::Acquiring,
+                    needed: Default::default(),
+                    acquire_started: self.now,
+                    exec_started: self.now,
+                    spec,
+                };
+                self.admit(ci, key, run);
+            }
+            Msg::SubtaskResult { parent, ok } => self.on_subtask_result(ci, parent, ok),
+            Msg::LoadReply {
+                txn,
+                locations,
+                loads,
+            } => self.on_load_reply(ci, txn, locations, loads),
+            // Server-bound messages never arrive here.
+            Msg::RequestBatch { .. }
+            | Msg::ObjectReturn { .. }
+            | Msg::CallbackAck { .. }
+            | Msg::CancelWants { .. }
+            | Msg::LoadQuery { .. } => unreachable!("server message delivered to client"),
+        }
+    }
+
+    /// An object/lock grant arrived: record response time, install the
+    /// cached lock (and data), and unblock waiting transactions.
+    fn resolve_fetch(&mut self, ci: usize, object: ObjectId, mode: LockMode, with_data: bool) {
+        let c = &mut self.clients[ci];
+        let fetch = c.fetches.remove(&object);
+        let prior = c.cached_locks.get(&object).copied();
+        c.cached_locks
+            .insert(object, prior.map_or(mode, |p| p.stronger(mode)));
+        if with_data {
+            c.cache.insert(object);
+            c.dirty.remove(&object);
+        }
+        let Some(fetch) = fetch else {
+            return; // unsolicited (request was cancelled): keep the cache
+        };
+        if fetch.sent_at >= self.warmup_end {
+            let dt = self.now.duration_since(fetch.sent_at).as_secs_f64();
+            match fetch.mode {
+                LockMode::Shared => self.metrics.response.shared.push(dt),
+                LockMode::Exclusive => self.metrics.response.exclusive.push(dt),
+            }
+        }
+        for key in fetch.waiters {
+            let (need_mode, deadline) = {
+                let Some(run) = self.clients[ci].txns.get_mut(&key) else {
+                    continue;
+                };
+                // A grant-all round that came back as grants: acquisition
+                // continues normally.
+                if run.state == RunState::AwaitGrantAll {
+                    run.state = RunState::Acquiring;
+                }
+                match run.needed.get(&object) {
+                    Some(&(need_mode, Need::Fetch)) => (need_mode, run.spec.deadline),
+                    _ => continue,
+                }
+            };
+            let granted_mode = self.clients[ci].cached_locks[&object];
+            if granted_mode.covers(need_mode) && self.clients[ci].cache.contains(object) {
+                let promote =
+                    self.clients[ci].cache.peek(object) == Some(CacheTier::Disk);
+                if self.request_local_lock(ci, key, object, need_mode, promote) {
+                    continue;
+                }
+                self.check_ready(ci, key);
+            } else {
+                // Granted mode too weak (or data still missing): go again.
+                let needs_data = !self.clients[ci].cache.contains(object);
+                if let Some(w) =
+                    self.join_fetch(ci, key, object, need_mode, needs_data, deadline)
+                {
+                    let client = self.clients[ci].id;
+                    self.send_to_server(
+                        client,
+                        MessageKind::ObjectRequest,
+                        0,
+                        1,
+                        Msg::RequestBatch {
+                            txn: key,
+                            client,
+                            wants: vec![w],
+                            grant_all: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// LS: the grant-all round failed; run H2 and either ship the
+    /// transaction or commit to local processing.
+    fn on_conflict_report(
+        &mut self,
+        ci: usize,
+        key: TKey,
+        conflicts: Vec<(ObjectId, Vec<(ClientId, LockMode)>)>,
+    ) {
+        let Some(run) = self.clients[ci].txns.get(&key) else {
+            return;
+        };
+        // The transaction may already have left AwaitGrantAll if another
+        // fetch resolved in the meantime; the conflict answer still stands
+        // for whatever it is still waiting on.
+        if !matches!(run.state, RunState::AwaitGrantAll | RunState::Acquiring) {
+            return;
+        }
+        let shipped = !matches!(run.kind, RunKind::Normal);
+        let self_id = self.clients[ci].id;
+        let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
+        if self.cfg.load_sharing.h2_enabled && !shipped {
+            let best = Self::h2_choose(self_id, &accesses, &conflicts, &[]);
+            // Ship only when the destination substantially reduces the
+            // conflicting-lock count and already caches a significant share
+            // of the transaction's data (§3.1: transaction-shipping pays
+            // when "a significant percentage of a transaction's required
+            // data is already cached at another site"). Shipping cancels
+            // the requests the server has queued on our behalf.
+            let ls = self.cfg.load_sharing;
+            let best_score = Self::h2_score(best, &accesses, &conflicts) as f64;
+            let origin_score = Self::h2_score(self_id, &accesses, &conflicts) as f64;
+            if best != self_id
+                && best_score <= ls.ship_conflict_ratio * origin_score
+                && Self::holds_fraction(best, &accesses, &conflicts) >= ls.ship_locality_min
+            {
+                self.ship_txn(ci, key, best);
+                return;
+            }
+        }
+        // Otherwise nothing to do: the server already queued the blocked
+        // requests and will ship the objects as soon as possible (§4).
+        if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+            if run.state == RunState::AwaitGrantAll {
+                run.state = RunState::Acquiring;
+            }
+        }
+        self.check_ready(ci, key);
+    }
+
+    /// H2: the site at which the transaction would wait for the fewest
+    /// conflicting locks; `loads` breaks ties.
+    pub(crate) fn h2_choose(
+        origin: ClientId,
+        accesses: &[AccessSpec],
+        locations: &[(ObjectId, Vec<(ClientId, LockMode)>)],
+        loads: &[(ClientId, usize, f64)],
+    ) -> ClientId {
+        let load_of = |c: ClientId| {
+            loads
+                .iter()
+                .find(|(id, _, _)| *id == c)
+                .map_or(0, |&(_, l, _)| l)
+        };
+        let mut candidates: Vec<ClientId> = vec![origin];
+        for (_, holders) in locations {
+            for &(c, _) in holders {
+                if !candidates.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+        }
+        let origin_score = Self::h2_score(origin, accesses, locations);
+        let best = candidates
+            .into_iter()
+            .map(|c| (Self::h2_score(c, accesses, locations), load_of(c), c.0, c))
+            .min()
+            .map(|(_, _, _, c)| c)
+            .unwrap_or(origin);
+        // Ship only for a strict improvement in conflicting locks.
+        if Self::h2_score(best, accesses, locations) < origin_score {
+            best
+        } else {
+            origin
+        }
+    }
+
+    /// Fraction of the transaction's objects on which `site` holds a lock —
+    /// the proxy for "how much of the required data is cached there".
+    pub(crate) fn holds_fraction(
+        site: ClientId,
+        accesses: &[AccessSpec],
+        locations: &[(ObjectId, Vec<(ClientId, LockMode)>)],
+    ) -> f64 {
+        if accesses.is_empty() {
+            return 0.0;
+        }
+        let held = accesses
+            .iter()
+            .filter(|a| {
+                locations
+                    .iter()
+                    .find(|(o, _)| *o == a.object)
+                    .is_some_and(|(_, holders)| holders.iter().any(|(h, _)| *h == site))
+            })
+            .count();
+        held as f64 / accesses.len() as f64
+    }
+
+    /// The number of conflicting locks transaction `accesses` would wait
+    /// for if executed at `site` (the quantity H2 minimizes).
+    pub(crate) fn h2_score(
+        site: ClientId,
+        accesses: &[AccessSpec],
+        locations: &[(ObjectId, Vec<(ClientId, LockMode)>)],
+    ) -> usize {
+        accesses
+            .iter()
+            .map(|a| {
+                let mode = a.mode();
+                locations
+                    .iter()
+                    .find(|(o, _)| *o == a.object)
+                    .map_or(0, |(_, holders)| {
+                        holders
+                            .iter()
+                            .filter(|(h, m)| *h != site && !m.compatible_with(mode))
+                            .count()
+                    })
+            })
+            .sum()
+    }
+
+    fn on_load_reply(
+        &mut self,
+        ci: usize,
+        key: TKey,
+        locations: Vec<(ObjectId, Vec<(ClientId, LockMode)>)>,
+        loads: Vec<(ClientId, usize, f64)>,
+    ) {
+        let Some(run) = self.clients[ci].txns.get(&key) else {
+            return;
+        };
+        let RunState::AwaitInfo { reason } = run.state else {
+            return;
+        };
+        let self_id = self.clients[ci].id;
+        let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
+        match reason {
+            InfoReason::H1Infeasible => {
+                let best = if self.cfg.load_sharing.h2_enabled {
+                    Self::h2_choose(self_id, &accesses, &locations, &loads)
+                } else {
+                    // Without H2, fall back to the least-loaded site.
+                    loads
+                        .iter()
+                        .map(|&(c, l, _)| (l, c.0, c))
+                        .min()
+                        .map_or(self_id, |(_, _, c)| c)
+                };
+                if best != self_id {
+                    self.ship_txn(ci, key, best);
+                } else {
+                    self.begin_acquisition(ci, key, true);
+                }
+            }
+            InfoReason::Decompose => {
+                let raw = Self::group_by_location(self_id, &accesses, &locations);
+                // Keep decomposition worthwhile: remote groups must carry at
+                // least two objects (a single-object fetch is cheaper than a
+                // subtask) and the fan-out is capped at four sites, as in
+                // the paper's illustration.
+                let mut origin_accs: Vec<AccessSpec> = Vec::new();
+                let mut groups: Vec<(ClientId, Vec<AccessSpec>)> = Vec::new();
+                for (site, accs) in raw {
+                    if site == self_id || accs.len() < 2 || groups.len() >= 4 {
+                        origin_accs.extend(accs);
+                    } else {
+                        groups.push((site, accs));
+                    }
+                }
+                if !origin_accs.is_empty() {
+                    groups.push((self_id, origin_accs));
+                }
+                if groups.len() >= 2 {
+                    self.decompose(ci, key, groups);
+                } else {
+                    self.begin_acquisition(ci, key, true);
+                }
+            }
+        }
+    }
+
+    fn decompose(&mut self, ci: usize, key: TKey, groups: Vec<(ClientId, Vec<AccessSpec>)>) {
+        let Some(run) = self.clients[ci].txns.get_mut(&key) else {
+            return;
+        };
+        let parent_spec = run.spec.clone();
+        let total = parent_spec.accesses.len().max(1) as f64;
+        run.state = RunState::AwaitSubtasks {
+            pending: groups.len() as u8,
+            failed: false,
+        };
+        if self.measured_arrival(parent_spec.arrival) {
+            self.metrics.load_sharing.decomposed += 1;
+            self.metrics.load_sharing.subtasks += groups.len() as u64;
+        }
+        let origin = self.clients[ci].id;
+        for (index, (site, accesses)) in groups.into_iter().enumerate() {
+            let index = index as u8;
+            let share = accesses.len() as f64 / total;
+            let mut spec = parent_spec.clone();
+            spec.accesses = accesses;
+            spec.cpu_demand = parent_spec
+                .cpu_demand
+                .mul_f64((1.0 - SYNTHESIS_FRACTION) * share);
+            spec.decomposable = false;
+            if site == origin {
+                let skey = subtask_key(key, index);
+                let run = TxnRun {
+                    kind: RunKind::Subtask {
+                        parent: key,
+                        index,
+                        origin,
+                    },
+                    state: RunState::Acquiring,
+                    needed: Default::default(),
+                    acquire_started: self.now,
+                    exec_started: self.now,
+                    spec,
+                };
+                self.clients[ci].txns.insert(skey, run);
+                self.begin_acquisition(ci, skey, self.ls);
+            } else {
+                self.send_to_client(
+                    SiteDest::Client(origin),
+                    site,
+                    MessageKind::SubtaskShip,
+                    0,
+                    Msg::SubtaskShip {
+                        parent: key,
+                        index,
+                        origin,
+                        spec,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_subtask_result(&mut self, ci: usize, parent: TKey, ok: bool) {
+        let Some(run) = self.clients[ci].txns.get_mut(&parent) else {
+            return; // parent already aborted (e.g. expired)
+        };
+        let RunState::AwaitSubtasks { pending, failed } = run.state else {
+            return;
+        };
+        let pending = pending - 1;
+        let failed = failed || !ok;
+        run.state = RunState::AwaitSubtasks { pending, failed };
+        if pending > 0 {
+            return;
+        }
+        if failed {
+            self.abort_txn(ci, parent, AbortReason::SubtaskFailure);
+            return;
+        }
+        // Synthesis phase: combine the subtask answers.
+        let (deadline, demand) = (
+            run.spec.deadline,
+            run.spec.cpu_demand.mul_f64(SYNTHESIS_FRACTION),
+        );
+        run.state = RunState::Synthesis;
+        run.exec_started = self.now;
+        let resched = self.clients[ci].cpu.submit(self.now, parent, deadline, demand);
+        if let Some((t, generation)) = resched {
+            self.queue.push(
+                t,
+                Ev::ClientCpu {
+                    client: ci,
+                    generation,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn ship_txn(&mut self, ci: usize, key: TKey, dest: ClientId) {
+        let Some(run) = self.clients[ci].txns.remove(&key) else {
+            return;
+        };
+        if self.measured_arrival(run.spec.arrival) {
+            self.metrics.load_sharing.shipped += 1;
+        }
+        self.detach_txn(ci, key, &run);
+        let from = self.clients[ci].id;
+        self.send_to_client(
+            SiteDest::Client(from),
+            dest,
+            MessageKind::TxnShip,
+            0,
+            Msg::TxnShip { spec: run.spec },
+        );
+    }
+
+    /// Releases everything `key` holds or awaits at client `ci`.
+    fn detach_txn(&mut self, ci: usize, key: TKey, run: &TxnRun) {
+        // Local locks and queued local waits.
+        let grants = self.clients[ci].local_locks.release_all(key);
+        self.clients[ci].local_wfg.remove_node(key);
+        for (object, waiters) in grants {
+            let keys: Vec<TKey> = waiters.iter().map(|w| w.owner).collect();
+            self.on_local_grants(ci, object, keys);
+        }
+        // Pending revokes may now be executable.
+        let held: Vec<ObjectId> = run.needed.keys().copied().collect();
+        for object in held {
+            self.try_execute_revoke(ci, object);
+        }
+        // Outstanding fetches.
+        let mut cancelled: Vec<ObjectId> = Vec::new();
+        let c = &mut self.clients[ci];
+        c.fetches.retain(|&object, f| {
+            f.waiters.retain(|&w| w != key);
+            if f.waiters.is_empty() {
+                if f.sent {
+                    cancelled.push(object);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if !cancelled.is_empty() {
+            let client = self.clients[ci].id;
+            self.send_to_server(
+                client,
+                MessageKind::ObjectRequest,
+                0,
+                1,
+                Msg::CancelWants {
+                    client,
+                    objects: cancelled,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Callbacks, downgrades and forward hops
+    // ------------------------------------------------------------------
+
+    fn on_recall(
+        &mut self,
+        ci: usize,
+        object: ObjectId,
+        desired: LockMode,
+        forward: Option<ForwardList>,
+    ) {
+        let c = &mut self.clients[ci];
+        if !c.cached_locks.contains_key(&object) {
+            // We no longer hold it (silently evicted): answer immediately.
+            let from = c.id;
+            let had_copy = c.cache.contains(object);
+            self.send_to_server(
+                from,
+                MessageKind::CallbackAck,
+                0,
+                1,
+                Msg::CallbackAck {
+                    object,
+                    from,
+                    had_copy,
+                },
+            );
+            return;
+        }
+        c.revokes.insert(object, Revoke { desired, forward });
+        // Queued local waiters can no longer rely on the cached lock.
+        self.requeue_local_waiters(ci, object);
+        self.try_execute_revoke(ci, object);
+    }
+
+    /// Converts local-wait transactions on `object` into server fetches
+    /// (their cached lock is being revoked or downgraded).
+    fn requeue_local_waiters(&mut self, ci: usize, object: ObjectId) {
+        let waiters: Vec<TKey> = self.clients[ci]
+            .local_locks
+            .waiters(object)
+            .iter()
+            .map(|w| w.owner)
+            .collect();
+        for key in waiters {
+            let Some(run) = self.clients[ci].txns.get(&key) else {
+                continue;
+            };
+            let Some(&(mode, Need::LocalWait)) = run.needed.get(&object) else {
+                continue;
+            };
+            let deadline = run.spec.deadline;
+            let (_, grants) = self.clients[ci].local_locks.cancel_wait(object, key);
+            if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+                run.needed.insert(object, (mode, Need::Fetch));
+            }
+            let keys: Vec<TKey> = grants.iter().map(|w| w.owner).collect();
+            self.on_local_grants(ci, object, keys);
+            if let Some(w) = self.join_fetch(ci, key, object, mode, true, deadline) {
+                let client = self.clients[ci].id;
+                self.send_to_server(
+                    client,
+                    MessageKind::ObjectRequest,
+                    0,
+                    1,
+                    Msg::RequestBatch {
+                        txn: key,
+                        client,
+                        wants: vec![w],
+                        grant_all: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Executes a pending revocation once no local transaction holds the
+    /// object.
+    pub(crate) fn try_execute_revoke(&mut self, ci: usize, object: ObjectId) {
+        let c = &self.clients[ci];
+        if !c.revokes.contains_key(&object) {
+            return;
+        }
+        if !c.local_locks.holders(object).is_empty() {
+            return; // active local users finish first
+        }
+        let revoke = self.clients[ci]
+            .revokes
+            .remove(&object)
+            .expect("checked above");
+        let from = self.clients[ci].id;
+        let held = self.clients[ci].cached_locks.get(&object).copied();
+        let has_data = self.clients[ci].cache.contains(object);
+
+        if let Some(mut list) = revoke.forward {
+            // Grouped-lock hop: ship the object to the next live entry.
+            if !has_data {
+                self.clients[ci].cached_locks.remove(&object);
+                self.send_to_server(
+                    from,
+                    MessageKind::CallbackAck,
+                    0,
+                    1,
+                    Msg::CallbackAck {
+                        object,
+                        from,
+                        had_copy: false,
+                    },
+                );
+                return;
+            }
+            self.clients[ci].cached_locks.remove(&object);
+            self.clients[ci].cache.invalidate(object);
+            self.clients[ci].dirty.remove(&object);
+            let (next, _skipped) = list.pop_next_live(self.now);
+            match next {
+                Some(entry) => {
+                    self.send_to_client(
+                        SiteDest::Client(from),
+                        entry.client,
+                        MessageKind::ObjectForward,
+                        1,
+                        Msg::ObjectForward {
+                            object,
+                            mode: entry.mode,
+                            rest: list,
+                        },
+                    );
+                }
+                None => {
+                    // Everyone on the list expired: hand the object home.
+                    self.send_to_server(
+                        from,
+                        MessageKind::ObjectReturn,
+                        1,
+                        1,
+                        Msg::ObjectReturn {
+                            object,
+                            from,
+                            downgraded: false,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+
+        // Plain callback path.
+        let downgrade = revoke.desired == LockMode::Shared
+            && held == Some(LockMode::Exclusive)
+            && has_data;
+        if downgrade {
+            self.clients[ci]
+                .cached_locks
+                .insert(object, LockMode::Shared);
+            self.clients[ci].dirty.remove(&object);
+            self.send_to_server(
+                from,
+                MessageKind::ObjectReturn,
+                1,
+                1,
+                Msg::ObjectReturn {
+                    object,
+                    from,
+                    downgraded: true,
+                },
+            );
+            return;
+        }
+        self.clients[ci].cached_locks.remove(&object);
+        let send_data = held == Some(LockMode::Exclusive) && has_data;
+        self.clients[ci].cache.invalidate(object);
+        self.clients[ci].dirty.remove(&object);
+        if send_data {
+            self.send_to_server(
+                from,
+                MessageKind::ObjectReturn,
+                1,
+                1,
+                Msg::ObjectReturn {
+                    object,
+                    from,
+                    downgraded: false,
+                },
+            );
+        } else {
+            self.send_to_server(
+                from,
+                MessageKind::CallbackAck,
+                0,
+                1,
+                Msg::CallbackAck {
+                    object,
+                    from,
+                    had_copy: has_data,
+                },
+            );
+        }
+    }
+
+    /// Local lock grants cascading from a release.
+    pub(crate) fn on_local_grants(&mut self, ci: usize, object: ObjectId, keys: Vec<TKey>) {
+        for key in keys {
+            let Some(run) = self.clients[ci].txns.get(&key) else {
+                // Granted to a transaction that no longer exists.
+                let grants = self.clients[ci].local_locks.release(object, key);
+                let more: Vec<TKey> = grants.iter().map(|w| w.owner).collect();
+                self.on_local_grants(ci, object, more);
+                continue;
+            };
+            let Some(&(mode, status)) = run.needed.get(&object) else {
+                continue;
+            };
+            if status != Need::LocalWait {
+                continue;
+            }
+            self.clients[ci].local_wfg.clear_waits(key);
+            let c = &self.clients[ci];
+            let covered = c
+                .cached_locks
+                .get(&object)
+                .is_some_and(|m| m.covers(mode));
+            if covered && c.cache.contains(object) {
+                let promote = c.cache.peek(object) == Some(CacheTier::Disk);
+                if promote {
+                    let done = self.clients[ci].disk.schedule_io(self.now);
+                    if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+                        run.needed.insert(object, (mode, Need::DiskPromote));
+                    }
+                    self.queue.push(
+                        done,
+                        Ev::ClientDiskReady {
+                            client: ci,
+                            txn: key,
+                            object,
+                        },
+                    );
+                } else {
+                    if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+                        run.needed.insert(object, (mode, Need::Held));
+                    }
+                    self.check_ready(ci, key);
+                }
+            } else {
+                // Cached lock vanished while queued: fetch from the server.
+                let deadline = self.clients[ci]
+                    .txns
+                    .get(&key)
+                    .map_or(SimTime::MAX, |r| r.spec.deadline);
+                self.clients[ci].local_locks.release(object, key);
+                if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+                    run.needed.insert(object, (mode, Need::Fetch));
+                }
+                if let Some(w) = self.join_fetch(ci, key, object, mode, true, deadline) {
+                    let client = self.clients[ci].id;
+                    self.send_to_server(
+                        client,
+                        MessageKind::ObjectRequest,
+                        0,
+                        1,
+                        Msg::RequestBatch {
+                            txn: key,
+                            client,
+                            wants: vec![w],
+                            grant_all: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution and completion
+    // ------------------------------------------------------------------
+
+    pub(crate) fn check_ready(&mut self, ci: usize, key: TKey) {
+        let Some(run) = self.clients[ci].txns.get(&key) else {
+            return;
+        };
+        if !run.ready() {
+            return;
+        }
+        if run.spec.is_expired(self.now) {
+            self.abort_txn(ci, key, AbortReason::Expired);
+            return;
+        }
+        let measured = self.measured_arrival(run.spec.arrival);
+        let blocked = self.now.duration_since(run.acquire_started);
+        if measured {
+            self.metrics.blocking.push_duration(blocked);
+        }
+        let (deadline, demand) = (run.spec.deadline, run.spec.cpu_demand);
+        if let Some(run) = self.clients[ci].txns.get_mut(&key) {
+            run.state = RunState::Executing;
+            run.exec_started = self.now;
+        }
+        let resched = self.clients[ci].cpu.submit(self.now, key, deadline, demand);
+        if let Some((t, generation)) = resched {
+            self.queue.push(
+                t,
+                Ev::ClientCpu {
+                    client: ci,
+                    generation,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn on_client_cpu(&mut self, ci: usize, generation: u64) {
+        match self.clients[ci].cpu.on_completion(self.now, generation) {
+            crate::cpu::Tick::Stale => {}
+            crate::cpu::Tick::Done { finished, next } => {
+                if let Some((t, generation)) = next {
+                    self.queue.push(
+                        t,
+                        Ev::ClientCpu {
+                            client: ci,
+                            generation,
+                        },
+                    );
+                }
+                for key in finished {
+                    self.commit_txn(ci, key);
+                }
+            }
+        }
+    }
+
+    fn commit_txn(&mut self, ci: usize, key: TKey) {
+        let Some(run) = self.clients[ci].txns.remove(&key) else {
+            return;
+        };
+        // Mark updated objects dirty in the cache (they carry the newest
+        // version under the exclusive lock).
+        if run.state == RunState::Executing {
+            let writes: Vec<ObjectId> = run.spec.write_set().collect();
+            for o in writes {
+                if self.clients[ci].cache.contains(o) {
+                    self.clients[ci].dirty.insert(o);
+                }
+            }
+        }
+        self.detach_txn(ci, key, &run);
+        // ATL bookkeeping for H1: the paper's "average execution time for
+        // all completed transactions" — the CPU-resident span.
+        let exec_time = self.now.duration_since(run.exec_started).as_secs_f64();
+        self.clients[ci].atl_sum += exec_time;
+        self.clients[ci].atl_count += 1;
+
+        let committed = self.now <= run.spec.deadline;
+        let measured = self.measured_arrival(run.spec.arrival);
+        match run.kind {
+            RunKind::Normal => {
+                self.inflight -= 1;
+                if measured {
+                    let outcome = if committed {
+                        TxnOutcome::Committed
+                    } else {
+                        TxnOutcome::CommittedLate
+                    };
+                    self.metrics.record_outcome(outcome);
+                    if committed {
+                        self.metrics
+                            .latency
+                            .push_duration(self.now.duration_since(run.spec.arrival));
+                    }
+                }
+            }
+            RunKind::Shipped { origin } => {
+                let from = self.clients[ci].id;
+                self.send_to_client(
+                    SiteDest::Client(from),
+                    origin,
+                    MessageKind::TxnShipResult,
+                    0,
+                    Msg::TxnShipResult {
+                        committed,
+                        deadline: run.spec.deadline,
+                        arrival: run.spec.arrival,
+                    },
+                );
+            }
+            RunKind::Subtask {
+                parent,
+                index: _,
+                origin,
+            } => {
+                let from = self.clients[ci].id;
+                if origin == from {
+                    self.on_subtask_result(ci, parent, committed);
+                } else {
+                    self.send_to_client(
+                        SiteDest::Client(from),
+                        origin,
+                        MessageKind::SubtaskResult,
+                        0,
+                        Msg::SubtaskResult {
+                            parent,
+                            ok: committed,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    pub(crate) fn abort_txn(&mut self, ci: usize, key: TKey, reason: AbortReason) {
+        let Some(run) = self.clients[ci].txns.remove(&key) else {
+            return;
+        };
+        if matches!(run.state, RunState::Executing | RunState::Synthesis) {
+            if let Some((t, generation)) = self.clients[ci].cpu.remove(self.now, key) {
+                self.queue.push(
+                    t,
+                    Ev::ClientCpu {
+                        client: ci,
+                        generation,
+                    },
+                );
+            }
+        }
+        self.detach_txn(ci, key, &run);
+        let measured = self.measured_arrival(run.spec.arrival);
+        match run.kind {
+            RunKind::Normal => {
+                self.inflight -= 1;
+                if measured {
+                    self.metrics.record_outcome(TxnOutcome::Aborted(reason));
+                }
+            }
+            RunKind::Shipped { origin } => {
+                let from = self.clients[ci].id;
+                self.send_to_client(
+                    SiteDest::Client(from),
+                    origin,
+                    MessageKind::TxnShipResult,
+                    0,
+                    Msg::TxnShipResult {
+                        committed: false,
+                        deadline: run.spec.deadline,
+                        arrival: run.spec.arrival,
+                    },
+                );
+            }
+            RunKind::Subtask {
+                parent,
+                index: _,
+                origin,
+            } => {
+                let from = self.clients[ci].id;
+                if origin == from {
+                    self.on_subtask_result(ci, parent, false);
+                } else {
+                    self.send_to_client(
+                        SiteDest::Client(from),
+                        origin,
+                        MessageKind::SubtaskResult,
+                        0,
+                        Msg::SubtaskResult {
+                            parent,
+                            ok: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drops transactions whose deadline passed while they were not yet
+    /// executing ("tasks that have missed their deadlines are not processed
+    /// at all", §2).
+    pub(crate) fn sweep_expired_txns(&mut self) {
+        for ci in 0..self.clients.len() {
+            let expired: Vec<TKey> = self.clients[ci]
+                .txns
+                .iter()
+                .filter(|(_, r)| r.spec.is_expired(self.now))
+                .map(|(&k, _)| k)
+                .collect();
+            for key in expired {
+                self.abort_txn(ci, key, AbortReason::Expired);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(
+        o: u32,
+        holders: &[(u16, LockMode)],
+    ) -> (ObjectId, Vec<(ClientId, LockMode)>) {
+        (
+            ObjectId(o),
+            holders.iter().map(|&(c, m)| (ClientId(c), m)).collect(),
+        )
+    }
+
+    #[test]
+    fn h2_prefers_the_site_holding_the_conflicting_locks() {
+        let accesses = vec![AccessSpec::write(ObjectId(1)), AccessSpec::write(ObjectId(2))];
+        let locations = vec![
+            loc(1, &[(5, LockMode::Exclusive)]),
+            loc(2, &[(5, LockMode::Exclusive)]),
+        ];
+        let best = ClientServerSim::h2_choose(ClientId(0), &accesses, &locations, &[]);
+        assert_eq!(best, ClientId(5));
+    }
+
+    #[test]
+    fn h2_stays_home_without_strict_improvement() {
+        let accesses = vec![AccessSpec::read(ObjectId(1))];
+        // A shared lock elsewhere does not conflict with a read.
+        let locations = vec![loc(1, &[(5, LockMode::Shared)])];
+        let best = ClientServerSim::h2_choose(ClientId(0), &accesses, &locations, &[]);
+        assert_eq!(best, ClientId(0));
+    }
+
+    #[test]
+    fn h2_counts_conflicts_per_site() {
+        let accesses = vec![AccessSpec::write(ObjectId(1)), AccessSpec::write(ObjectId(2))];
+        // Client 5 holds obj1 EL; client 6 holds obj2 EL. Either site still
+        // waits for one conflicting lock; origin waits for two. Tie between
+        // 5 and 6 broken by id.
+        let locations = vec![
+            loc(1, &[(5, LockMode::Exclusive)]),
+            loc(2, &[(6, LockMode::Exclusive)]),
+        ];
+        let best = ClientServerSim::h2_choose(ClientId(0), &accesses, &locations, &[]);
+        assert_eq!(best, ClientId(5));
+    }
+
+    #[test]
+    fn h2_breaks_ties_by_load() {
+        let accesses = vec![AccessSpec::write(ObjectId(1)), AccessSpec::write(ObjectId(2))];
+        let locations = vec![
+            loc(1, &[(5, LockMode::Exclusive)]),
+            loc(2, &[(6, LockMode::Exclusive)]),
+        ];
+        let loads = vec![(ClientId(5), 10, 1.0), (ClientId(6), 1, 1.0)];
+        let best = ClientServerSim::h2_choose(ClientId(0), &accesses, &locations, &loads);
+        assert_eq!(best, ClientId(6));
+    }
+}

@@ -1,0 +1,607 @@
+//! The client-server real-time database (CS-RTDBS) and its load-sharing
+//! extension (LS-CS-RTDBS), as one event-driven simulator.
+//!
+//! The CS system implements the paper's §2 model: transactions execute at
+//! client workstations, objects and their **locks** are cached across
+//! transactions, the server keeps a global client-granularity lock table and
+//! recalls (calls back) conflicting locks, downgrading an exclusive holder
+//! to shared when the requester only reads. Clients schedule locally with
+//! preemptive EDF and drop transactions whose deadlines have passed.
+//!
+//! The LS system (§3–4) adds, behind `config.load_sharing` flags:
+//! * **H1** admission (`now + n·ATL ≤ deadline`), falling back to remote
+//!   placement when the local queue is infeasible;
+//! * **H2** site selection (fewest conflicting locks, load as tiebreak) fed
+//!   by a grant-all-or-conflict-info first request round;
+//! * **transaction shipping** over the directory server;
+//! * **transaction decomposition** into parallel subtasks at the sites that
+//!   cache the data;
+//! * **object request scheduling** (deadline-ordered server queues, expired
+//!   requests refused);
+//! * **grouped locks**: collection windows + forward lists, with the
+//!   client-to-client object hops that give the 2n+1 message economics.
+
+mod client;
+mod server;
+
+use std::collections::{BTreeMap, HashMap};
+
+use siteselect_locks::{CallbackTracker, ForwardList, LockTable, QueueDiscipline, WaitForGraph, WindowManager};
+use siteselect_net::Fabric;
+use siteselect_sim::EventQueue;
+use siteselect_storage::{ClientCache, DiskModel};
+use siteselect_types::{
+    AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime,
+    SystemKind, TransactionSpec,
+};
+use siteselect_workload::Trace;
+
+use crate::cpu::EdfCpu;
+use crate::metrics::RunMetrics;
+
+/// Transaction/subtask key used across the simulator (subtask keys embed
+/// the subtask index in otherwise-unused bits of the transaction id).
+pub(crate) type TKey = u64;
+
+/// Builds the key of subtask `index` of transaction key `parent`.
+pub(crate) fn subtask_key(parent: TKey, index: u8) -> TKey {
+    debug_assert_eq!(parent & (0xFF << 40), 0, "sequence bits 40..48 in use");
+    parent | (u64::from(index) + 1) << 40
+}
+
+/// One requested object in a client→server request batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Want {
+    pub object: ObjectId,
+    pub mode: LockMode,
+    /// False when the client still caches the data and only needs a
+    /// stronger lock.
+    pub needs_data: bool,
+    /// Deadline of the earliest requesting transaction (drives the server's
+    /// deadline-ordered request scheduling).
+    pub deadline: SimTime,
+}
+
+/// Messages exchanged between sites (the payload of `Ev::Deliver`).
+#[derive(Debug, Clone)]
+pub(crate) enum Msg {
+    /// Client → server: per-object requests of one transaction, physically
+    /// batched. `grant_all` marks the LS first round ("grant everything or
+    /// tell me who conflicts").
+    RequestBatch {
+        txn: TKey,
+        client: ClientId,
+        wants: Vec<Want>,
+        grant_all: bool,
+    },
+    /// Server → client: granted objects/locks of one batch.
+    GrantBatch {
+        items: Vec<(ObjectId, LockMode, bool)>, // (object, mode, with_data)
+    },
+    /// Server → client: the LS grant-all round failed; here is who holds
+    /// what (input to H2).
+    ConflictReport {
+        txn: TKey,
+        conflicts: Vec<(ObjectId, Vec<(ClientId, LockMode)>)>,
+    },
+    /// Server → client: request refused (wait-for cycle or expired
+    /// deadline).
+    Rejected { txn: TKey, expired: bool },
+    /// Server → client: give up your lock on `object`; `desired` lets an
+    /// exclusive holder downgrade for a reader. A forward list rides along
+    /// in the grouped-lock path.
+    Recall {
+        object: ObjectId,
+        desired: LockMode,
+        forward: Option<ForwardList>,
+    },
+    /// Client → server: object returned (with data). `downgraded` keeps a
+    /// shared lock at the client.
+    ObjectReturn {
+        object: ObjectId,
+        from: ClientId,
+        downgraded: bool,
+    },
+    /// Client → server: callback answered without data (copy was clean or
+    /// already evicted; `had_copy` false means the forward list, if any,
+    /// must be served by the server).
+    CallbackAck {
+        object: ObjectId,
+        from: ClientId,
+        had_copy: bool,
+    },
+    /// Client → server: these waiting requests died with their transaction.
+    CancelWants {
+        client: ClientId,
+        objects: Vec<ObjectId>,
+    },
+    /// Client → server: where are these objects, and how loaded is
+    /// everyone? (H1/H2 and decomposition input.)
+    LoadQuery { txn: TKey, objects: Vec<ObjectId> },
+    /// Server → client: locations and loads.
+    LoadReply {
+        txn: TKey,
+        locations: Vec<(ObjectId, Vec<(ClientId, LockMode)>)>,
+        loads: Vec<(ClientId, usize, f64)>,
+    },
+    /// Client → client (via directory): object hops down a forward list.
+    /// `mode` is the receiver's granted mode; `rest` is the remainder of
+    /// the list.
+    ObjectForward {
+        object: ObjectId,
+        mode: LockMode,
+        rest: ForwardList,
+    },
+    /// Client → client (via directory): a whole transaction moves.
+    TxnShip { spec: TransactionSpec },
+    /// Client → client (via directory): outcome of a shipped transaction,
+    /// with what the origin needs to score it at delivery time.
+    TxnShipResult {
+        committed: bool,
+        deadline: SimTime,
+        arrival: SimTime,
+    },
+    /// Client → client (via directory): one subtask of a decomposed
+    /// transaction.
+    SubtaskShip {
+        parent: TKey,
+        index: u8,
+        origin: ClientId,
+        spec: TransactionSpec,
+    },
+    /// Client → client (via directory): subtask outcome.
+    SubtaskResult { parent: TKey, ok: bool },
+}
+
+/// Simulator events.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A transaction is initiated at its origin client.
+    Arrive(usize),
+    /// A message reaches `to`.
+    Deliver { to: SiteDest, msg: Msg },
+    /// A client CPU completion tick.
+    ClientCpu { client: usize, generation: u64 },
+    /// A client's disk-tier cache promotion finished.
+    ClientDiskReady {
+        client: usize,
+        txn: TKey,
+        object: ObjectId,
+    },
+    /// Server finished fetching objects from disk for a grant batch.
+    ServerFetchDone {
+        to: ClientId,
+        items: Vec<(ObjectId, LockMode, bool)>,
+    },
+    /// A grouped-lock collection window closed.
+    WindowClose { object: ObjectId },
+    /// Statistics window opens.
+    EndWarmup,
+    /// Periodic pruning of expired transactions and waiters.
+    Sweep,
+}
+
+/// Delivery destination (server or a client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SiteDest {
+    Server,
+    Client(ClientId),
+}
+
+/// Why an object fetch is outstanding at a client.
+#[derive(Debug)]
+pub(crate) struct Fetch {
+    pub mode: LockMode,
+    pub sent_at: SimTime,
+    pub waiters: Vec<TKey>,
+    /// True once the request actually went to the server (a fetch created
+    /// while a batch is being assembled is not yet on the wire).
+    pub sent: bool,
+}
+
+/// A pending lock revocation at a client, answered when the last local user
+/// releases the object.
+#[derive(Debug)]
+pub(crate) struct Revoke {
+    /// What the remote requester wants (plain callback path).
+    pub desired: LockMode,
+    /// Remaining forward list to serve (grouped-lock path).
+    pub forward: Option<ForwardList>,
+}
+
+/// Progress of one object within a transaction's acquisition phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Need {
+    /// Waiting for the server (request outstanding or staged).
+    Fetch,
+    /// Cached lock covers; waiting for a local lock conflict to clear.
+    LocalWait,
+    /// Local lock granted; promoting the object from the disk cache tier.
+    DiskPromote,
+    /// Ready.
+    Held,
+}
+
+/// What kind of unit of work a `TxnRun` is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunKind {
+    /// A transaction executing at its origin.
+    Normal,
+    /// A transaction shipped here from `origin`.
+    Shipped { origin: ClientId },
+    /// Subtask `index` of `parent`, reporting to `origin`.
+    Subtask {
+        parent: TKey,
+        index: u8,
+        origin: ClientId,
+    },
+}
+
+/// Lifecycle state of a `TxnRun`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RunState {
+    /// LS: waiting for the LoadReply that feeds H1/H2/decomposition.
+    AwaitInfo { reason: InfoReason },
+    /// LS: grant-all round outstanding.
+    AwaitGrantAll,
+    /// Collecting objects and locks.
+    Acquiring,
+    /// On the CPU.
+    Executing,
+    /// Parent of a decomposition waiting for subtask results.
+    AwaitSubtasks { pending: u8, failed: bool },
+    /// Waiting for the synthesis CPU slice.
+    Synthesis,
+}
+
+/// Why a LoadQuery was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InfoReason {
+    /// H1 said the local queue is infeasible; pick a site with H2.
+    H1Infeasible,
+    /// Decomposition placement lookup.
+    Decompose,
+}
+
+/// One executing transaction/subtask at a client.
+#[derive(Debug)]
+pub(crate) struct TxnRun {
+    pub spec: TransactionSpec,
+    pub kind: RunKind,
+    pub state: RunState,
+    pub needed: BTreeMap<ObjectId, (LockMode, Need)>,
+    pub acquire_started: SimTime,
+    /// When the transaction reached the CPU (feeds the ATL estimate of H1).
+    pub exec_started: SimTime,
+}
+
+impl TxnRun {
+    pub(crate) fn ready(&self) -> bool {
+        self.state == RunState::Acquiring && self.needed.values().all(|(_, n)| *n == Need::Held)
+    }
+}
+
+/// Per-client state.
+pub(crate) struct ClientState {
+    pub id: ClientId,
+    pub cache: ClientCache,
+    pub cached_locks: HashMap<ObjectId, LockMode>,
+    pub dirty: std::collections::HashSet<ObjectId>,
+    pub local_locks: LockTable<TKey>,
+    pub local_wfg: WaitForGraph<TKey>,
+    pub cpu: EdfCpu<TKey>,
+    pub disk: DiskModel,
+    pub txns: HashMap<TKey, TxnRun>,
+    pub fetches: HashMap<ObjectId, Fetch>,
+    pub revokes: HashMap<ObjectId, Revoke>,
+    /// Running average latency of locally completed transactions (ATL in
+    /// H1).
+    pub atl_sum: f64,
+    pub atl_count: u64,
+}
+
+impl ClientState {
+    pub(crate) fn atl(&self) -> f64 {
+        if self.atl_count == 0 {
+            // No history yet: optimistic prior (about one CPU demand) so H1
+            // only starts shedding load once real latencies are observed.
+            1.0
+        } else {
+            self.atl_sum / self.atl_count as f64
+        }
+    }
+
+    /// Number of incomplete local units of work.
+    pub(crate) fn load(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// H1's `n`: transactions ahead of a newcomer in the local priority
+    /// queue (the EDF CPU queue — blocked transactions consume no CPU).
+    pub(crate) fn queue_ahead(&self) -> usize {
+        self.cpu.load()
+    }
+}
+
+/// Info the server tracks for a lock-table-queued want.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WantInfo {
+    pub mode: LockMode,
+    pub needs_data: bool,
+    pub deadline: SimTime,
+    /// The requesting transaction (for rejection notices).
+    pub txn: TKey,
+}
+
+/// Server-side state.
+pub(crate) struct ServerState {
+    pub locks: LockTable<ClientId>,
+    pub wfg: WaitForGraph<ClientId>,
+    pub callbacks: CallbackTracker,
+    pub windows: WindowManager,
+    pub buffer: ClientCache,
+    pub disk: DiskModel,
+    /// Forward lists currently travelling client→client, as shipped.
+    pub routing: HashMap<ObjectId, ForwardList>,
+    /// Lock-table-queued requests awaiting grant: data to ship on grant.
+    pub waiting_wants: HashMap<(ObjectId, ClientId), WantInfo>,
+}
+
+/// Discrete-event simulator of CS-RTDBS / LS-CS-RTDBS.
+pub struct ClientServerSim {
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) ls: bool,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) fabric: Fabric,
+    pub(crate) clients: Vec<ClientState>,
+    pub(crate) server: ServerState,
+    pub(crate) warmup_end: SimTime,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) inflight: usize,
+    /// Parent transactions of decompositions also count in `inflight`.
+    pub(crate) specs: Vec<TransactionSpec>,
+}
+
+impl ClientServerSim {
+    /// Builds the simulator for `cfg`. `cfg.system` selects CS or LS
+    /// behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a centralized config.
+    #[must_use]
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        assert!(
+            cfg.system != SystemKind::Centralized,
+            "use CentralizedSim for CE-RTDBS"
+        );
+        let ls = cfg.system == SystemKind::LoadSharing;
+        // The server's wait queue stays FIFO even under LS: deadline-ordered
+        // waiter service (§3.3) is realized where it measurably helps — the
+        // forward lists are deadline-ordered and expired requests are
+        // refused — while EDF-ordering the lock queue itself breaks up
+        // naturally batched reader grants and lowers aggregate success.
+        let discipline = QueueDiscipline::Fifo;
+        let clients = (0..cfg.clients)
+            .map(|i| ClientState {
+                id: ClientId(i),
+                cache: ClientCache::new(
+                    cfg.client.memory_cache_objects,
+                    cfg.client.disk_cache_objects,
+                ),
+                cached_locks: HashMap::new(),
+                dirty: std::collections::HashSet::new(),
+                local_locks: LockTable::new(QueueDiscipline::Deadline),
+                local_wfg: WaitForGraph::new(),
+                cpu: EdfCpu::new(cfg.cpu.client_speed),
+                disk: DiskModel::new(cfg.client.disk.page_service_time),
+                txns: HashMap::new(),
+                fetches: HashMap::new(),
+                revokes: HashMap::new(),
+                atl_sum: 0.0,
+                atl_count: 0,
+            })
+            .collect();
+        let server = ServerState {
+            locks: LockTable::new(discipline),
+            wfg: WaitForGraph::new(),
+            callbacks: CallbackTracker::new(),
+            windows: WindowManager::new(cfg.load_sharing.collection_window),
+            buffer: ClientCache::new(cfg.server.buffer_objects, 0),
+            disk: DiskModel::new(cfg.server.disk.page_service_time),
+            routing: HashMap::new(),
+            waiting_wants: HashMap::new(),
+        };
+        let warmup_end = SimTime::ZERO + cfg.runtime.warmup;
+        let metrics = RunMetrics::new(
+            cfg.system,
+            cfg.clients,
+            cfg.workload.update_fraction,
+            cfg.runtime.seed,
+        );
+        ClientServerSim {
+            fabric: Fabric::new(cfg.network, cfg.database.object_size_bytes),
+            ls,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            clients,
+            server,
+            warmup_end,
+            metrics,
+            inflight: 0,
+            specs: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Runs the experiment to completion and returns its metrics.
+    #[must_use]
+    pub fn run(mut self) -> RunMetrics {
+        let trace = Trace::generate(
+            &self.cfg.workload,
+            self.cfg.cpu.txn_cpu_fraction,
+            self.cfg.database.num_objects,
+            self.cfg.clients,
+            self.cfg.runtime.duration,
+            self.cfg.runtime.seed,
+        );
+        self.specs = trace.transactions().to_vec();
+        for (i, spec) in self.specs.iter().enumerate() {
+            self.queue.push(spec.arrival, Ev::Arrive(i));
+        }
+        self.queue.push(self.warmup_end, Ev::EndWarmup);
+        self.queue.push(SimTime::from_secs(1), Ev::Sweep);
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> RunMetrics {
+        let span = self
+            .now
+            .duration_since(SimTime::ZERO)
+            .as_secs_f64()
+            .max(1e-9);
+        let busy: f64 = self
+            .clients
+            .iter()
+            .map(|c| c.cpu.busy_time().as_secs_f64())
+            .sum();
+        self.metrics.client_cpu_utilization =
+            (busy / (span * self.clients.len() as f64)).min(1.0);
+        self.metrics.load_sharing.windows_opened = self.server.windows.total_opened();
+        self.metrics.messages = self.fabric.stats().clone();
+        self.metrics
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive(i) => self.on_arrive(i),
+            Ev::Deliver { to, msg } => match to {
+                SiteDest::Server => self.server_on_msg(msg),
+                SiteDest::Client(c) => self.client_on_msg(c, msg),
+            },
+            Ev::ClientCpu { client, generation } => self.on_client_cpu(client, generation),
+            Ev::ClientDiskReady {
+                client,
+                txn,
+                object,
+            } => self.on_client_disk_ready(client, txn, object),
+            Ev::ServerFetchDone { to, items } => self.server_ship_now(to, items),
+            Ev::WindowClose { object } => self.server_on_window_close(object),
+            Ev::EndWarmup => self.fabric.reset_stats(),
+            Ev::Sweep => self.on_sweep(),
+        }
+    }
+
+    pub(crate) fn measured_arrival(&self, arrival: SimTime) -> bool {
+        arrival >= self.warmup_end
+    }
+
+    /// Partitions a decomposable transaction's accesses by their current
+    /// holding site: objects exclusively or primarily cached at one client
+    /// form that client's subtask; unheld objects stay with the origin.
+    pub(crate) fn group_by_location(
+        origin: ClientId,
+        accesses: &[AccessSpec],
+        locations: &[(ObjectId, Vec<(ClientId, LockMode)>)],
+    ) -> Vec<(ClientId, Vec<AccessSpec>)> {
+        let map: HashMap<ObjectId, &Vec<(ClientId, LockMode)>> =
+            locations.iter().map(|(o, v)| (*o, v)).collect();
+        let mut groups: BTreeMap<ClientId, Vec<AccessSpec>> = BTreeMap::new();
+        for a in accesses {
+            let site = map
+                .get(&a.object)
+                .and_then(|holders| {
+                    holders
+                        .iter()
+                        .find(|(_, m)| m.is_exclusive())
+                        .or_else(|| holders.first())
+                })
+                .map_or(origin, |&(c, _)| c);
+            groups.entry(site).or_default().push(*a);
+        }
+        groups.into_iter().collect()
+    }
+
+    fn on_sweep(&mut self) {
+        self.sweep_expired_txns();
+        self.server_sweep();
+        if self.inflight > 0 || !self.queue.is_empty() {
+            self.queue
+                .push(self.now + SimDuration::from_secs(1), Ev::Sweep);
+        }
+    }
+}
+
+impl std::fmt::Debug for ClientServerSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientServerSim")
+            .field("system", &self.cfg.system)
+            .field("now", &self.now)
+            .field("clients", &self.clients.len())
+            .field("inflight", &self.inflight)
+            .field("events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtask_keys_are_distinct_from_parents_and_each_other() {
+        let parent = siteselect_types::TransactionId::new(ClientId(3), 77).as_u64();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(parent);
+        for i in 0..10u8 {
+            assert!(seen.insert(subtask_key(parent, i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn grouping_by_location_respects_exclusive_holders() {
+        let origin = ClientId(0);
+        let accesses = vec![
+            AccessSpec::read(ObjectId(1)),
+            AccessSpec::read(ObjectId(2)),
+            AccessSpec::write(ObjectId(3)),
+        ];
+        let locations = vec![
+            (
+                ObjectId(1),
+                vec![(ClientId(5), LockMode::Shared), (ClientId(6), LockMode::Exclusive)],
+            ),
+            (ObjectId(2), vec![(ClientId(5), LockMode::Shared)]),
+            (ObjectId(3), vec![]),
+        ];
+        let groups = ClientServerSim::group_by_location(origin, &accesses, &locations);
+        // obj1 -> client 6 (EL holder wins), obj2 -> client 5, obj3 -> origin.
+        assert_eq!(groups.len(), 3);
+        let find = |c: u16| {
+            groups
+                .iter()
+                .find(|(id, _)| *id == ClientId(c))
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(find(6), vec![AccessSpec::read(ObjectId(1))]);
+        assert_eq!(find(5), vec![AccessSpec::read(ObjectId(2))]);
+        assert_eq!(find(0), vec![AccessSpec::write(ObjectId(3))]);
+    }
+
+    #[test]
+    fn unlisted_objects_default_to_origin() {
+        let groups = ClientServerSim::group_by_location(
+            ClientId(2),
+            &[AccessSpec::read(ObjectId(9))],
+            &[],
+        );
+        assert_eq!(groups, vec![(ClientId(2), vec![AccessSpec::read(ObjectId(9))])]);
+    }
+}

@@ -1,0 +1,687 @@
+//! Server-side behaviour: the global client-granularity lock table,
+//! callback recalls with downgrade, wait-for-graph admission, grant-all
+//! rounds, collection windows / forward lists, location & load queries, and
+//! the buffer/disk path that ships object payloads.
+
+use siteselect_locks::{Acquire, ForwardEntry, ForwardList, WindowOffer};
+use siteselect_net::MessageKind;
+use siteselect_types::{ClientId, LockMode, ObjectId, SiteId, TransactionId};
+
+use super::{ClientServerSim, Ev, Msg, SiteDest, TKey, Want, WantInfo};
+
+impl ClientServerSim {
+    pub(crate) fn server_on_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::RequestBatch {
+                txn,
+                client,
+                wants,
+                grant_all,
+            } => {
+                if grant_all {
+                    self.server_grant_all(txn, client, wants);
+                } else {
+                    for w in wants {
+                        self.server_handle_want(txn, client, w);
+                    }
+                }
+            }
+            Msg::ObjectReturn {
+                object,
+                from,
+                downgraded,
+            } => self.server_on_return(object, from, downgraded),
+            Msg::CallbackAck {
+                object,
+                from,
+                had_copy,
+            } => self.server_on_ack(object, from, had_copy),
+            Msg::CancelWants { client, objects } => {
+                for object in objects {
+                    let (_, grants) = self.server.locks.cancel_wait(object, client);
+                    self.server.waiting_wants.remove(&(object, client));
+                    self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+                }
+                self.refresh_wfg(client);
+            }
+            Msg::LoadQuery { txn, objects } => self.server_on_load_query(txn, objects),
+            _ => unreachable!("client message delivered to server"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Grant-all (LS first round)
+    // ------------------------------------------------------------------
+
+    /// The LS first round: the batch is processed exactly like a CS batch
+    /// (grantable wants ship at once, the rest queue with callbacks or
+    /// collection windows), and — when anything conflicted — the locations
+    /// of the conflicting holders ride back to the client (§4), which may
+    /// then cancel its queued requests and ship the transaction to a
+    /// better site (H2).
+    fn server_grant_all(&mut self, txn: TKey, client: ClientId, wants: Vec<Want>) {
+        let conflicts: Vec<(ObjectId, Vec<(ClientId, LockMode)>)> = wants
+            .iter()
+            .filter_map(|w| {
+                let holders: Vec<(ClientId, LockMode)> = self
+                    .server
+                    .locks
+                    .holders(w.object)
+                    .into_iter()
+                    .filter(|&(h, m)| h != client && !m.compatible_with(w.mode))
+                    .collect();
+                let holders = self.with_routing_holders(w.object, holders);
+                (!holders.is_empty()).then_some((w.object, holders))
+            })
+            .collect();
+        for w in wants {
+            self.server_handle_want(txn, client, w);
+        }
+        if !conflicts.is_empty() {
+            let delivery = self.fabric.send(
+                self.now,
+                SiteId::Server,
+                SiteId::Client(client),
+                MessageKind::ConflictInfo,
+                0,
+            );
+            self.queue.push(
+                delivery,
+                Ev::Deliver {
+                    to: SiteDest::Client(client),
+                    msg: Msg::ConflictReport { txn, conflicts },
+                },
+            );
+        }
+    }
+
+    /// Reports the tail of a travelling forward list as the object's
+    /// location (§4: "the server refers to the object's forward list and
+    /// reports the last client in the list").
+    fn with_routing_holders(
+        &self,
+        object: ObjectId,
+        holders: Vec<(ClientId, LockMode)>,
+    ) -> Vec<(ClientId, LockMode)> {
+        if holders.is_empty() {
+            if let Some(list) = self.server.routing.get(&object) {
+                if let Some(last) = list.last_client() {
+                    return vec![(last, LockMode::Exclusive)];
+                }
+            }
+        }
+        holders
+    }
+
+    // ------------------------------------------------------------------
+    // Individual requests (CS path and LS commit-local)
+    // ------------------------------------------------------------------
+
+    fn server_handle_want(&mut self, txn: TKey, client: ClientId, w: Want) {
+        let ls = self.ls && self.cfg.load_sharing.forward_lists_enabled;
+        // §3.3: the server refuses to work for already-expired requests.
+        if self.ls && self.cfg.load_sharing.request_scheduling_enabled && w.deadline < self.now {
+            self.server_reject(client, txn, true);
+            return;
+        }
+        if let Some(held) = self.server.locks.held_mode(w.object, client) {
+            if held.covers(w.mode) {
+                self.server_ship(client, vec![(w.object, w.mode, w.needs_data)]);
+                return;
+            }
+        }
+        let holders = self.server.locks.holders(w.object);
+        let conflicting: Vec<ClientId> = holders
+            .iter()
+            .filter(|&&(h, m)| h != client && !m.compatible_with(w.mode))
+            .map(|&(h, _)| h)
+            .collect();
+
+        // Grouped-lock path: requests that arrive while the object is
+        // already being chased (an outstanding recall, an open window, or a
+        // travelling forward list) are *batched* instead of queued — the
+        // first conflicting request always goes through the plain callback
+        // immediately, so grouping never delays the uncontended case.
+        let forward_eligible = ls
+            && !conflicting.is_empty()
+            && (self.server.routing.contains_key(&w.object)
+                || self.server.windows.is_open(w.object)
+                || self.server.callbacks.is_recalling(w.object));
+        if forward_eligible {
+            let entry = ForwardEntry {
+                client,
+                txn: TransactionId::from_raw(txn),
+                deadline: w.deadline,
+                mode: w.mode,
+            };
+            if let WindowOffer::Opened { closes_at } =
+                self.server.windows.offer(w.object, entry, self.now)
+            {
+                self.queue
+                    .push(closes_at, Ev::WindowClose { object: w.object });
+            }
+            return;
+        }
+
+        self.server_want_plain(txn, client, w, conflicting);
+    }
+
+    /// The plain (CS-RTDBS) path: queue in the lock table under deadlock
+    /// avoidance and recall conflicting cached locks.
+    fn server_want_plain(&mut self, txn: TKey, client: ClientId, w: Want, conflicting: Vec<ClientId>) {
+        if self.server.wfg.would_deadlock(client, &conflicting) {
+            self.server_reject(client, txn, false);
+            return;
+        }
+        match self
+            .server
+            .locks
+            .request(w.object, client, w.mode, w.deadline)
+        {
+            Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
+                self.server_ship(client, vec![(w.object, w.mode, w.needs_data)]);
+            }
+            Acquire::Blocked { conflicts } => {
+                self.server.waiting_wants.insert(
+                    (w.object, client),
+                    WantInfo {
+                        mode: w.mode,
+                        needs_data: w.needs_data,
+                        deadline: w.deadline,
+                        txn,
+                    },
+                );
+                self.server.wfg.add_waits(client, conflicts);
+                // Call back the conflicting cached locks.
+                let targets =
+                    self.server
+                        .callbacks
+                        .begin(w.object, conflicting.clone(), w.mode);
+                for t in targets {
+                    let delivery = self.fabric.send(
+                        self.now,
+                        SiteId::Server,
+                        SiteId::Client(t),
+                        MessageKind::Recall,
+                        0,
+                    );
+                    self.queue.push(
+                        delivery,
+                        Ev::Deliver {
+                            to: SiteDest::Client(t),
+                            msg: Msg::Recall {
+                                object: w.object,
+                                desired: w.mode,
+                                forward: None,
+                            },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn server_reject(&mut self, client: ClientId, txn: TKey, expired: bool) {
+        let delivery = self.fabric.send(
+            self.now,
+            SiteId::Server,
+            SiteId::Client(client),
+            MessageKind::ConflictInfo,
+            0,
+        );
+        self.queue.push(
+            delivery,
+            Ev::Deliver {
+                to: SiteDest::Client(client),
+                msg: Msg::Rejected { txn, expired },
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Shipping
+    // ------------------------------------------------------------------
+
+    /// Ships granted `(object, mode, with_data)` items to `client`. Items
+    /// already in the server buffer go on the wire immediately; items that
+    /// miss ship when their disk reads complete, so a buffered object is
+    /// never delayed behind a co-requested miss.
+    pub(crate) fn server_ship(&mut self, client: ClientId, items: Vec<(ObjectId, LockMode, bool)>) {
+        let mut ready = Vec::new();
+        let mut missed = Vec::new();
+        for item in items {
+            let (object, _, with_data) = item;
+            if with_data {
+                let hit = self.server.buffer.probe(object).is_some();
+                if self.now >= self.warmup_end {
+                    self.metrics.server_buffer.record(hit);
+                }
+                if hit {
+                    ready.push(item);
+                } else {
+                    self.server.buffer.insert(object);
+                    missed.push(item);
+                }
+            } else {
+                ready.push(item);
+            }
+        }
+        if !ready.is_empty() {
+            self.server_ship_now(client, ready);
+        }
+        if !missed.is_empty() {
+            let done = self
+                .server
+                .disk
+                .schedule_batch(self.now, missed.len() as u32);
+            self.queue.push(
+                done,
+                Ev::ServerFetchDone {
+                    to: client,
+                    items: missed,
+                },
+            );
+        }
+    }
+
+    /// Puts the grant batch on the wire (buffer already warm).
+    pub(crate) fn server_ship_now(&mut self, to: ClientId, items: Vec<(ObjectId, LockMode, bool)>) {
+        let with_data = items.iter().filter(|(_, _, d)| *d).count() as u32;
+        let lock_only = items.len() as u32 - with_data;
+        let mut delivery = self.now;
+        if with_data > 0 {
+            delivery = self.fabric.send_counted(
+                self.now,
+                SiteId::Server,
+                SiteId::Client(to),
+                MessageKind::ObjectSend,
+                with_data,
+                with_data,
+            );
+        }
+        if lock_only > 0 {
+            delivery = delivery.max(self.fabric.send_counted(
+                self.now,
+                SiteId::Server,
+                SiteId::Client(to),
+                MessageKind::LockGrant,
+                0,
+                lock_only,
+            ));
+        }
+        self.queue.push(
+            delivery,
+            Ev::Deliver {
+                to: SiteDest::Client(to),
+                msg: Msg::GrantBatch { items },
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Returns, acks and grant cascades
+    // ------------------------------------------------------------------
+
+    fn server_on_return(&mut self, object: ObjectId, from: ClientId, downgraded: bool) {
+        self.server.buffer.insert(object);
+        self.server.callbacks.acknowledge(object, from);
+        // The end of a forward chain: the object is home again.
+        self.server.routing.remove(&object);
+        let grants = if downgraded {
+            self.server.locks.downgrade(object, from)
+        } else {
+            self.server.locks.release(object, from)
+        };
+        self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+    }
+
+    fn server_on_ack(&mut self, object: ObjectId, from: ClientId, had_copy: bool) {
+        self.server.callbacks.acknowledge(object, from);
+        let grants = self.server.locks.release(object, from);
+        self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+        if !had_copy {
+            // The recalled holder could not serve the forward list that
+            // rode on the callback; the server serves it from its own copy.
+            if let Some(list) = self.server.routing.remove(&object) {
+                self.serve_list_from_server(object, list);
+            }
+        }
+    }
+
+    /// Completes grants that cascaded out of a release/downgrade/cancel.
+    pub(crate) fn server_apply_grants(&mut self, object: ObjectId, granted: Vec<ClientId>) {
+        for client in granted {
+            let Some(info) = self.server.waiting_wants.remove(&(object, client)) else {
+                // No want on file (cancelled or raced): release the lock.
+                let grants = self.server.locks.release(object, client);
+                self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+                continue;
+            };
+            self.refresh_wfg(client);
+            if self.ls
+                && self.cfg.load_sharing.request_scheduling_enabled
+                && info.deadline < self.now
+            {
+                // §3.3: do not ship to a transaction that already missed.
+                let grants = self.server.locks.release(object, client);
+                self.server_reject(client, info.txn, true);
+                self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+                continue;
+            }
+            self.server_ship(client, vec![(object, info.mode, info.needs_data)]);
+        }
+    }
+
+    /// Recomputes a client's wait-for edges from its queued wants.
+    pub(crate) fn refresh_wfg(&mut self, client: ClientId) {
+        self.server.wfg.clear_waits(client);
+        let wants: Vec<(ObjectId, LockMode)> = self
+            .server
+            .waiting_wants
+            .iter()
+            .filter(|((_, c), _)| *c == client)
+            .map(|(&(o, _), info)| (o, info.mode))
+            .collect();
+        for (object, mode) in wants {
+            let conflicts = self.server.locks.conflicting_holders(object, client, mode);
+            self.server.wfg.add_waits(client, conflicts);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collection windows and forward lists
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_on_window_close(&mut self, object: ObjectId) {
+        let Some(list) = self.server.windows.close(object) else {
+            return;
+        };
+        let still_busy = self.server.routing.contains_key(&object)
+            || self.server.callbacks.is_recalling(object);
+        if still_busy {
+            // The object is still travelling or being recalled for the
+            // plain-path waiter: keep collecting until it comes home.
+            let mut reopen_close = None;
+            for e in list.entries().iter().copied() {
+                if let WindowOffer::Opened { closes_at } =
+                    self.server.windows.offer(object, e, self.now)
+                {
+                    reopen_close = Some(closes_at);
+                }
+            }
+            if let Some(at) = reopen_close {
+                self.queue.push(at, Ev::WindowClose { object });
+            }
+            return;
+        }
+        if list.len() == 1 {
+            // A window that collected only one request gains nothing from
+            // grouping: serve it as a plain recall, which also lets an
+            // exclusive holder downgrade and keep its cached copy.
+            let e = list.entries()[0];
+            let w = Want {
+                object,
+                mode: e.mode,
+                needs_data: true,
+                deadline: e.deadline,
+            };
+            let conflicting: Vec<ClientId> = self
+                .server
+                .locks
+                .holders(object)
+                .into_iter()
+                .filter(|&(h, m)| h != e.client && !m.compatible_with(e.mode))
+                .map(|(h, _)| h)
+                .collect();
+            self.server_want_plain(e.txn.as_u64(), e.client, w, conflicting);
+            return;
+        }
+        let holders = self.server.locks.holders(object);
+        let el_holder = holders
+            .iter()
+            .find(|(_, m)| m.is_exclusive())
+            .map(|&(h, _)| h);
+        match el_holder {
+            Some(holder) if self.server.locks.waiters(object).is_empty() => {
+                // One recall carries the whole forward list; the holder
+                // ships the object down the chain and the last client
+                // returns it (2n+1 messages, §3.4).
+                self.server.routing.insert(object, list.clone());
+                let grants = self.server.locks.release(object, holder);
+                debug_assert!(grants.is_empty(), "no queue behind a routed object");
+                let delivery = self.fabric.send(
+                    self.now,
+                    SiteId::Server,
+                    SiteId::Client(holder),
+                    MessageKind::Recall,
+                    0,
+                );
+                self.queue.push(
+                    delivery,
+                    Ev::Deliver {
+                        to: SiteDest::Client(holder),
+                        msg: Msg::Recall {
+                            object,
+                            desired: LockMode::Exclusive,
+                            forward: Some(list),
+                        },
+                    },
+                );
+            }
+            Some(_) => {
+                // A holder remains but plain-path waiters are queued: let
+                // the callback complete and collect a little longer.
+                let mut reopen_close = None;
+                for e in list.entries().iter().copied() {
+                    if let WindowOffer::Opened { closes_at } =
+                        self.server.windows.offer(object, e, self.now)
+                    {
+                        reopen_close = Some(closes_at);
+                    }
+                }
+                if let Some(at) = reopen_close {
+                    self.queue.push(at, Ev::WindowClose { object });
+                }
+            }
+            None => {
+                // The object is home: serve the batch from the server's own
+                // copy as a client-to-client chain.
+                self.serve_list_from_server(object, list);
+            }
+        }
+    }
+
+    /// Ships a forward list starting from the server's copy of the object.
+    pub(crate) fn serve_list_from_server(&mut self, object: ObjectId, mut list: ForwardList) {
+        let (next, _skipped) = list.pop_next_live(self.now);
+        let Some(entry) = next else {
+            return; // every requester expired; the object stays home
+        };
+        self.server.buffer.insert(object);
+        if list.is_empty() {
+            // Single live entry: an ordinary tracked grant.
+            match self
+                .server
+                .locks
+                .request(object, entry.client, entry.mode, entry.deadline)
+            {
+                Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
+                    self.server_ship(entry.client, vec![(object, entry.mode, true)]);
+                }
+                Acquire::Blocked { .. } => {
+                    // Another client claimed the object in the meantime:
+                    // fall back to the plain path.
+                    self.server.waiting_wants.insert(
+                        (object, entry.client),
+                        WantInfo {
+                            mode: entry.mode,
+                            needs_data: true,
+                            deadline: entry.deadline,
+                            txn: entry.txn.as_u64(),
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        // A real chain: route it untracked; the last client returns the
+        // object.
+        self.server.routing.insert(object, list.clone());
+        let delivery = self.fabric.send(
+            self.now,
+            SiteId::Server,
+            SiteId::Client(entry.client),
+            MessageKind::ObjectSend,
+            1,
+        );
+        self.queue.push(
+            delivery,
+            Ev::Deliver {
+                to: SiteDest::Client(entry.client),
+                msg: Msg::ObjectForward {
+                    object,
+                    mode: entry.mode,
+                    rest: list,
+                },
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Location / load queries
+    // ------------------------------------------------------------------
+
+    fn server_on_load_query(&mut self, txn: TKey, objects: Vec<ObjectId>) {
+        let locations: Vec<(ObjectId, Vec<(ClientId, LockMode)>)> = objects
+            .iter()
+            .map(|&o| {
+                let holders = self.server.locks.holders(o);
+                (o, self.with_routing_holders(o, holders))
+            })
+            .collect();
+        // Load information is piggybacked on the constant client-server
+        // traffic (§4), so the server's view is current: read it live.
+        let loads: Vec<(ClientId, usize, f64)> = self
+            .clients
+            .iter()
+            .map(|c| (c.id, c.load(), c.atl()))
+            .collect();
+        let client = TransactionId::from_raw(txn).origin();
+        let delivery = self.fabric.send(
+            self.now,
+            SiteId::Server,
+            SiteId::Client(client),
+            MessageKind::LoadReply,
+            0,
+        );
+        self.queue.push(
+            delivery,
+            Ev::Deliver {
+                to: SiteDest::Client(client),
+                msg: Msg::LoadReply {
+                    txn,
+                    locations,
+                    loads,
+                },
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Sweeps
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_sweep(&mut self) {
+        let (expired, grants) = self.server.locks.cancel_expired(self.now);
+        let mut touched: Vec<ClientId> = Vec::new();
+        for (object, waiter) in expired {
+            self.server.waiting_wants.remove(&(object, waiter.owner));
+            if !touched.contains(&waiter.owner) {
+                touched.push(waiter.owner);
+            }
+        }
+        for client in touched {
+            self.refresh_wfg(client);
+        }
+        for (object, waiters) in grants {
+            self.server_apply_grants(object, waiters.iter().map(|w| w.owner).collect());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_types::{ExperimentConfig, SimTime, SystemKind};
+
+    fn sim(system: SystemKind) -> ClientServerSim {
+        let mut cfg = ExperimentConfig::paper(system, 4, 0.05);
+        cfg.runtime.duration = siteselect_types::SimDuration::from_secs(50);
+        cfg.runtime.warmup = siteselect_types::SimDuration::from_secs(5);
+        ClientServerSim::new(cfg)
+    }
+
+    #[test]
+    fn grant_all_round_grants_free_objects_and_reports_conflicts() {
+        let mut s = sim(SystemKind::LoadSharing);
+        // Client 1 holds object 1 exclusively; object 2 is free.
+        s.server
+            .locks
+            .request(ObjectId(1), ClientId(1), LockMode::Exclusive, SimTime::MAX);
+        let wants = vec![
+            Want {
+                object: ObjectId(1),
+                mode: LockMode::Exclusive,
+                needs_data: true,
+                deadline: SimTime::from_secs(100),
+            },
+            Want {
+                object: ObjectId(2),
+                mode: LockMode::Shared,
+                needs_data: true,
+                deadline: SimTime::from_secs(100),
+            },
+        ];
+        s.server_on_msg(Msg::RequestBatch {
+            txn: 7,
+            client: ClientId(0),
+            wants,
+            grant_all: true,
+        });
+        // The free object was granted immediately...
+        assert_eq!(
+            s.server.locks.held_mode(ObjectId(2), ClientId(0)),
+            Some(LockMode::Shared)
+        );
+        // ...the conflicted one queued with a recall to the holder...
+        assert!(s.server.callbacks.is_recalling(ObjectId(1)));
+        // ...and a conflict report went out alongside the grant.
+        let kinds: Vec<&Msg> = Vec::new();
+        drop(kinds);
+        assert!(s
+            .server
+            .waiting_wants
+            .contains_key(&(ObjectId(1), ClientId(0))));
+    }
+
+    #[test]
+    fn routing_location_reports_last_client() {
+        let mut s = sim(SystemKind::LoadSharing);
+        let mut list = ForwardList::new(ObjectId(3));
+        list.push(ForwardEntry {
+            client: ClientId(2),
+            txn: TransactionId::new(ClientId(2), 1),
+            deadline: SimTime::from_secs(50),
+            mode: LockMode::Exclusive,
+        });
+        list.push(ForwardEntry {
+            client: ClientId(3),
+            txn: TransactionId::new(ClientId(3), 1),
+            deadline: SimTime::from_secs(80),
+            mode: LockMode::Exclusive,
+        });
+        s.server.routing.insert(ObjectId(3), list);
+        let holders = s.with_routing_holders(ObjectId(3), vec![]);
+        assert_eq!(holders, vec![(ClientId(3), LockMode::Exclusive)]);
+    }
+}

@@ -1,0 +1,110 @@
+//! One-call experiment driver.
+
+use siteselect_types::{ConfigError, ExperimentConfig, SystemKind};
+
+use crate::centralized::CentralizedSim;
+use crate::clientserver::ClientServerSim;
+use crate::metrics::RunMetrics;
+
+/// Validates `cfg` and runs the matching system simulator to completion.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_core::run_experiment;
+/// use siteselect_types::{ExperimentConfig, SimDuration, SystemKind};
+///
+/// let mut cfg = ExperimentConfig::paper(SystemKind::Centralized, 4, 0.01);
+/// cfg.runtime.duration = SimDuration::from_secs(100);
+/// cfg.runtime.warmup = SimDuration::from_secs(10);
+/// let m = run_experiment(&cfg).unwrap();
+/// assert!(m.is_consistent());
+/// ```
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunMetrics, ConfigError> {
+    cfg.validate()?;
+    let metrics = match cfg.system {
+        SystemKind::Centralized => CentralizedSim::new(cfg.clone()).run(),
+        SystemKind::ClientServer | SystemKind::LoadSharing => {
+            ClientServerSim::new(cfg.clone()).run()
+        }
+    };
+    debug_assert!(metrics.is_consistent(), "outcome accounting out of balance");
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_types::SimDuration;
+
+    fn quick(system: SystemKind, clients: u16, updates: f64) -> RunMetrics {
+        let mut cfg = ExperimentConfig::paper(system, clients, updates);
+        cfg.runtime.duration = SimDuration::from_secs(300);
+        cfg.runtime.warmup = SimDuration::from_secs(50);
+        run_experiment(&cfg).unwrap()
+    }
+
+    #[test]
+    fn all_three_systems_run_and_balance() {
+        for system in SystemKind::ALL {
+            let m = quick(system, 6, 0.05);
+            assert!(m.measured > 0, "{system}: no transactions measured");
+            assert!(m.is_consistent(), "{system}: inconsistent outcomes");
+            assert!(m.success_percent() > 0.0, "{system}: nothing succeeded");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(SystemKind::LoadSharing, 5, 0.20);
+        let b = quick(SystemKind::LoadSharing, 5, 0.20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_results() {
+        let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, 5, 0.05);
+        cfg.runtime.duration = SimDuration::from_secs(300);
+        cfg.runtime.warmup = SimDuration::from_secs(50);
+        let a = run_experiment(&cfg).unwrap();
+        let b = run_experiment(&cfg.clone().with_seed(99)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = ExperimentConfig::default();
+        cfg.clients = 0;
+        assert!(run_experiment(&cfg).is_err());
+    }
+
+    #[test]
+    fn client_server_reports_cache_and_response_stats() {
+        let m = quick(SystemKind::ClientServer, 6, 0.05);
+        assert!(m.cache.memory_hits + m.cache.disk_hits + m.cache.misses > 0);
+        assert!(m.response.shared.count() + m.response.exclusive.count() > 0);
+    }
+
+    #[test]
+    fn centralized_reports_server_utilization() {
+        let m = quick(SystemKind::Centralized, 6, 0.05);
+        assert!(m.server_cpu_utilization > 0.0);
+        assert!(m.server_buffer.total() > 0);
+    }
+
+    #[test]
+    fn load_sharing_reports_ls_activity() {
+        let m = quick(SystemKind::LoadSharing, 8, 0.20);
+        // At 20% updates with shared hot regions there must be some LS
+        // machinery engaged (windows, ships or decompositions).
+        let ls = m.load_sharing;
+        assert!(
+            ls.windows_opened + ls.shipped + ls.decomposed + ls.forward_satisfied > 0,
+            "no load-sharing activity at all: {ls:?}"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Parameter sweeps that regenerate every figure and table of the paper's
+//! evaluation (§5.2).
+
+use serde::{Deserialize, Serialize};
+use siteselect_types::{ConfigError, ExperimentConfig, SimDuration, SystemKind};
+
+use crate::driver::run_experiment;
+use crate::report::{fnum, TextTable};
+
+/// Run-length control for sweeps: the paper-scale defaults take minutes;
+/// `quick()` keeps CI and doctests fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Simulated duration per run.
+    pub duration: SimDuration,
+    /// Warm-up excluded from statistics.
+    pub warmup: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SweepOptions {
+    /// Paper-scale runs (2,000 s simulated, 200 s warm-up).
+    #[must_use]
+    pub fn paper() -> Self {
+        SweepOptions {
+            duration: SimDuration::from_secs(2_000),
+            warmup: SimDuration::from_secs(200),
+            seed: 0x5173_5e1e,
+        }
+    }
+
+    /// Short runs for tests and smoke checks.
+    #[must_use]
+    pub fn quick() -> Self {
+        SweepOptions {
+            duration: SimDuration::from_secs(300),
+            warmup: SimDuration::from_secs(50),
+            seed: 0x5173_5e1e,
+        }
+    }
+
+    fn apply(self, cfg: &mut ExperimentConfig) {
+        cfg.runtime.duration = self.duration;
+        cfg.runtime.warmup = self.warmup;
+        cfg.runtime.seed = self.seed;
+    }
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions::paper()
+    }
+}
+
+/// The client counts of the paper's figures.
+pub const FIGURE_CLIENTS: [u16; 5] = [20, 40, 60, 80, 100];
+/// The client counts of Tables 2 and 3.
+pub const TABLE_CLIENTS: [u16; 3] = [20, 60, 100];
+/// The update percentages of the evaluation.
+pub const UPDATE_FRACTIONS: [f64; 3] = [0.01, 0.05, 0.20];
+
+/// One figure: deadline-success percentage per system and client count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineFigure {
+    /// Per-access update probability of this figure (0.01 / 0.05 / 0.20).
+    pub update_fraction: f64,
+    /// `(clients, [CE, CS, LS] success %)` rows.
+    pub rows: Vec<(u16, [f64; 3])>,
+}
+
+impl DeadlineFigure {
+    /// Success series for one system, in client order.
+    #[must_use]
+    pub fn series(&self, system: SystemKind) -> Vec<f64> {
+        let idx = SystemKind::ALL
+            .iter()
+            .position(|&s| s == system)
+            .expect("known system");
+        self.rows.iter().map(|(_, v)| v[idx]).collect()
+    }
+
+    /// Renders the figure as a text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "clients".into(),
+            "CE-RTDBS %".into(),
+            "CS-RTDBS %".into(),
+            "LS-CS-RTDBS %".into(),
+        ]);
+        for (clients, v) in &self.rows {
+            t.row(vec![
+                clients.to_string(),
+                fnum(v[0], 2),
+                fnum(v[1], 2),
+                fnum(v[2], 2),
+            ]);
+        }
+        format!(
+            "Percentage of transactions completed within their deadlines ({}% updates)\n{}",
+            self.update_fraction * 100.0,
+            t.render()
+        )
+    }
+}
+
+/// Regenerates Figure 3 (1%), Figure 4 (5%) or Figure 5 (20%): the
+/// deadline-success curves of the three systems.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn deadline_figure(
+    update_fraction: f64,
+    clients: &[u16],
+    opts: SweepOptions,
+) -> Result<DeadlineFigure, ConfigError> {
+    let mut rows = Vec::with_capacity(clients.len());
+    for &n in clients {
+        let mut vals = [0.0f64; 3];
+        for (i, system) in SystemKind::ALL.iter().enumerate() {
+            let mut cfg = ExperimentConfig::paper(*system, n, update_fraction);
+            opts.apply(&mut cfg);
+            vals[i] = run_experiment(&cfg)?.success_percent();
+        }
+        rows.push((n, vals));
+    }
+    Ok(DeadlineFigure {
+        update_fraction,
+        rows,
+    })
+}
+
+/// Table 2: average client cache hit rates, CS vs LS, by update percentage
+/// and client count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheTable {
+    /// `(clients, [CS hit% at 1/5/20%], [LS hit% at 1/5/20%])`.
+    pub rows: Vec<(u16, [f64; 3], [f64; 3])>,
+}
+
+impl CacheTable {
+    /// Renders the table in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "clients".into(),
+            "CS 1%".into(),
+            "CS 5%".into(),
+            "CS 20%".into(),
+            "LS 1%".into(),
+            "LS 5%".into(),
+            "LS 20%".into(),
+        ]);
+        for (clients, cs, ls) in &self.rows {
+            t.row(vec![
+                clients.to_string(),
+                fnum(cs[0], 2),
+                fnum(cs[1], 2),
+                fnum(cs[2], 2),
+                fnum(ls[0], 2),
+                fnum(ls[1], 2),
+                fnum(ls[2], 2),
+            ]);
+        }
+        format!(
+            "Average cache hit rates in the CS-RTDBS and LS-CS-RTDBS\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Regenerates Table 2.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn cache_table(clients: &[u16], opts: SweepOptions) -> Result<CacheTable, ConfigError> {
+    let mut rows = Vec::new();
+    for &n in clients {
+        let mut cs = [0.0f64; 3];
+        let mut ls = [0.0f64; 3];
+        for (i, &u) in UPDATE_FRACTIONS.iter().enumerate() {
+            let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, n, u);
+            opts.apply(&mut cfg);
+            cs[i] = run_experiment(&cfg)?.cache.hit_percent();
+            let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, n, u);
+            opts.apply(&mut cfg);
+            ls[i] = run_experiment(&cfg)?.cache.hit_percent();
+        }
+        rows.push((n, cs, ls));
+    }
+    Ok(CacheTable { rows })
+}
+
+/// Table 3: average object response times (seconds) by requested lock mode
+/// at 1% updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseTable {
+    /// `(clients, CS [SL, EL], LS [SL, EL])` in seconds.
+    pub rows: Vec<(u16, [f64; 2], [f64; 2])>,
+}
+
+impl ResponseTable {
+    /// Renders the table in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "clients".into(),
+            "CS shared".into(),
+            "CS exclusive".into(),
+            "LS shared".into(),
+            "LS exclusive".into(),
+        ]);
+        for (clients, cs, ls) in &self.rows {
+            t.row(vec![
+                clients.to_string(),
+                fnum(cs[0], 3),
+                fnum(cs[1], 3),
+                fnum(ls[0], 3),
+                fnum(ls[1], 3),
+            ]);
+        }
+        format!(
+            "Average object response times in seconds (1% updates)\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Regenerates Table 3.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn response_table(clients: &[u16], opts: SweepOptions) -> Result<ResponseTable, ConfigError> {
+    let mut rows = Vec::new();
+    for &n in clients {
+        let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, n, 0.01);
+        opts.apply(&mut cfg);
+        let cs = run_experiment(&cfg)?;
+        let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, n, 0.01);
+        opts.apply(&mut cfg);
+        let ls = run_experiment(&cfg)?;
+        rows.push((
+            n,
+            [cs.response.shared.mean(), cs.response.exclusive.mean()],
+            [ls.response.shared.mean(), ls.response.exclusive.mean()],
+        ));
+    }
+    Ok(ResponseTable { rows })
+}
+
+/// Table 4: message counts by category (100 clients, 1% updates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageTable {
+    /// `(row label, CS count, LS count)` in the paper's row order.
+    pub rows: Vec<(String, u64, u64)>,
+}
+
+impl MessageTable {
+    /// Renders the table in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "message category".into(),
+            "CS-RTDBS".into(),
+            "LS-CS-RTDBS".into(),
+        ]);
+        for (label, cs, ls) in &self.rows {
+            let cs_s = if label.contains("Forward") && *cs == 0 {
+                "-".to_string()
+            } else {
+                cs.to_string()
+            };
+            t.row(vec![label.clone(), cs_s, ls.to_string()]);
+        }
+        format!("Number of messages passed in the CS-RTDBSs\n{}", t.render())
+    }
+}
+
+/// Regenerates Table 4 for `clients` clients at 1% updates.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn message_table(clients: u16, opts: SweepOptions) -> Result<MessageTable, ConfigError> {
+    let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, clients, 0.01);
+    opts.apply(&mut cfg);
+    let cs = run_experiment(&cfg)?;
+    let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, clients, 0.01);
+    opts.apply(&mut cfg);
+    let ls = run_experiment(&cfg)?;
+    let rows = cs
+        .messages
+        .table4_rows()
+        .iter()
+        .zip(ls.messages.table4_rows().iter())
+        .map(|((label, c), (_, l))| ((*label).to_string(), *c, *l))
+        .collect();
+    Ok(MessageTable { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepOptions {
+        SweepOptions {
+            duration: SimDuration::from_secs(200),
+            warmup: SimDuration::from_secs(40),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deadline_figure_has_all_rows_and_series() {
+        let f = deadline_figure(0.05, &[4, 8], tiny()).unwrap();
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(f.series(SystemKind::Centralized).len(), 2);
+        for (_, vals) in &f.rows {
+            for v in vals {
+                assert!((0.0..=100.0).contains(v));
+            }
+        }
+        let text = f.render();
+        assert!(text.contains("5% updates"));
+        assert!(text.contains("LS-CS-RTDBS"));
+    }
+
+    #[test]
+    fn cache_table_shape() {
+        let t = cache_table(&[4], tiny()).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        let (_, cs, ls) = &t.rows[0];
+        for v in cs.iter().chain(ls.iter()) {
+            assert!((0.0..=100.0).contains(v));
+        }
+        assert!(t.render().contains("cache hit rates"));
+    }
+
+    #[test]
+    fn response_table_shape() {
+        let t = response_table(&[4], tiny()).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.render().contains("object response times"));
+    }
+
+    #[test]
+    fn message_table_has_paper_rows() {
+        let t = message_table(4, tiny()).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.rows[0].0.contains("Request"));
+        let rendered = t.render();
+        assert!(rendered.contains("LS-CS-RTDBS"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Callback (lock recall) bookkeeping for the server's global lock table.
+//!
+//! When a client's lock request conflicts with locks cached at other clients,
+//! the server *calls back* those locks (§2). The callback message carries the
+//! requester's desired mode so that a holder asked to give up an EL for a
+//! shared request can merely **downgrade** to SL, return the object, and keep
+//! reading — the paper's relaxation of pure callback locking.
+//!
+//! [`CallbackTracker`] remembers, per object, which holders still owe an
+//! answer, so the server knows when the recall completed and the blocked
+//! request can be granted.
+
+use std::collections::{BTreeSet, HashMap};
+
+use siteselect_types::{ClientId, LockMode, ObjectId};
+
+/// Progress of an in-flight recall after one acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecallProgress {
+    /// More holders still owe an acknowledgement.
+    Pending {
+        /// Number of outstanding acknowledgements.
+        remaining: usize,
+    },
+    /// Every holder answered; the blocked request can proceed.
+    Complete,
+}
+
+#[derive(Debug, Clone)]
+struct Recall {
+    outstanding: BTreeSet<ClientId>,
+    desired: LockMode,
+}
+
+/// Tracks outstanding lock callbacks per object.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_locks::{CallbackTracker, RecallProgress};
+/// use siteselect_types::{ClientId, LockMode, ObjectId};
+///
+/// let mut cb = CallbackTracker::new();
+/// let targets = cb.begin(ObjectId(1), [ClientId(1), ClientId(2)], LockMode::Shared);
+/// assert_eq!(targets, vec![ClientId(1), ClientId(2)]);
+/// assert_eq!(
+///     cb.acknowledge(ObjectId(1), ClientId(1)),
+///     Some(RecallProgress::Pending { remaining: 1 })
+/// );
+/// assert_eq!(cb.acknowledge(ObjectId(1), ClientId(2)), Some(RecallProgress::Complete));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CallbackTracker {
+    recalls: HashMap<ObjectId, Recall>,
+    issued: u64,
+    completed: u64,
+}
+
+impl CallbackTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        CallbackTracker::default()
+    }
+
+    /// Starts (or extends) a recall of `object` from `holders`; `desired` is
+    /// the mode the blocked requester wants, carried in the callback message.
+    ///
+    /// Returns the holders that must *newly* be messaged (holders already
+    /// being recalled are not re-messaged). A stronger desired mode upgrades
+    /// the recall in place.
+    pub fn begin(
+        &mut self,
+        object: ObjectId,
+        holders: impl IntoIterator<Item = ClientId>,
+        desired: LockMode,
+    ) -> Vec<ClientId> {
+        let recall = self.recalls.entry(object).or_insert_with(|| Recall {
+            outstanding: BTreeSet::new(),
+            desired,
+        });
+        recall.desired = recall.desired.stronger(desired);
+        let mut fresh = Vec::new();
+        for h in holders {
+            if recall.outstanding.insert(h) {
+                fresh.push(h);
+                self.issued += 1;
+            }
+        }
+        if recall.outstanding.is_empty() {
+            self.recalls.remove(&object);
+        }
+        fresh
+    }
+
+    /// Records that `from` answered the callback on `object` (returned or
+    /// downgraded its lock). Returns `None` if no recall was outstanding for
+    /// that pair.
+    pub fn acknowledge(&mut self, object: ObjectId, from: ClientId) -> Option<RecallProgress> {
+        let recall = self.recalls.get_mut(&object)?;
+        if !recall.outstanding.remove(&from) {
+            return None;
+        }
+        if recall.outstanding.is_empty() {
+            self.recalls.remove(&object);
+            self.completed += 1;
+            Some(RecallProgress::Complete)
+        } else {
+            Some(RecallProgress::Pending {
+                remaining: self.recalls[&object].outstanding.len(),
+            })
+        }
+    }
+
+    /// The mode desired by the requester that triggered the recall on
+    /// `object`, if a recall is outstanding.
+    #[must_use]
+    pub fn desired_mode(&self, object: ObjectId) -> Option<LockMode> {
+        self.recalls.get(&object).map(|r| r.desired)
+    }
+
+    /// True if a recall of `object` is still outstanding.
+    #[must_use]
+    pub fn is_recalling(&self, object: ObjectId) -> bool {
+        self.recalls.contains_key(&object)
+    }
+
+    /// Clients still owing an answer for `object`.
+    #[must_use]
+    pub fn outstanding(&self, object: ObjectId) -> Vec<ClientId> {
+        self.recalls
+            .get(&object)
+            .map(|r| r.outstanding.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops a holder from every recall (client crashed / evicted without
+    /// ack); returns the objects whose recalls completed as a result.
+    pub fn forget_client(&mut self, client: ClientId) -> Vec<ObjectId> {
+        let mut done = Vec::new();
+        self.recalls.retain(|&obj, r| {
+            r.outstanding.remove(&client);
+            if r.outstanding.is_empty() {
+                done.push(obj);
+                false
+            } else {
+                true
+            }
+        });
+        self.completed += done.len() as u64;
+        done.sort_unstable();
+        done
+    }
+
+    /// Total callback messages issued.
+    #[must_use]
+    pub fn total_issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total recalls fully completed.
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: ObjectId = ObjectId(4);
+
+    #[test]
+    fn recall_life_cycle() {
+        let mut cb = CallbackTracker::new();
+        let fresh = cb.begin(OBJ, [ClientId(1), ClientId(2)], LockMode::Exclusive);
+        assert_eq!(fresh.len(), 2);
+        assert!(cb.is_recalling(OBJ));
+        assert_eq!(cb.desired_mode(OBJ), Some(LockMode::Exclusive));
+        assert_eq!(
+            cb.acknowledge(OBJ, ClientId(2)),
+            Some(RecallProgress::Pending { remaining: 1 })
+        );
+        assert_eq!(cb.acknowledge(OBJ, ClientId(1)), Some(RecallProgress::Complete));
+        assert!(!cb.is_recalling(OBJ));
+        assert_eq!(cb.total_issued(), 2);
+        assert_eq!(cb.total_completed(), 1);
+    }
+
+    #[test]
+    fn duplicate_targets_not_remessaged() {
+        let mut cb = CallbackTracker::new();
+        let first = cb.begin(OBJ, [ClientId(1)], LockMode::Shared);
+        assert_eq!(first, vec![ClientId(1)]);
+        let second = cb.begin(OBJ, [ClientId(1), ClientId(3)], LockMode::Shared);
+        assert_eq!(second, vec![ClientId(3)]);
+        assert_eq!(cb.outstanding(OBJ), vec![ClientId(1), ClientId(3)]);
+    }
+
+    #[test]
+    fn desired_mode_upgrades_but_never_downgrades() {
+        let mut cb = CallbackTracker::new();
+        cb.begin(OBJ, [ClientId(1)], LockMode::Shared);
+        assert_eq!(cb.desired_mode(OBJ), Some(LockMode::Shared));
+        cb.begin(OBJ, [ClientId(2)], LockMode::Exclusive);
+        assert_eq!(cb.desired_mode(OBJ), Some(LockMode::Exclusive));
+        cb.begin(OBJ, [ClientId(3)], LockMode::Shared);
+        assert_eq!(cb.desired_mode(OBJ), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn unknown_acks_are_ignored() {
+        let mut cb = CallbackTracker::new();
+        assert_eq!(cb.acknowledge(OBJ, ClientId(1)), None);
+        cb.begin(OBJ, [ClientId(1)], LockMode::Shared);
+        assert_eq!(cb.acknowledge(OBJ, ClientId(9)), None);
+        assert!(cb.is_recalling(OBJ));
+    }
+
+    #[test]
+    fn empty_holder_set_is_a_noop() {
+        let mut cb = CallbackTracker::new();
+        let fresh = cb.begin(OBJ, [], LockMode::Shared);
+        assert!(fresh.is_empty());
+        assert!(!cb.is_recalling(OBJ));
+    }
+
+    #[test]
+    fn forget_client_completes_recalls() {
+        let mut cb = CallbackTracker::new();
+        cb.begin(ObjectId(1), [ClientId(1)], LockMode::Shared);
+        cb.begin(ObjectId(2), [ClientId(1), ClientId(2)], LockMode::Shared);
+        let done = cb.forget_client(ClientId(1));
+        assert_eq!(done, vec![ObjectId(1)]);
+        assert!(cb.is_recalling(ObjectId(2)));
+        assert_eq!(cb.outstanding(ObjectId(2)), vec![ClientId(2)]);
+    }
+}

@@ -1,0 +1,752 @@
+//! A strict-2PL lock table with shared/exclusive modes, upgrades, downgrades
+//! and configurable waiter ordering.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use siteselect_types::{LockMode, ObjectId, SimTime};
+
+/// Trait alias for lock-owner identifiers (clients at the server's global
+/// table, transactions at a site's local table).
+pub trait LockOwner: Copy + Eq + Hash + Ord + Debug {}
+impl<T: Copy + Eq + Hash + Ord + Debug> LockOwner for T {}
+
+/// Ordering of blocked requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// First-come first-served (the non-real-time baseline, §3.3).
+    #[default]
+    Fifo,
+    /// Earliest-deadline-first: waiters are served in deadline order, the
+    /// real-time ordering used by the LS system's object request scheduling.
+    Deadline,
+}
+
+/// A blocked lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter<O> {
+    /// Who is waiting.
+    pub owner: O,
+    /// Requested mode.
+    pub mode: LockMode,
+    /// Deadline of the requesting transaction (drives [`QueueDiscipline::Deadline`]).
+    pub deadline: SimTime,
+    seq: u64,
+}
+
+/// Result of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire<O> {
+    /// The lock was granted immediately.
+    Granted,
+    /// The owner already held a covering lock.
+    AlreadyHeld,
+    /// A held shared lock was upgraded to exclusive immediately.
+    Upgraded,
+    /// The request conflicts and was queued behind the listed holders.
+    Blocked {
+        /// Current holders whose locks conflict with the request.
+        conflicts: Vec<O>,
+    },
+}
+
+impl<O> Acquire<O> {
+    /// True if the request holds the lock after this call.
+    #[must_use]
+    pub fn is_granted(&self) -> bool {
+        matches!(
+            self,
+            Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded
+        )
+    }
+}
+
+#[derive(Debug)]
+struct ObjectLocks<O> {
+    holders: Vec<(O, LockMode)>,
+    waiters: Vec<Waiter<O>>,
+}
+
+impl<O> Default for ObjectLocks<O> {
+    fn default() -> Self {
+        ObjectLocks {
+            holders: Vec::new(),
+            waiters: Vec::new(),
+        }
+    }
+}
+
+impl<O: LockOwner> ObjectLocks<O> {
+    fn holder_mode(&self, owner: O) -> Option<LockMode> {
+        self.holders
+            .iter()
+            .find(|(o, _)| *o == owner)
+            .map(|&(_, m)| m)
+    }
+
+    fn conflicts_with(&self, owner: O, mode: LockMode) -> Vec<O> {
+        self.holders
+            .iter()
+            .filter(|(o, m)| *o != owner && !m.compatible_with(mode))
+            .map(|&(o, _)| o)
+            .collect()
+    }
+
+    fn is_unused(&self) -> bool {
+        self.holders.is_empty() && self.waiters.is_empty()
+    }
+}
+
+/// A strict-2PL lock table.
+///
+/// See the [crate-level example](crate) for typical use. Grants are
+/// conservative: a new request is granted only when it is compatible with
+/// every current holder *and* no request is already queued (preventing
+/// starvation of queued writers); otherwise it waits in FIFO or deadline
+/// order. Releases promote the longest prefix of now-grantable waiters.
+#[derive(Debug)]
+pub struct LockTable<O> {
+    discipline: QueueDiscipline,
+    objects: HashMap<ObjectId, ObjectLocks<O>>,
+    held_by: HashMap<O, Vec<ObjectId>>,
+    next_seq: u64,
+}
+
+impl<O: LockOwner> LockTable<O> {
+    /// Creates an empty table with the given waiter ordering.
+    #[must_use]
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        LockTable {
+            discipline,
+            objects: HashMap::new(),
+            held_by: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Requests `mode` on `object` for `owner`.
+    ///
+    /// `deadline` orders the wait queue under
+    /// [`QueueDiscipline::Deadline`]; it is remembered either way so
+    /// callers can prune expired waiters with
+    /// [`cancel_expired`](Self::cancel_expired).
+    pub fn request(
+        &mut self,
+        object: ObjectId,
+        owner: O,
+        mode: LockMode,
+        deadline: SimTime,
+    ) -> Acquire<O> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = self.objects.entry(object).or_default();
+
+        if let Some(held) = entry.holder_mode(owner) {
+            if held.covers(mode) {
+                return Acquire::AlreadyHeld;
+            }
+            // Upgrade SL -> EL: immediate only as the sole holder.
+            let others: Vec<O> = entry
+                .holders
+                .iter()
+                .filter(|(o, _)| *o != owner)
+                .map(|&(o, _)| o)
+                .collect();
+            if others.is_empty() {
+                for h in &mut entry.holders {
+                    if h.0 == owner {
+                        h.1 = LockMode::Exclusive;
+                    }
+                }
+                return Acquire::Upgraded;
+            }
+            let waiter = Waiter {
+                owner,
+                mode,
+                deadline,
+                seq,
+            };
+            // Upgrades go to the front of their discipline class so the
+            // upgrading holder cannot deadlock behind newcomers it blocks.
+            Self::insert_waiter(&mut entry.waiters, waiter, self.discipline, true);
+            return Acquire::Blocked { conflicts: others };
+        }
+
+        let conflicts = entry.conflicts_with(owner, mode);
+        if conflicts.is_empty() && entry.waiters.is_empty() {
+            entry.holders.push((owner, mode));
+            self.held_by.entry(owner).or_default().push(object);
+            return Acquire::Granted;
+        }
+        let blockers = if conflicts.is_empty() {
+            // Blocked behind queued waiters rather than holders.
+            entry.waiters.iter().map(|w| w.owner).collect()
+        } else {
+            conflicts
+        };
+        let waiter = Waiter {
+            owner,
+            mode,
+            deadline,
+            seq,
+        };
+        Self::insert_waiter(&mut entry.waiters, waiter, self.discipline, false);
+        Acquire::Blocked { conflicts: blockers }
+    }
+
+    fn insert_waiter(
+        waiters: &mut Vec<Waiter<O>>,
+        w: Waiter<O>,
+        discipline: QueueDiscipline,
+        upgrade_priority: bool,
+    ) {
+        if upgrade_priority {
+            waiters.insert(0, w);
+            return;
+        }
+        match discipline {
+            QueueDiscipline::Fifo => waiters.push(w),
+            QueueDiscipline::Deadline => {
+                let pos = waiters
+                    .iter()
+                    .position(|x| (x.deadline, x.seq) > (w.deadline, w.seq))
+                    .unwrap_or(waiters.len());
+                waiters.insert(pos, w);
+            }
+        }
+    }
+
+    /// Grants `mode` on `object` to `owner` immediately if it is compatible
+    /// with every current holder, *bypassing* the wait queue. Used by the
+    /// load-sharing grant-all fast path, where a shared grant may overtake
+    /// queued compatible readers. Returns `false` (taking no lock) when a
+    /// conflicting holder exists.
+    pub fn try_grant_bypass(&mut self, object: ObjectId, owner: O, mode: LockMode) -> bool {
+        let entry = self.objects.entry(object).or_default();
+        if let Some(held) = entry.holder_mode(owner) {
+            if held.covers(mode) {
+                return true;
+            }
+            let sole = entry.holders.iter().all(|(o, _)| *o == owner);
+            if sole {
+                for h in &mut entry.holders {
+                    if h.0 == owner {
+                        h.1 = LockMode::Exclusive;
+                    }
+                }
+                return true;
+            }
+            return false;
+        }
+        if !entry.conflicts_with(owner, mode).is_empty() {
+            if entry.is_unused() {
+                self.objects.remove(&object);
+            }
+            return false;
+        }
+        entry.holders.push((owner, mode));
+        self.held_by.entry(owner).or_default().push(object);
+        true
+    }
+
+    /// Releases `owner`'s lock on `object` (and removes any queued request
+    /// by the same owner). Returns the waiters granted as a result, in grant
+    /// order.
+    pub fn release(&mut self, object: ObjectId, owner: O) -> Vec<Waiter<O>> {
+        let Some(entry) = self.objects.get_mut(&object) else {
+            return Vec::new();
+        };
+        let before = entry.holders.len();
+        entry.holders.retain(|(o, _)| *o != owner);
+        if entry.holders.len() != before {
+            if let Some(v) = self.held_by.get_mut(&owner) {
+                v.retain(|&o| o != object);
+            }
+        }
+        entry.waiters.retain(|w| w.owner != owner);
+        self.promote(object)
+    }
+
+    /// Releases every lock `owner` holds or awaits; returns, per object, the
+    /// newly granted waiters.
+    pub fn release_all(&mut self, owner: O) -> Vec<(ObjectId, Vec<Waiter<O>>)> {
+        let mut held = self.held_by.remove(&owner).unwrap_or_default();
+        held.sort_unstable();
+        held.dedup();
+        // Also drop queued requests on objects the owner never held.
+        let mut queued: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, e)| e.waiters.iter().any(|w| w.owner == owner))
+            .map(|(&o, _)| o)
+            .collect();
+        queued.sort_unstable();
+        let mut out = Vec::new();
+        for obj in held.into_iter().chain(queued) {
+            if let Some(entry) = self.objects.get_mut(&obj) {
+                entry.holders.retain(|(o, _)| *o != owner);
+                entry.waiters.retain(|w| w.owner != owner);
+            }
+            let granted = self.promote(obj);
+            if !granted.is_empty() {
+                out.push((obj, granted));
+            }
+        }
+        out
+    }
+
+    /// Downgrades `owner`'s exclusive lock on `object` to shared (the
+    /// callback optimization of §2). Returns newly granted waiters. No-op
+    /// if the owner does not hold an EL.
+    pub fn downgrade(&mut self, object: ObjectId, owner: O) -> Vec<Waiter<O>> {
+        let Some(entry) = self.objects.get_mut(&object) else {
+            return Vec::new();
+        };
+        let mut changed = false;
+        for h in &mut entry.holders {
+            if h.0 == owner && h.1 == LockMode::Exclusive {
+                h.1 = LockMode::Shared;
+                changed = true;
+            }
+        }
+        if changed {
+            self.promote(object)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Removes a queued (not yet granted) request. Returns `true` if one was
+    /// removed; promotes followers that may now be grantable.
+    pub fn cancel_wait(&mut self, object: ObjectId, owner: O) -> (bool, Vec<Waiter<O>>) {
+        let Some(entry) = self.objects.get_mut(&object) else {
+            return (false, Vec::new());
+        };
+        let before = entry.waiters.len();
+        entry.waiters.retain(|w| w.owner != owner);
+        let removed = entry.waiters.len() != before;
+        let granted = if removed { self.promote(object) } else { Vec::new() };
+        (removed, granted)
+    }
+
+    /// Drops every queued waiter whose deadline precedes `now`; returns the
+    /// cancelled waiters and any grants unblocked by the pruning.
+    pub fn cancel_expired(&mut self, now: SimTime) -> (Vec<(ObjectId, Waiter<O>)>, Vec<(ObjectId, Vec<Waiter<O>>)>) {
+        let mut expired = Vec::new();
+        let mut objs: Vec<ObjectId> = self.objects.keys().copied().collect();
+        objs.sort_unstable();
+        for obj in &objs {
+            let entry = self.objects.get_mut(obj).expect("key just listed");
+            let mut kept = Vec::with_capacity(entry.waiters.len());
+            for w in entry.waiters.drain(..) {
+                if w.deadline < now {
+                    expired.push((*obj, w));
+                } else {
+                    kept.push(w);
+                }
+            }
+            entry.waiters = kept;
+        }
+        let mut grants = Vec::new();
+        for obj in objs {
+            let g = self.promote(obj);
+            if !g.is_empty() {
+                grants.push((obj, g));
+            }
+        }
+        (expired, grants)
+    }
+
+    /// Promotes the longest grantable prefix of the wait queue.
+    fn promote(&mut self, object: ObjectId) -> Vec<Waiter<O>> {
+        let Some(entry) = self.objects.get_mut(&object) else {
+            return Vec::new();
+        };
+        let mut granted = Vec::new();
+        loop {
+            let Some(head) = entry.waiters.first().copied() else {
+                break;
+            };
+            // Upgrade waiter: grantable when it is the sole holder.
+            if let Some(held) = entry.holder_mode(head.owner) {
+                let sole = entry.holders.iter().all(|(o, _)| *o == head.owner);
+                if sole && held == LockMode::Shared && head.mode == LockMode::Exclusive {
+                    for h in &mut entry.holders {
+                        if h.0 == head.owner {
+                            h.1 = LockMode::Exclusive;
+                        }
+                    }
+                    entry.waiters.remove(0);
+                    granted.push(head);
+                    continue;
+                }
+                break;
+            }
+            if entry.conflicts_with(head.owner, head.mode).is_empty() {
+                entry.holders.push((head.owner, head.mode));
+                self.held_by.entry(head.owner).or_default().push(object);
+                entry.waiters.remove(0);
+                granted.push(head);
+            } else {
+                break;
+            }
+        }
+        if entry.is_unused() {
+            self.objects.remove(&object);
+        }
+        granted
+    }
+
+    /// Current holders of `object` with their modes.
+    #[must_use]
+    pub fn holders(&self, object: ObjectId) -> Vec<(O, LockMode)> {
+        self.objects
+            .get(&object)
+            .map(|e| e.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// The mode `owner` holds on `object`, if any.
+    #[must_use]
+    pub fn held_mode(&self, object: ObjectId, owner: O) -> Option<LockMode> {
+        self.objects.get(&object).and_then(|e| e.holder_mode(owner))
+    }
+
+    /// Holders whose locks conflict with a hypothetical request — the input
+    /// to the paper's H2 site-selection heuristic.
+    #[must_use]
+    pub fn conflicting_holders(&self, object: ObjectId, owner: O, mode: LockMode) -> Vec<O> {
+        self.objects
+            .get(&object)
+            .map(|e| e.conflicts_with(owner, mode))
+            .unwrap_or_default()
+    }
+
+    /// Queued waiters on `object`, in service order.
+    #[must_use]
+    pub fn waiters(&self, object: ObjectId) -> Vec<Waiter<O>> {
+        self.objects
+            .get(&object)
+            .map(|e| e.waiters.clone())
+            .unwrap_or_default()
+    }
+
+    /// Objects currently locked by `owner`.
+    #[must_use]
+    pub fn locks_of(&self, owner: O) -> Vec<ObjectId> {
+        let mut v = self.held_by.get(&owner).cloned().unwrap_or_default();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of objects with any lock state.
+    #[must_use]
+    pub fn active_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Internal consistency check (tests / debug builds): no conflicting
+    /// holders coexist and the reverse index matches.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (obj, e) in &self.objects {
+            for i in 0..e.holders.len() {
+                for j in (i + 1)..e.holders.len() {
+                    let (a, ma) = e.holders[i];
+                    let (b, mb) = e.holders[j];
+                    if a == b {
+                        return Err(format!("{obj}: duplicate holder {a:?}"));
+                    }
+                    if !ma.compatible_with(mb) {
+                        return Err(format!(
+                            "{obj}: conflicting holders {a:?}:{ma} and {b:?}:{mb}"
+                        ));
+                    }
+                }
+            }
+            for (o, _) in &e.holders {
+                let listed = self
+                    .held_by
+                    .get(o)
+                    .is_some_and(|v| v.contains(obj));
+                if !listed {
+                    return Err(format!("{obj}: holder {o:?} missing from reverse index"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<O: LockOwner> Default for LockTable<O> {
+    fn default() -> Self {
+        LockTable::new(QueueDiscipline::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_types::ClientId;
+    use LockMode::{Exclusive, Shared};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn table() -> LockTable<ClientId> {
+        LockTable::new(QueueDiscipline::Fifo)
+    }
+
+    const A: ClientId = ClientId(0);
+    const B: ClientId = ClientId(1);
+    const C: ClientId = ClientId(2);
+    const OBJ: ObjectId = ObjectId(7);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = table();
+        assert!(lt.request(OBJ, A, Shared, t(10)).is_granted());
+        assert!(lt.request(OBJ, B, Shared, t(10)).is_granted());
+        assert_eq!(lt.holders(OBJ).len(), 2);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lt = table();
+        assert!(lt.request(OBJ, A, Exclusive, t(10)).is_granted());
+        let r = lt.request(OBJ, B, Shared, t(10));
+        assert_eq!(r, Acquire::Blocked { conflicts: vec![A] });
+        let r = lt.request(OBJ, C, Exclusive, t(10));
+        assert!(matches!(r, Acquire::Blocked { .. }));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn already_held_and_covering() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(10));
+        assert_eq!(lt.request(OBJ, A, Shared, t(10)), Acquire::AlreadyHeld);
+        assert_eq!(lt.request(OBJ, A, Exclusive, t(10)), Acquire::AlreadyHeld);
+    }
+
+    #[test]
+    fn sole_holder_upgrade_is_immediate() {
+        let mut lt = table();
+        lt.request(OBJ, A, Shared, t(10));
+        assert_eq!(lt.request(OBJ, A, Exclusive, t(10)), Acquire::Upgraded);
+        assert_eq!(lt.held_mode(OBJ, A), Some(Exclusive));
+    }
+
+    #[test]
+    fn contended_upgrade_waits_then_wins() {
+        let mut lt = table();
+        lt.request(OBJ, A, Shared, t(10));
+        lt.request(OBJ, B, Shared, t(10));
+        let r = lt.request(OBJ, A, Exclusive, t(10));
+        assert_eq!(r, Acquire::Blocked { conflicts: vec![B] });
+        let granted = lt.release(OBJ, B);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].owner, A);
+        assert_eq!(lt.held_mode(OBJ, A), Some(Exclusive));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_promotes_fifo_order() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(10));
+        lt.request(OBJ, B, Exclusive, t(10));
+        lt.request(OBJ, C, Exclusive, t(5));
+        let granted = lt.release(OBJ, A);
+        // FIFO: B first even though C has an earlier deadline.
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].owner, B);
+    }
+
+    #[test]
+    fn deadline_discipline_orders_by_deadline() {
+        let mut lt: LockTable<ClientId> = LockTable::new(QueueDiscipline::Deadline);
+        lt.request(OBJ, A, Exclusive, t(10));
+        lt.request(OBJ, B, Exclusive, t(20));
+        lt.request(OBJ, C, Exclusive, t(5));
+        let granted = lt.release(OBJ, A);
+        assert_eq!(granted[0].owner, C);
+    }
+
+    #[test]
+    fn release_grants_batch_of_readers() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(10));
+        lt.request(OBJ, B, Shared, t(10));
+        lt.request(OBJ, C, Shared, t(10));
+        let granted = lt.release(OBJ, A);
+        assert_eq!(granted.len(), 2);
+        assert_eq!(lt.holders(OBJ).len(), 2);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn new_reader_does_not_starve_queued_writer() {
+        let mut lt = table();
+        lt.request(OBJ, A, Shared, t(10));
+        lt.request(OBJ, B, Exclusive, t(10)); // queued
+        let r = lt.request(OBJ, C, Shared, t(10));
+        assert!(matches!(r, Acquire::Blocked { .. }), "reader must queue behind writer");
+        let g = lt.release(OBJ, A);
+        assert_eq!(g[0].owner, B);
+        let g = lt.release(OBJ, B);
+        assert_eq!(g[0].owner, C);
+    }
+
+    #[test]
+    fn downgrade_unblocks_readers() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(10));
+        lt.request(OBJ, B, Shared, t(10));
+        let granted = lt.downgrade(OBJ, A);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].owner, B);
+        assert_eq!(lt.held_mode(OBJ, A), Some(Shared));
+        assert_eq!(lt.held_mode(OBJ, B), Some(Shared));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn downgrade_of_shared_is_noop() {
+        let mut lt = table();
+        lt.request(OBJ, A, Shared, t(10));
+        assert!(lt.downgrade(OBJ, A).is_empty());
+        assert_eq!(lt.held_mode(OBJ, A), Some(Shared));
+    }
+
+    #[test]
+    fn cancel_wait_removes_and_promotes() {
+        let mut lt = table();
+        lt.request(OBJ, A, Shared, t(10));
+        lt.request(OBJ, B, Exclusive, t(10));
+        lt.request(OBJ, C, Shared, t(10));
+        let (removed, granted) = lt.cancel_wait(OBJ, B);
+        assert!(removed);
+        // C is now compatible with holder A.
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].owner, C);
+        let (removed, _) = lt.cancel_wait(OBJ, B);
+        assert!(!removed);
+    }
+
+    #[test]
+    fn cancel_expired_prunes_old_deadlines() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(100));
+        lt.request(OBJ, B, Exclusive, t(5));
+        lt.request(OBJ, C, Exclusive, t(50));
+        let (expired, _grants) = lt.cancel_expired(t(10));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].1.owner, B);
+        assert_eq!(lt.waiters(OBJ).len(), 1);
+    }
+
+    #[test]
+    fn release_all_frees_every_object() {
+        let mut lt = table();
+        let o1 = ObjectId(1);
+        let o2 = ObjectId(2);
+        lt.request(o1, A, Exclusive, t(10));
+        lt.request(o2, A, Shared, t(10));
+        lt.request(o1, B, Shared, t(10));
+        lt.request(o2, B, Exclusive, t(10));
+        let grants = lt.release_all(A);
+        assert_eq!(grants.len(), 2);
+        assert_eq!(lt.locks_of(A), Vec::<ObjectId>::new());
+        assert_eq!(lt.held_mode(o1, B), Some(Shared));
+        assert_eq!(lt.held_mode(o2, B), Some(Exclusive));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conflicting_holders_reports_for_h2() {
+        let mut lt = table();
+        lt.request(OBJ, A, Shared, t(10));
+        lt.request(OBJ, B, Shared, t(10));
+        assert_eq!(lt.conflicting_holders(OBJ, C, Exclusive), vec![A, B]);
+        assert!(lt.conflicting_holders(OBJ, C, Shared).is_empty());
+        // A requesting EL conflicts only with B.
+        assert_eq!(lt.conflicting_holders(OBJ, A, Exclusive), vec![B]);
+    }
+
+    #[test]
+    fn locks_of_tracks_holdings() {
+        let mut lt = table();
+        lt.request(ObjectId(3), A, Shared, t(10));
+        lt.request(ObjectId(1), A, Exclusive, t(10));
+        assert_eq!(lt.locks_of(A), vec![ObjectId(1), ObjectId(3)]);
+        lt.release(ObjectId(1), A);
+        assert_eq!(lt.locks_of(A), vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn empty_object_state_is_garbage_collected() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(10));
+        assert_eq!(lt.active_objects(), 1);
+        lt.release(OBJ, A);
+        assert_eq!(lt.active_objects(), 0);
+    }
+
+    #[test]
+    fn bypass_grants_compatible_and_refuses_conflicts() {
+        let mut lt = table();
+        assert!(lt.request(OBJ, A, Shared, t(10)).is_granted());
+        lt.request(OBJ, B, Exclusive, t(10)); // queued writer
+        // A shared bypass overtakes the queued writer (compatible with the
+        // holder)...
+        assert!(lt.try_grant_bypass(OBJ, C, Shared));
+        assert_eq!(lt.held_mode(OBJ, C), Some(Shared));
+        // ...but an exclusive bypass cannot get past the shared holders.
+        let d = ClientId(3);
+        assert!(!lt.try_grant_bypass(OBJ, d, Exclusive));
+        assert_eq!(lt.held_mode(OBJ, d), None);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bypass_covering_and_sole_upgrade() {
+        let mut lt = table();
+        lt.request(OBJ, A, Exclusive, t(10));
+        // Covering: no-op success.
+        assert!(lt.try_grant_bypass(OBJ, A, Shared));
+        assert_eq!(lt.held_mode(OBJ, A), Some(Exclusive));
+        lt.release(OBJ, A);
+        // Sole-holder upgrade through the bypass.
+        lt.request(OBJ, A, Shared, t(10));
+        assert!(lt.try_grant_bypass(OBJ, A, Exclusive));
+        assert_eq!(lt.held_mode(OBJ, A), Some(Exclusive));
+        // Contended upgrade refused.
+        lt.downgrade(OBJ, A);
+        lt.request(OBJ, B, Shared, t(10));
+        assert!(!lt.try_grant_bypass(OBJ, A, Exclusive));
+        assert_eq!(lt.held_mode(OBJ, A), Some(Shared));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bypass_on_fresh_object_grants() {
+        let mut lt = table();
+        assert!(lt.try_grant_bypass(OBJ, A, Exclusive));
+        assert_eq!(lt.locks_of(A), vec![OBJ]);
+        let grants = lt.release(OBJ, A);
+        assert!(grants.is_empty());
+        assert_eq!(lt.active_objects(), 0);
+    }
+
+    #[test]
+    fn release_of_unknown_is_safe() {
+        let mut lt = table();
+        assert!(lt.release(OBJ, A).is_empty());
+        assert!(lt.downgrade(OBJ, A).is_empty());
+        assert!(lt.release_all(A).is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Delivery-time computation over the shared or switched LAN.
+
+use std::collections::HashMap;
+
+use siteselect_types::{LanKind, NetworkConfig, SimDuration, SimTime, SiteId};
+
+use crate::message::MessageKind;
+use crate::stats::MessageStats;
+
+/// The cluster interconnect.
+///
+/// For [`LanKind::SharedEthernet`] all transmissions serialize on one medium
+/// (the paper's 10 Mbps segment); for [`LanKind::Switched`] each ordered
+/// `(from, to)` pair owns a private link. Every transmission costs
+/// `bytes × 8 / bandwidth` of medium time plus a fixed propagation latency.
+///
+/// Client-to-client messages in the load-sharing system are relayed by the
+/// **directory server** ([`Fabric::send_via_directory`]): two transmissions,
+/// one logical message.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: NetworkConfig,
+    object_bytes: u32,
+    shared_busy_until: SimTime,
+    link_busy_until: HashMap<(SiteId, SiteId), SimTime>,
+    stats: MessageStats,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given configuration and object payload
+    /// size.
+    #[must_use]
+    pub fn new(cfg: NetworkConfig, object_bytes: u32) -> Self {
+        Fabric {
+            cfg,
+            object_bytes,
+            shared_busy_until: SimTime::ZERO,
+            link_busy_until: HashMap::new(),
+            stats: MessageStats::new(),
+        }
+    }
+
+    /// Transmission time for `bytes` on the wire.
+    #[must_use]
+    pub fn tx_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_secs_f64(f64::from(bytes) * 8.0 / self.cfg.bandwidth_bps as f64)
+    }
+
+    fn transmit(&mut self, now: SimTime, from: SiteId, to: SiteId, bytes: u32) -> SimTime {
+        let tx = self.tx_time(bytes);
+        let start = match self.cfg.kind {
+            LanKind::SharedEthernet => {
+                let s = self.shared_busy_until.max(now);
+                self.shared_busy_until = s + tx;
+                s
+            }
+            LanKind::Switched => {
+                let key = (from, to);
+                let busy = self.link_busy_until.get(&key).copied().unwrap_or(SimTime::ZERO);
+                let s = busy.max(now);
+                self.link_busy_until.insert(key, s + tx);
+                s
+            }
+        };
+        start + tx + self.cfg.latency
+    }
+
+    /// Sends one message; returns its delivery time at `to`.
+    ///
+    /// `objects` is the number of object payloads carried (0 for control
+    /// messages).
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        kind: MessageKind,
+        objects: u32,
+    ) -> SimTime {
+        let bytes = kind.wire_bytes(&self.cfg, self.object_bytes, objects);
+        let delivery = self.transmit(now, from, to, bytes);
+        self.stats.record(kind, 1, u64::from(bytes));
+        delivery
+    }
+
+    /// Sends one physical frame that carries `logical` per-object protocol
+    /// messages of the same kind (a batched request or grant). The frame
+    /// pays for `objects` object payloads; statistics count `logical`
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is zero.
+    pub fn send_counted(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        kind: MessageKind,
+        objects: u32,
+        logical: u32,
+    ) -> SimTime {
+        assert!(logical > 0, "a batch must carry at least one message");
+        let bytes = kind.wire_bytes(&self.cfg, self.object_bytes, objects)
+            + (logical - 1) * self.cfg.control_bytes / 4;
+        let delivery = self.transmit(now, from, to, bytes);
+        self.stats
+            .record_multi(kind, u64::from(logical), 1, u64::from(bytes));
+        delivery
+    }
+
+    /// Resets the message statistics (warm-up boundary); medium booking
+    /// state is untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Sends a client-to-client message relayed through the directory
+    /// server: the directory stores-and-forwards, so the second hop starts
+    /// when the first is delivered. Counts one logical message and two
+    /// transmissions.
+    pub fn send_via_directory(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        kind: MessageKind,
+        objects: u32,
+    ) -> SimTime {
+        let bytes = kind.wire_bytes(&self.cfg, self.object_bytes, objects);
+        let hop1 = self.transmit(now, from, SiteId::Directory, bytes);
+        let hop2 = self.transmit(hop1, SiteId::Directory, to, bytes);
+        self.stats.record(kind, 2, 2 * u64::from(bytes));
+        hop2
+    }
+
+    /// Cumulative message statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Utilization proxy: when the shared medium frees up.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.shared_busy_until
+    }
+
+    /// The configured object payload size in bytes.
+    #[must_use]
+    pub fn object_bytes(&self) -> u32 {
+        self.object_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_types::ClientId;
+
+    fn site(c: u16) -> SiteId {
+        SiteId::Client(ClientId(c))
+    }
+
+    fn fabric(kind: LanKind) -> Fabric {
+        let cfg = NetworkConfig {
+            kind,
+            bandwidth_bps: 10_000_000,
+            latency: SimDuration::from_micros(500),
+            control_bytes: 128,
+            header_bytes: 64,
+        };
+        Fabric::new(cfg, 2_048)
+    }
+
+    #[test]
+    fn control_message_timing() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        let d = f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0);
+        // 128B * 8 / 10Mbps = 102.4 us, + 500 us latency.
+        let expected = SimDuration::from_micros(102) + SimDuration::from_micros(500);
+        let got = d.duration_since(SimTime::ZERO);
+        assert!(
+            (got.as_secs_f64() - expected.as_secs_f64()).abs() < 2e-6,
+            "got {got}"
+        );
+    }
+
+    #[test]
+    fn object_payload_is_slower() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        let control = f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0);
+        let mut f2 = fabric(LanKind::SharedEthernet);
+        let data = f2.send(SimTime::ZERO, SiteId::Server, site(0), MessageKind::ObjectSend, 1);
+        assert!(data > control);
+        // 2240B*8/10M = 1.792ms + 0.5ms
+        assert!((data.as_secs_f64() - 0.002292).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shared_medium_serializes() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        let d1 = f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectSend, 1);
+        let d2 = f.send(SimTime::ZERO, site(1), SiteId::Server, MessageKind::ObjectSend, 1);
+        // Second transmission waits for the first to clear the wire.
+        assert!(d2 > d1);
+        assert!(d2.as_secs_f64() > 2.0 * 0.0017);
+    }
+
+    #[test]
+    fn switched_links_are_independent() {
+        let mut f = fabric(LanKind::Switched);
+        let d1 = f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectSend, 1);
+        let d2 = f.send(SimTime::ZERO, site(1), SiteId::Server, MessageKind::ObjectSend, 1);
+        assert_eq!(d1, d2); // distinct (from, to) pairs do not contend
+        let d3 = f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectSend, 1);
+        assert!(d3 > d1); // same pair serializes
+    }
+
+    #[test]
+    fn directory_relay_is_two_hops() {
+        let mut shared = fabric(LanKind::SharedEthernet);
+        let direct = shared.send(SimTime::ZERO, site(0), site(1), MessageKind::ObjectForward, 1);
+        let mut relayed = fabric(LanKind::SharedEthernet);
+        let via = relayed.send_via_directory(
+            SimTime::ZERO,
+            site(0),
+            site(1),
+            MessageKind::ObjectForward,
+            1,
+        );
+        assert!(via > direct);
+        assert_eq!(relayed.stats().count(MessageKind::ObjectForward), 1);
+        assert_eq!(relayed.stats().total_transmissions(), 2);
+        assert_eq!(
+            relayed.stats().total_bytes(),
+            2 * u64::from(MessageKind::ObjectForward.wire_bytes(
+                &NetworkConfig::default(),
+                2_048,
+                1
+            ))
+        );
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        for _ in 0..3 {
+            f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0);
+        }
+        f.send(SimTime::ZERO, SiteId::Server, site(0), MessageKind::Recall, 0);
+        assert_eq!(f.stats().count(MessageKind::ObjectRequest), 3);
+        assert_eq!(f.stats().count(MessageKind::Recall), 1);
+        assert_eq!(f.stats().total_messages(), 4);
+    }
+
+    #[test]
+    fn counted_batch_records_logical_messages_with_one_transmission() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.send_counted(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0, 8);
+        assert_eq!(f.stats().count(MessageKind::ObjectRequest), 8);
+        assert_eq!(f.stats().total_transmissions(), 1);
+        // The frame grows a little per extra logical message.
+        let single = MessageKind::ObjectRequest.wire_bytes(&NetworkConfig::default(), 2_048, 0);
+        assert!(f.stats().total_bytes() > u64::from(single));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn counted_batch_of_zero_panics() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.send_counted(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_but_keeps_medium_state() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectSend, 1);
+        let busy = f.busy_until();
+        f.reset_stats();
+        assert_eq!(f.stats().total_messages(), 0);
+        assert_eq!(f.busy_until(), busy);
+    }
+
+    #[test]
+    fn later_sends_on_idle_medium_pay_no_queueing() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectSend, 1);
+        let t = SimTime::from_secs(10);
+        let d = f.send(t, site(1), SiteId::Server, MessageKind::ObjectRequest, 0);
+        assert!(d.duration_since(t).as_secs_f64() < 0.001);
+    }
+}

@@ -1,0 +1,41 @@
+//! Network model for the `siteselect` cluster.
+//!
+//! The paper's test environment is five machines on a **10 Mbps shared
+//! Ethernet**. This crate models that wire: every transmission occupies the
+//! shared medium for `bytes × 8 / bandwidth`, transmissions serialize FIFO,
+//! and each message additionally pays a propagation/protocol latency. An
+//! idealized switched topology (per-ordered-pair links) is available for
+//! ablations.
+//!
+//! [`MessageKind`] enumerates the protocol vocabulary and carries the wire
+//! sizes; [`MessageStats`] accumulates the per-category counts behind the
+//! paper's Table 4; [`Fabric`] computes delivery times, including
+//! client-to-client routes through the LS system's **directory server**
+//! (which exists precisely so that peer traffic does not transit the
+//! database server, §5.1).
+//!
+//! # Example
+//!
+//! ```
+//! use siteselect_net::{Fabric, MessageKind};
+//! use siteselect_types::{ClientId, NetworkConfig, SimTime, SiteId};
+//!
+//! let mut fabric = Fabric::new(NetworkConfig::default(), 2_048);
+//! let delivery = fabric.send(
+//!     SimTime::ZERO,
+//!     SiteId::Client(ClientId(0)),
+//!     SiteId::Server,
+//!     MessageKind::ObjectRequest,
+//!     0,
+//! );
+//! assert!(delivery > SimTime::ZERO);
+//! assert_eq!(fabric.stats().count(MessageKind::ObjectRequest), 1);
+//! ```
+
+pub mod fabric;
+pub mod message;
+pub mod stats;
+
+pub use fabric::Fabric;
+pub use message::MessageKind;
+pub use stats::MessageStats;

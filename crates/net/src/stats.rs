@@ -1,0 +1,204 @@
+//! Per-category message accounting — the data behind the paper's Table 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::MessageKind;
+
+/// Counts of logical messages and wire transmissions by category.
+///
+/// A message routed through the directory server is *one logical message*
+/// (one Table 4 row increment) but *two wire transmissions*; both are
+/// tracked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    by_kind: Vec<u64>,
+    bytes_by_kind: Vec<u64>,
+    transmissions: u64,
+    total_bytes: u64,
+}
+
+impl MessageStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        MessageStats {
+            by_kind: vec![0; MessageKind::ALL.len()],
+            bytes_by_kind: vec![0; MessageKind::ALL.len()],
+            transmissions: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Records one logical message of `kind` that used `transmissions` wire
+    /// transmissions totalling `bytes` bytes.
+    pub fn record(&mut self, kind: MessageKind, transmissions: u64, bytes: u64) {
+        self.record_multi(kind, 1, transmissions, bytes);
+    }
+
+    /// Records `logical` logical messages of `kind` that were physically
+    /// batched into `transmissions` wire transmissions totalling `bytes`
+    /// bytes. Used when one wire frame carries several per-object requests
+    /// or grants (the paper's message counts are per object).
+    pub fn record_multi(&mut self, kind: MessageKind, logical: u64, transmissions: u64, bytes: u64) {
+        self.by_kind[kind.index()] += logical;
+        self.bytes_by_kind[kind.index()] += bytes;
+        self.transmissions += transmissions;
+        self.total_bytes += bytes;
+    }
+
+    /// Resets every counter to zero (warm-up boundary).
+    pub fn reset(&mut self) {
+        *self = MessageStats::new();
+    }
+
+    /// Logical messages of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.by_kind[kind.index()]
+    }
+
+    /// Bytes carried by messages of `kind`.
+    #[must_use]
+    pub fn bytes(&self, kind: MessageKind) -> u64 {
+        self.bytes_by_kind[kind.index()]
+    }
+
+    /// Total logical messages.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.by_kind.iter().sum()
+    }
+
+    /// Total wire transmissions (≥ total messages when a directory relays).
+    #[must_use]
+    pub fn total_transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Total bytes on the wire.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MessageStats) {
+        for i in 0..self.by_kind.len() {
+            self.by_kind[i] += other.by_kind[i];
+            self.bytes_by_kind[i] += other.bytes_by_kind[i];
+        }
+        self.transmissions += other.transmissions;
+        self.total_bytes += other.total_bytes;
+    }
+
+    /// The five Table 4 rows, in the paper's order:
+    /// (object requests, objects sent, forward-list satisfactions, recalls,
+    /// objects returned).
+    #[must_use]
+    pub fn table4_rows(&self) -> [(&'static str, u64); 5] {
+        [
+            (
+                "Object Request Messages (client to server)",
+                self.count(MessageKind::ObjectRequest),
+            ),
+            (
+                "Objects Sent (server to client)",
+                self.count(MessageKind::ObjectSend),
+            ),
+            (
+                "Object Requests Satisfied Using Forward Lists (client to client)",
+                self.count(MessageKind::ObjectForward),
+            ),
+            (
+                "Objects Recall Messages (server to client)",
+                self.count(MessageKind::Recall),
+            ),
+            (
+                "Objects Returned (client to server)",
+                self.count(MessageKind::ObjectReturn),
+            ),
+        ]
+    }
+}
+
+impl Default for MessageStats {
+    fn default() -> Self {
+        MessageStats::new()
+    }
+}
+
+impl std::fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for k in MessageKind::ALL {
+            let c = self.count(k);
+            if c > 0 {
+                writeln!(f, "{:>10}  {}", c, k.label())?;
+            }
+        }
+        writeln!(
+            f,
+            "{:>10}  total messages ({} transmissions, {} bytes)",
+            self.total_messages(),
+            self.transmissions,
+            self.total_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::ObjectRequest, 1, 128);
+        s.record(MessageKind::ObjectRequest, 1, 128);
+        s.record(MessageKind::ObjectForward, 2, 4_480);
+        assert_eq!(s.count(MessageKind::ObjectRequest), 2);
+        assert_eq!(s.count(MessageKind::ObjectForward), 1);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_transmissions(), 4);
+        assert_eq!(s.total_bytes(), 256 + 4_480);
+        assert_eq!(s.bytes(MessageKind::ObjectRequest), 256);
+    }
+
+    #[test]
+    fn table4_rows_in_paper_order() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::ObjectRequest, 1, 1);
+        s.record(MessageKind::ObjectSend, 1, 1);
+        s.record(MessageKind::ObjectSend, 1, 1);
+        s.record(MessageKind::Recall, 1, 1);
+        let rows = s.table4_rows();
+        assert!(rows[0].0.contains("Request"));
+        assert_eq!(rows[0].1, 1);
+        assert_eq!(rows[1].1, 2);
+        assert_eq!(rows[2].1, 0);
+        assert_eq!(rows[3].1, 1);
+        assert_eq!(rows[4].1, 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = MessageStats::new();
+        let mut b = MessageStats::new();
+        a.record(MessageKind::Recall, 1, 10);
+        b.record(MessageKind::Recall, 1, 20);
+        b.record(MessageKind::TxnShip, 2, 30);
+        a.merge(&b);
+        assert_eq!(a.count(MessageKind::Recall), 2);
+        assert_eq!(a.count(MessageKind::TxnShip), 1);
+        assert_eq!(a.total_bytes(), 60);
+        assert_eq!(a.total_transmissions(), 4);
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::ObjectSend, 1, 2_240);
+        let text = s.to_string();
+        assert!(text.contains("object sent"));
+        assert!(text.contains("total messages"));
+    }
+}

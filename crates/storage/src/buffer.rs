@@ -1,0 +1,464 @@
+//! The PF-layer buffer manager: pinned frames with LRU or Clock replacement
+//! and dirty write-back, as in the MiniRel system the paper builds on.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use siteselect_types::ObjectId;
+
+use crate::disk::DiskFile;
+use crate::page::Page;
+
+/// Replacement policy for unpinned frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Evict the least-recently-used unpinned frame (default).
+    #[default]
+    Lru,
+    /// Second-chance clock sweep.
+    Clock,
+}
+
+/// Cumulative buffer-manager statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    /// Fetches satisfied without disk I/O.
+    pub hits: u64,
+    /// Fetches that required reading the page from disk.
+    pub misses: u64,
+    /// Victim frames recycled.
+    pub evictions: u64,
+    /// Dirty victim pages written back to disk.
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Hit fraction in `[0, 1]` (zero when no fetches occurred).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Error returned by buffer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// Every frame is pinned; no victim can be chosen.
+    AllFramesPinned,
+    /// The requested page does not exist in the backing file.
+    NoSuchPage(ObjectId),
+    /// The frame handle does not name an occupied frame.
+    BadFrame,
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::AllFramesPinned => write!(f, "all buffer frames are pinned"),
+            BufferError::NoSuchPage(id) => write!(f, "page {id} does not exist"),
+            BufferError::BadFrame => write!(f, "invalid frame handle"),
+        }
+    }
+}
+
+impl Error for BufferError {}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    page: Page,
+    pin_count: u32,
+    dirty: bool,
+    last_used: u64,
+    referenced: bool,
+}
+
+/// A fixed-capacity page buffer over a [`DiskFile`].
+///
+/// Frames are identified by index handles returned from
+/// [`BufferManager::fetch`]. A frame with a positive pin count is never
+/// evicted; dirty frames are written back to disk when evicted or flushed.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_storage::{BufferManager, DiskFile, Replacement};
+/// use siteselect_types::ObjectId;
+///
+/// let mut disk = DiskFile::with_patterned_pages(100);
+/// let mut buf = BufferManager::new(4, Replacement::Lru);
+/// let f = buf.fetch(ObjectId(1), &mut disk).unwrap();
+/// assert_eq!(buf.page(f).unwrap().id(), ObjectId(1));
+/// buf.unpin(f).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct BufferManager {
+    capacity: usize,
+    policy: Replacement,
+    frames: Vec<Option<Frame>>,
+    map: HashMap<ObjectId, usize>,
+    tick: u64,
+    clock_hand: usize,
+    stats: BufferStats,
+}
+
+impl BufferManager {
+    /// Creates a buffer with `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, policy: Replacement) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BufferManager {
+            capacity,
+            policy,
+            frames: (0..capacity).map(|_| None).collect(),
+            map: HashMap::new(),
+            tick: 0,
+            clock_hand: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of occupied frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no frame is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if the page is currently buffered.
+    #[must_use]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Brings `id` into the buffer (reading from `disk` on a miss), pins the
+    /// frame, and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::NoSuchPage`] if the page is not in the file;
+    /// [`BufferError::AllFramesPinned`] if no victim frame is available.
+    pub fn fetch(&mut self, id: ObjectId, disk: &mut DiskFile) -> Result<usize, BufferError> {
+        self.tick += 1;
+        if let Some(&idx) = self.map.get(&id) {
+            let frame = self.frames[idx].as_mut().expect("mapped frame occupied");
+            frame.pin_count += 1;
+            frame.last_used = self.tick;
+            frame.referenced = true;
+            self.stats.hits += 1;
+            return Ok(idx);
+        }
+        if !disk.contains(id) {
+            return Err(BufferError::NoSuchPage(id));
+        }
+        let idx = self.find_victim(disk)?;
+        let page = disk.read(id).expect("contains() checked above");
+        self.frames[idx] = Some(Frame {
+            page,
+            pin_count: 1,
+            dirty: false,
+            last_used: self.tick,
+            referenced: true,
+        });
+        self.map.insert(id, idx);
+        self.stats.misses += 1;
+        Ok(idx)
+    }
+
+    fn find_victim(&mut self, disk: &mut DiskFile) -> Result<usize, BufferError> {
+        // Prefer an empty frame.
+        if let Some(idx) = self.frames.iter().position(Option::is_none) {
+            return Ok(idx);
+        }
+        let victim = match self.policy {
+            Replacement::Lru => self
+                .frames
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| {
+                    let f = f.as_ref().expect("full buffer");
+                    (f.pin_count == 0).then_some((f.last_used, i))
+                })
+                .min()
+                .map(|(_, i)| i),
+            Replacement::Clock => self.clock_sweep(),
+        };
+        let idx = victim.ok_or(BufferError::AllFramesPinned)?;
+        let frame = self.frames[idx].take().expect("victim occupied");
+        self.map.remove(&frame.page.id());
+        self.stats.evictions += 1;
+        if frame.dirty {
+            disk.write(&frame.page);
+            self.stats.writebacks += 1;
+        }
+        Ok(idx)
+    }
+
+    fn clock_sweep(&mut self) -> Option<usize> {
+        // Two full sweeps guarantee termination: the first clears reference
+        // bits, the second must find an unpinned frame if one exists.
+        for _ in 0..2 * self.capacity {
+            let idx = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % self.capacity;
+            let frame = self.frames[idx].as_mut().expect("full buffer");
+            if frame.pin_count > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Increments the pin count of an occupied frame.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::BadFrame`] if the handle is stale.
+    pub fn pin(&mut self, idx: usize) -> Result<(), BufferError> {
+        let frame = self
+            .frames
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .ok_or(BufferError::BadFrame)?;
+        frame.pin_count += 1;
+        Ok(())
+    }
+
+    /// Decrements the pin count of an occupied frame.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::BadFrame`] if the handle is stale or the frame is not
+    /// pinned.
+    pub fn unpin(&mut self, idx: usize) -> Result<(), BufferError> {
+        let frame = self
+            .frames
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .ok_or(BufferError::BadFrame)?;
+        if frame.pin_count == 0 {
+            return Err(BufferError::BadFrame);
+        }
+        frame.pin_count -= 1;
+        Ok(())
+    }
+
+    /// Marks a frame dirty so its page is written back on eviction/flush.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::BadFrame`] if the handle is stale.
+    pub fn mark_dirty(&mut self, idx: usize) -> Result<(), BufferError> {
+        let frame = self
+            .frames
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .ok_or(BufferError::BadFrame)?;
+        frame.dirty = true;
+        Ok(())
+    }
+
+    /// Read access to a buffered page.
+    #[must_use]
+    pub fn page(&self, idx: usize) -> Option<&Page> {
+        self.frames.get(idx).and_then(Option::as_ref).map(|f| &f.page)
+    }
+
+    /// Write access to a buffered page (the caller must also
+    /// [`mark_dirty`](Self::mark_dirty)).
+    pub fn page_mut(&mut self, idx: usize) -> Option<&mut Page> {
+        self.frames
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .map(|f| &mut f.page)
+    }
+
+    /// Writes every dirty page back to `disk` and clears the dirty bits.
+    pub fn flush_all(&mut self, disk: &mut DiskFile) {
+        for frame in self.frames.iter_mut().flatten() {
+            if frame.dirty {
+                disk.write(&frame.page);
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Pin count of a frame (testing / assertions).
+    #[must_use]
+    pub fn pin_count(&self, idx: usize) -> Option<u32> {
+        self.frames
+            .get(idx)
+            .and_then(Option::as_ref)
+            .map(|f| f.pin_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cap: usize, policy: Replacement) -> (DiskFile, BufferManager) {
+        (
+            DiskFile::with_patterned_pages(64),
+            BufferManager::new(cap, policy),
+        )
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (mut disk, mut buf) = setup(4, Replacement::Lru);
+        let f = buf.fetch(ObjectId(1), &mut disk).unwrap();
+        buf.unpin(f).unwrap();
+        let f2 = buf.fetch(ObjectId(1), &mut disk).unwrap();
+        buf.unpin(f2).unwrap();
+        assert_eq!(buf.stats().misses, 1);
+        assert_eq!(buf.stats().hits, 1);
+        assert!((buf.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut disk, mut buf) = setup(2, Replacement::Lru);
+        let a = buf.fetch(ObjectId(1), &mut disk).unwrap();
+        buf.unpin(a).unwrap();
+        let b = buf.fetch(ObjectId(2), &mut disk).unwrap();
+        buf.unpin(b).unwrap();
+        // Touch 1 so 2 becomes LRU.
+        let a = buf.fetch(ObjectId(1), &mut disk).unwrap();
+        buf.unpin(a).unwrap();
+        let c = buf.fetch(ObjectId(3), &mut disk).unwrap();
+        buf.unpin(c).unwrap();
+        assert!(buf.contains(ObjectId(1)));
+        assert!(!buf.contains(ObjectId(2)));
+        assert!(buf.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn pinned_frames_are_never_victims() {
+        let (mut disk, mut buf) = setup(2, Replacement::Lru);
+        let _a = buf.fetch(ObjectId(1), &mut disk).unwrap(); // stays pinned
+        let b = buf.fetch(ObjectId(2), &mut disk).unwrap();
+        buf.unpin(b).unwrap();
+        let c = buf.fetch(ObjectId(3), &mut disk).unwrap();
+        assert!(buf.contains(ObjectId(1)));
+        assert!(!buf.contains(ObjectId(2)));
+        buf.unpin(c).unwrap();
+    }
+
+    #[test]
+    fn all_pinned_errors() {
+        let (mut disk, mut buf) = setup(2, Replacement::Lru);
+        buf.fetch(ObjectId(1), &mut disk).unwrap();
+        buf.fetch(ObjectId(2), &mut disk).unwrap();
+        assert_eq!(
+            buf.fetch(ObjectId(3), &mut disk),
+            Err(BufferError::AllFramesPinned)
+        );
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let (mut disk, mut buf) = setup(1, Replacement::Lru);
+        let f = buf.fetch(ObjectId(5), &mut disk).unwrap();
+        buf.page_mut(f).unwrap().write_u64_at(0, 999);
+        buf.mark_dirty(f).unwrap();
+        buf.unpin(f).unwrap();
+        let g = buf.fetch(ObjectId(6), &mut disk).unwrap();
+        buf.unpin(g).unwrap();
+        assert_eq!(disk.peek(ObjectId(5)).unwrap().read_u64_at(0), 999);
+        assert_eq!(buf.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let (mut disk, mut buf) = setup(4, Replacement::Lru);
+        let f = buf.fetch(ObjectId(7), &mut disk).unwrap();
+        buf.page_mut(f).unwrap().write_u64_at(8, 123);
+        buf.mark_dirty(f).unwrap();
+        buf.flush_all(&mut disk);
+        assert_eq!(disk.peek(ObjectId(7)).unwrap().read_u64_at(8), 123);
+        // Second flush writes nothing new.
+        let w = buf.stats().writebacks;
+        buf.flush_all(&mut disk);
+        assert_eq!(buf.stats().writebacks, w);
+        buf.unpin(f).unwrap();
+    }
+
+    #[test]
+    fn clock_policy_eventually_evicts() {
+        let (mut disk, mut buf) = setup(3, Replacement::Clock);
+        for i in 0..10u32 {
+            let f = buf.fetch(ObjectId(i), &mut disk).unwrap();
+            buf.unpin(f).unwrap();
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.stats().evictions, 7);
+    }
+
+    #[test]
+    fn missing_page_reports_error() {
+        let (mut disk, mut buf) = setup(2, Replacement::Lru);
+        assert_eq!(
+            buf.fetch(ObjectId(999), &mut disk),
+            Err(BufferError::NoSuchPage(ObjectId(999)))
+        );
+    }
+
+    #[test]
+    fn bad_frame_handles() {
+        let (mut disk, mut buf) = setup(2, Replacement::Lru);
+        assert_eq!(buf.unpin(0), Err(BufferError::BadFrame));
+        assert_eq!(buf.mark_dirty(7), Err(BufferError::BadFrame));
+        assert_eq!(buf.pin(1), Err(BufferError::BadFrame));
+        let f = buf.fetch(ObjectId(0), &mut disk).unwrap();
+        buf.unpin(f).unwrap();
+        assert_eq!(buf.unpin(f), Err(BufferError::BadFrame)); // double unpin
+    }
+
+    #[test]
+    fn pin_stacks() {
+        let (mut disk, mut buf) = setup(2, Replacement::Lru);
+        let f = buf.fetch(ObjectId(0), &mut disk).unwrap();
+        buf.pin(f).unwrap();
+        assert_eq!(buf.pin_count(f), Some(2));
+        buf.unpin(f).unwrap();
+        assert_eq!(buf.pin_count(f), Some(1));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(BufferError::AllFramesPinned.to_string().contains("pinned"));
+        assert!(BufferError::NoSuchPage(ObjectId(3)).to_string().contains("obj#3"));
+    }
+}

@@ -1,0 +1,169 @@
+//! A FIFO single-server disk service-time model for the discrete-event
+//! simulator.
+//!
+//! The simulator does not move real bytes; it charges simulated time for
+//! each page access. The disk is a single server with deterministic service
+//! time per page and a FIFO queue, which matches the behaviour of the
+//! prototype's dedicated database disk under bursty load.
+
+use siteselect_types::{SimDuration, SimTime};
+
+/// A simulated disk: each I/O occupies the device for a fixed service time;
+/// requests queue FIFO.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_storage::DiskModel;
+/// use siteselect_types::{SimDuration, SimTime};
+///
+/// let mut disk = DiskModel::new(SimDuration::from_millis(8));
+/// let t0 = SimTime::ZERO;
+/// let done1 = disk.schedule_io(t0);
+/// let done2 = disk.schedule_io(t0); // queues behind the first
+/// assert_eq!(done1, SimTime::ZERO + SimDuration::from_millis(8));
+/// assert_eq!(done2, SimTime::ZERO + SimDuration::from_millis(16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    service_time: SimDuration,
+    busy_until: SimTime,
+    total_ios: u64,
+    total_busy: SimDuration,
+    total_queueing: SimDuration,
+}
+
+impl DiskModel {
+    /// Creates a disk with the given per-page service time.
+    #[must_use]
+    pub fn new(service_time: SimDuration) -> Self {
+        DiskModel {
+            service_time,
+            busy_until: SimTime::ZERO,
+            total_ios: 0,
+            total_busy: SimDuration::ZERO,
+            total_queueing: SimDuration::ZERO,
+        }
+    }
+
+    /// Enqueues one page I/O issued at `now`; returns its completion time.
+    pub fn schedule_io(&mut self, now: SimTime) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + self.service_time;
+        self.total_queueing += start.duration_since(now);
+        self.total_busy += self.service_time;
+        self.busy_until = done;
+        self.total_ios += 1;
+        done
+    }
+
+    /// Enqueues `n` back-to-back page I/Os issued at `now`; returns the
+    /// completion time of the last one.
+    pub fn schedule_batch(&mut self, now: SimTime, n: u32) -> SimTime {
+        let mut done = now;
+        for _ in 0..n {
+            done = self.schedule_io(now);
+        }
+        done
+    }
+
+    /// Completion time of the most recently queued I/O.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total I/Os served.
+    #[must_use]
+    pub fn total_ios(&self) -> u64 {
+        self.total_ios
+    }
+
+    /// Utilization over `[0, now]` in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let span = now.duration_since(SimTime::ZERO).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        // Busy time already booked past `now` is clipped.
+        let booked = self.total_busy.as_secs_f64();
+        let future = self.busy_until.duration_since(now).as_secs_f64();
+        ((booked - future).max(0.0) / span).min(1.0)
+    }
+
+    /// Mean queueing delay per I/O in seconds (0.0 with no I/Os).
+    #[must_use]
+    pub fn mean_queueing_delay(&self) -> f64 {
+        if self.total_ios == 0 {
+            0.0
+        } else {
+            self.total_queueing.as_secs_f64() / self.total_ios as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn idle_disk_serves_immediately() {
+        let mut d = DiskModel::new(ms(8));
+        let done = d.schedule_io(SimTime::from_secs(1));
+        assert_eq!(done, SimTime::from_secs(1) + ms(8));
+    }
+
+    #[test]
+    fn requests_queue_fifo() {
+        let mut d = DiskModel::new(ms(10));
+        let t = SimTime::ZERO;
+        assert_eq!(d.schedule_io(t), t + ms(10));
+        assert_eq!(d.schedule_io(t), t + ms(20));
+        assert_eq!(d.schedule_io(t), t + ms(30));
+        assert_eq!(d.total_ios(), 3);
+    }
+
+    #[test]
+    fn disk_drains_when_idle() {
+        let mut d = DiskModel::new(ms(10));
+        d.schedule_io(SimTime::ZERO);
+        // Issued long after the first completes: no queueing.
+        let done = d.schedule_io(SimTime::from_secs(5));
+        assert_eq!(done, SimTime::from_secs(5) + ms(10));
+        assert_eq!(d.mean_queueing_delay(), 0.0);
+    }
+
+    #[test]
+    fn batch_is_sequential() {
+        let mut d = DiskModel::new(ms(5));
+        let done = d.schedule_batch(SimTime::ZERO, 4);
+        assert_eq!(done, SimTime::ZERO + ms(20));
+        assert_eq!(d.total_ios(), 4);
+        assert_eq!(d.schedule_batch(SimTime::from_secs(10), 0), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn queueing_delay_measured() {
+        let mut d = DiskModel::new(ms(10));
+        d.schedule_io(SimTime::ZERO); // starts at 0
+        d.schedule_io(SimTime::ZERO); // waits 10ms
+        assert!((d.mean_queueing_delay() - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut d = DiskModel::new(ms(100));
+        assert_eq!(d.utilization(SimTime::ZERO), 0.0);
+        for _ in 0..5 {
+            d.schedule_io(SimTime::ZERO);
+        }
+        let u = d.utilization(SimTime::from_secs(1));
+        assert!((0.0..=1.0).contains(&u));
+        assert!(u > 0.4, "five 100ms I/Os in 1s should be ~0.5 utilization, got {u}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration value, reported by
+/// [`ExperimentConfig::validate`](crate::ExperimentConfig::validate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: &'static str,
+    problem: String,
+}
+
+impl ConfigError {
+    /// Creates a new configuration error for `field`.
+    #[must_use]
+    pub fn new(field: &'static str, problem: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            problem: problem.into(),
+        }
+    }
+
+    /// The dotted path of the offending field.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}: {}", self.field, self.problem)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_field_and_problem() {
+        let e = ConfigError::new("workload.update_fraction", "must be within [0, 1]");
+        let s = e.to_string();
+        assert!(s.contains("workload.update_fraction"));
+        assert!(s.contains("[0, 1]"));
+        assert_eq!(e.field(), "workload.update_fraction");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ConfigError::new("x", "y"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Lock modes for the two-phase-locking variants used throughout the paper.
+//!
+//! The paper's systems use two lock modes (§2): *Shared* (SL) and *Exclusive*
+//! (EL). A client transaction may update a cached object only while its
+//! client holds an EL on it; several clients may hold SLs simultaneously.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A database lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Shared lock (SL): permits concurrent readers.
+    Shared,
+    /// Exclusive lock (EL): required for updates; conflicts with everything.
+    Exclusive,
+}
+
+impl LockMode {
+    /// True if a holder in `self` mode can coexist with a holder in `other`
+    /// mode on the same object.
+    ///
+    /// Only `Shared`/`Shared` is compatible.
+    #[must_use]
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// True if holding `self` is sufficient to serve a request for `want`.
+    ///
+    /// An exclusive lock covers a shared request; a shared lock does not
+    /// cover an exclusive request.
+    #[must_use]
+    pub fn covers(self, want: LockMode) -> bool {
+        match (self, want) {
+            (LockMode::Exclusive, _) | (LockMode::Shared, LockMode::Shared) => true,
+            (LockMode::Shared, LockMode::Exclusive) => false,
+        }
+    }
+
+    /// The mode required for an access: exclusive for writes, shared for
+    /// reads.
+    #[must_use]
+    pub fn for_write(write: bool) -> LockMode {
+        if write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+
+    /// True if this is the exclusive mode.
+    #[must_use]
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, LockMode::Exclusive)
+    }
+
+    /// The stronger of two modes.
+    #[must_use]
+    pub fn stronger(self, other: LockMode) -> LockMode {
+        if self.is_exclusive() || other.is_exclusive() {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => write!(f, "SL"),
+            LockMode::Exclusive => write!(f, "EL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{Exclusive, Shared};
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(Shared.compatible_with(Shared));
+        assert!(!Shared.compatible_with(Exclusive));
+        assert!(!Exclusive.compatible_with(Shared));
+        assert!(!Exclusive.compatible_with(Exclusive));
+    }
+
+    #[test]
+    fn coverage() {
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Exclusive));
+    }
+
+    #[test]
+    fn mode_for_access() {
+        assert_eq!(LockMode::for_write(true), Exclusive);
+        assert_eq!(LockMode::for_write(false), Shared);
+    }
+
+    #[test]
+    fn stronger_is_commutative_and_absorbing() {
+        assert_eq!(Shared.stronger(Shared), Shared);
+        assert_eq!(Shared.stronger(Exclusive), Exclusive);
+        assert_eq!(Exclusive.stronger(Shared), Exclusive);
+        assert_eq!(Exclusive.stronger(Exclusive), Exclusive);
+    }
+
+    #[test]
+    fn display_matches_paper_abbreviations() {
+        assert_eq!(Shared.to_string(), "SL");
+        assert_eq!(Exclusive.to_string(), "EL");
+    }
+}

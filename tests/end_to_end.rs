@@ -1,0 +1,148 @@
+//! End-to-end integration tests: the three systems run to completion on
+//! shared workloads, account for every transaction, and replay
+//! bit-identically.
+
+use siteselect::core::{run_experiment, RunMetrics};
+use siteselect::types::{ExperimentConfig, SimDuration, SystemKind};
+
+fn quick(system: SystemKind, clients: u16, updates: f64, seed: u64) -> RunMetrics {
+    let mut cfg = ExperimentConfig::paper(system, clients, updates);
+    cfg.runtime.duration = SimDuration::from_secs(250);
+    cfg.runtime.warmup = SimDuration::from_secs(50);
+    cfg.runtime.seed = seed;
+    run_experiment(&cfg).expect("valid config")
+}
+
+#[test]
+fn every_system_accounts_for_every_transaction() {
+    for system in SystemKind::ALL {
+        for updates in [0.01, 0.20] {
+            let m = quick(system, 8, updates, 1);
+            assert!(m.measured > 0, "{system} {updates}: nothing measured");
+            assert!(
+                m.is_consistent(),
+                "{system} {updates}: {} in_time + {} failures != {} measured",
+                m.in_time,
+                m.failures.total(),
+                m.measured
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identically() {
+    for system in SystemKind::ALL {
+        let a = quick(system, 6, 0.05, 42);
+        let b = quick(system, 6, 0.05, 42);
+        assert_eq!(a, b, "{system} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = quick(SystemKind::LoadSharing, 6, 0.05, 1);
+    let b = quick(SystemKind::LoadSharing, 6, 0.05, 2);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn workload_is_identical_across_systems() {
+    // All three systems must measure the same number of transactions: they
+    // share the trace generator and seed.
+    let counts: Vec<u64> = SystemKind::ALL
+        .iter()
+        .map(|&s| quick(s, 8, 0.05, 3).measured)
+        .collect();
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}
+
+#[test]
+fn client_server_systems_report_cache_and_responses() {
+    for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+        let m = quick(system, 8, 0.05, 4);
+        let cache_events = m.cache.memory_hits + m.cache.disk_hits + m.cache.misses;
+        assert!(cache_events > 0, "{system}: no cache accounting");
+        assert!(
+            m.response.shared.count() > 0,
+            "{system}: no shared-lock responses measured"
+        );
+        // Response times are sane: positive, below the run length.
+        assert!(m.response.shared.mean() >= 0.0);
+        assert!(m.response.shared.mean() < 250.0);
+    }
+}
+
+#[test]
+fn centralized_reports_server_side_metrics() {
+    let m = quick(SystemKind::Centralized, 8, 0.05, 5);
+    assert!(m.server_cpu_utilization > 0.0);
+    assert!(m.server_buffer.total() > 0);
+    // Clients are terminals: no client cache in the centralized system.
+    assert_eq!(m.cache.memory_hits + m.cache.disk_hits + m.cache.misses, 0);
+}
+
+#[test]
+fn message_accounting_is_nontrivial() {
+    use siteselect::net::MessageKind;
+    let m = quick(SystemKind::ClientServer, 8, 0.20, 6);
+    assert!(m.messages.count(MessageKind::ObjectRequest) > 0);
+    assert!(m.messages.count(MessageKind::ObjectSend) > 0);
+    assert!(
+        m.messages.count(MessageKind::Recall) > 0,
+        "20% updates on a small cluster must trigger callbacks"
+    );
+    assert!(m.messages.total_bytes() > 0);
+    // The centralized system only submits and returns results.
+    let ce = quick(SystemKind::Centralized, 8, 0.20, 6);
+    assert_eq!(ce.messages.count(MessageKind::ObjectRequest), 0);
+    assert!(ce.messages.count(MessageKind::TxnSubmit) > 0);
+    assert!(ce.messages.count(MessageKind::TxnResult) > 0);
+}
+
+#[test]
+fn load_sharing_machinery_engages_under_contention() {
+    let m = quick(SystemKind::LoadSharing, 12, 0.20, 7);
+    let ls = m.load_sharing;
+    assert!(
+        ls.windows_opened + ls.decomposed + ls.shipped + ls.forward_satisfied > 0,
+        "no LS activity: {ls:?}"
+    );
+}
+
+#[test]
+fn ablation_flags_change_behaviour() {
+    let mut base = ExperimentConfig::paper(SystemKind::LoadSharing, 10, 0.20);
+    base.runtime.duration = SimDuration::from_secs(250);
+    base.runtime.warmup = SimDuration::from_secs(50);
+    let full = run_experiment(&base).unwrap();
+
+    let mut no_dec = base.clone();
+    no_dec.load_sharing.decomposition_enabled = false;
+    let no_dec = run_experiment(&no_dec).unwrap();
+    assert_eq!(no_dec.load_sharing.decomposed, 0);
+    assert!(full.load_sharing.decomposed > 0);
+
+    let mut no_h1 = base.clone();
+    no_h1.load_sharing.h1_enabled = false;
+    let no_h1 = run_experiment(&no_h1).unwrap();
+    assert_eq!(no_h1.load_sharing.h1_rejections, 0);
+
+    let mut no_fwd = base;
+    no_fwd.load_sharing.forward_lists_enabled = false;
+    let no_fwd = run_experiment(&no_fwd).unwrap();
+    assert_eq!(no_fwd.load_sharing.forward_satisfied, 0);
+    assert_eq!(no_fwd.load_sharing.windows_opened, 0);
+}
+
+#[test]
+fn longer_runs_measure_more_transactions() {
+    let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, 4, 0.05);
+    cfg.runtime.duration = SimDuration::from_secs(200);
+    cfg.runtime.warmup = SimDuration::from_secs(40);
+    let short = run_experiment(&cfg).unwrap();
+    cfg.runtime.duration = SimDuration::from_secs(400);
+    let long = run_experiment(&cfg).unwrap();
+    assert!(long.measured > short.measured);
+}

@@ -1,0 +1,253 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use siteselect::locks::{Acquire, ForwardEntry, ForwardList, LockTable, QueueDiscipline, WaitForGraph};
+use siteselect::sim::{EventQueue, OnlineStats, Prng};
+use siteselect::storage::ClientCache;
+use siteselect::types::{ClientId, LockMode, ObjectId, SimTime, TransactionId};
+
+// ---------------------------------------------------------------------
+// Lock table: no conflicting holders, ever, under arbitrary op sequences.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Request { obj: u8, owner: u8, exclusive: bool, deadline: u16 },
+    Release { obj: u8, owner: u8 },
+    Downgrade { obj: u8, owner: u8 },
+    Cancel { obj: u8, owner: u8 },
+    ReleaseAll { owner: u8 },
+    Expire { now: u16 },
+}
+
+fn lock_op() -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        (0u8..6, 0u8..5, any::<bool>(), 0u16..100).prop_map(|(obj, owner, exclusive, deadline)| {
+            LockOp::Request { obj, owner, exclusive, deadline }
+        }),
+        (0u8..6, 0u8..5).prop_map(|(obj, owner)| LockOp::Release { obj, owner }),
+        (0u8..6, 0u8..5).prop_map(|(obj, owner)| LockOp::Downgrade { obj, owner }),
+        (0u8..6, 0u8..5).prop_map(|(obj, owner)| LockOp::Cancel { obj, owner }),
+        (0u8..5).prop_map(|owner| LockOp::ReleaseAll { owner }),
+        (0u16..100).prop_map(|now| LockOp::Expire { now }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lock_table_never_grants_conflicting_holders(
+        ops in proptest::collection::vec(lock_op(), 1..80),
+        deadline_discipline in any::<bool>(),
+    ) {
+        let discipline = if deadline_discipline {
+            QueueDiscipline::Deadline
+        } else {
+            QueueDiscipline::Fifo
+        };
+        let mut table: LockTable<ClientId> = LockTable::new(discipline);
+        for op in ops {
+            match op {
+                LockOp::Request { obj, owner, exclusive, deadline } => {
+                    let mode = LockMode::for_write(exclusive);
+                    let _ = table.request(
+                        ObjectId(obj.into()),
+                        ClientId(owner.into()),
+                        mode,
+                        SimTime::from_secs(deadline.into()),
+                    );
+                }
+                LockOp::Release { obj, owner } => {
+                    let _ = table.release(ObjectId(obj.into()), ClientId(owner.into()));
+                }
+                LockOp::Downgrade { obj, owner } => {
+                    let _ = table.downgrade(ObjectId(obj.into()), ClientId(owner.into()));
+                }
+                LockOp::Cancel { obj, owner } => {
+                    let _ = table.cancel_wait(ObjectId(obj.into()), ClientId(owner.into()));
+                }
+                LockOp::ReleaseAll { owner } => {
+                    let _ = table.release_all(ClientId(owner.into()));
+                }
+                LockOp::Expire { now } => {
+                    let _ = table.cancel_expired(SimTime::from_secs(now.into()));
+                }
+            }
+            table.check_invariants().expect("lock table invariant violated");
+        }
+    }
+
+    #[test]
+    fn blocked_requests_are_eventually_granted_on_release(
+        writers in proptest::collection::vec(0u8..5, 2..6),
+    ) {
+        let mut table: LockTable<ClientId> = LockTable::new(QueueDiscipline::Fifo);
+        let obj = ObjectId(1);
+        let mut distinct: Vec<u8> = writers;
+        distinct.sort_unstable();
+        distinct.dedup();
+        // All owners request EL; the first wins.
+        for (i, &w) in distinct.iter().enumerate() {
+            let r = table.request(obj, ClientId(w.into()), LockMode::Exclusive, SimTime::MAX);
+            if i == 0 {
+                prop_assert!(r.is_granted());
+            } else {
+                let blocked = matches!(r, Acquire::Blocked { .. });
+                prop_assert!(blocked);
+            }
+        }
+        // Releasing in turn grants everyone exactly once, in order.
+        let mut granted_order = vec![distinct[0]];
+        for _ in 1..distinct.len() {
+            let current = *granted_order.last().unwrap();
+            let grants = table.release(obj, ClientId(current.into()));
+            prop_assert_eq!(grants.len(), 1);
+            granted_order.push(grants[0].owner.0 as u8);
+        }
+        prop_assert_eq!(granted_order, distinct);
+    }
+
+    // ------------------------------------------------------------------
+    // Wait-for graph: the gate keeps the graph acyclic.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn wfg_gate_prevents_cycles(edges in proptest::collection::vec((0u8..8, 0u8..8), 1..60)) {
+        let mut g: WaitForGraph<u8> = WaitForGraph::new();
+        for (a, b) in edges {
+            if a != b && !g.would_deadlock(a, &[b]) {
+                g.add_waits(a, [b]);
+            }
+            prop_assert!(!g.has_cycle());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client cache: capacity and tier behaviour.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn client_cache_never_exceeds_capacity(
+        mem in 1usize..8,
+        disk in 0usize..8,
+        ops in proptest::collection::vec((0u32..40, any::<bool>()), 1..200),
+    ) {
+        let mut cache = ClientCache::new(mem, disk);
+        for (obj, insert) in ops {
+            if insert {
+                cache.insert(ObjectId(obj));
+            } else {
+                let _ = cache.probe(ObjectId(obj));
+            }
+            prop_assert!(cache.len() <= mem + disk);
+        }
+        // Every id the iterator yields is reported present.
+        let ids: Vec<ObjectId> = cache.iter().collect();
+        for id in ids {
+            prop_assert!(cache.contains(id));
+        }
+    }
+
+    #[test]
+    fn client_cache_insert_makes_present_until_evicted(
+        objs in proptest::collection::vec(0u32..20, 1..50),
+    ) {
+        let mut cache = ClientCache::new(4, 4);
+        for o in objs {
+            cache.insert(ObjectId(o));
+            // The most recently inserted object is always present.
+            prop_assert!(cache.contains(ObjectId(o)));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forward lists: ordering and liveness filtering.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn forward_list_serves_in_deadline_order_and_skips_expired(
+        entries in proptest::collection::vec((0u16..10, 1u64..100, any::<bool>()), 1..20),
+        now in 0u64..100,
+    ) {
+        let mut list = ForwardList::new(ObjectId(1));
+        for (client, deadline, write) in &entries {
+            list.push(ForwardEntry {
+                client: ClientId(*client),
+                txn: TransactionId::new(ClientId(*client), *deadline),
+                deadline: SimTime::from_secs(*deadline),
+                mode: LockMode::for_write(*write),
+            });
+        }
+        // Entries are deadline-sorted.
+        let ds: Vec<_> = list.entries().iter().map(|e| e.deadline).collect();
+        prop_assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        // Draining never yields an expired entry and consumes everything.
+        let now_t = SimTime::from_secs(now);
+        let mut served = 0usize;
+        let mut skipped = 0usize;
+        loop {
+            let (next, dead) = list.pop_next_live(now_t);
+            skipped += dead.len();
+            match next {
+                Some(e) => {
+                    prop_assert!(e.deadline >= now_t);
+                    served += 1;
+                }
+                None => break,
+            }
+        }
+        prop_assert_eq!(served + skipped, entries.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Event queue: global ordering with FIFO ties.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn event_queue_is_stable_priority_order(times in proptest::collection::vec(0u64..50, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics: Welford matches the naive two-pass computation.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn online_stats_match_naive(values in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut s = OnlineStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    // ------------------------------------------------------------------
+    // PRNG: bounds hold for arbitrary seeds and ranges.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn prng_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}
