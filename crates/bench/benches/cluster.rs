@@ -5,12 +5,12 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use siteselect_bench::harness::bench;
 use siteselect_cluster::{Cluster, ClusterConfig, SharedServer};
 use siteselect_types::{ClientId, LockMode, ObjectId, SimDuration};
 
-fn bench_server_acquire_release(c: &mut Criterion) {
-    c.bench_function("cluster/uncontended_acquire_release", |b| {
+fn bench_server_acquire_release() {
+    bench("cluster/uncontended_acquire_release", |b| {
         let server: Arc<SharedServer> = SharedServer::new(64, 32, Vec::new());
         let mut i = 0u32;
         b.iter(|| {
@@ -30,10 +30,8 @@ fn bench_server_acquire_release(c: &mut Criterion) {
     });
 }
 
-fn bench_cluster_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster_run");
-    g.sample_size(10);
-    g.bench_function("4x10_txns_with_serializability_check", |b| {
+fn bench_cluster_run() {
+    bench("cluster_run/4x10_txns_with_serializability_check", |b| {
         b.iter(|| {
             let mut cfg = ClusterConfig {
                 clients: 4,
@@ -48,8 +46,9 @@ fn bench_cluster_run(c: &mut Criterion) {
             black_box(report.generated)
         });
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_server_acquire_release, bench_cluster_run);
-criterion_main!(benches);
+fn main() {
+    bench_server_acquire_release();
+    bench_cluster_run();
+}

@@ -3,26 +3,24 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siteselect_bench::harness::bench;
 use siteselect_locks::protocol_costs::{cached_two_pl_trace, grouped_trace};
 use siteselect_locks::{CallbackTracker, ForwardEntry, WindowManager};
 use siteselect_types::{ClientId, LockMode, ObjectId, SimDuration, SimTime, TransactionId};
 
-fn bench_figure_traces(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_traces");
+fn bench_figure_traces() {
     for &n in &[2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("figure1_cached_2pl", n), &n, |b, &n| {
+        bench(&format!("protocol_traces/figure1_cached_2pl/{n}"), |b| {
             b.iter(|| black_box(cached_two_pl_trace(n).len()));
         });
-        g.bench_with_input(BenchmarkId::new("figure2_grouped", n), &n, |b, &n| {
+        bench(&format!("protocol_traces/figure2_grouped/{n}"), |b| {
             b.iter(|| black_box(grouped_trace(n).len()));
         });
     }
-    g.finish();
 }
 
-fn bench_callback_tracker(c: &mut Criterion) {
-    c.bench_function("callbacks/begin_ack_cycle", |b| {
+fn bench_callback_tracker() {
+    bench("callbacks/begin_ack_cycle", |b| {
         let mut cb = CallbackTracker::new();
         let mut i = 0u32;
         b.iter(|| {
@@ -37,8 +35,8 @@ fn bench_callback_tracker(c: &mut Criterion) {
     });
 }
 
-fn bench_window_manager(c: &mut Criterion) {
-    c.bench_function("windows/offer_close_batch8", |b| {
+fn bench_window_manager() {
+    bench("windows/offer_close_batch8", |b| {
         let mut wm = WindowManager::new(SimDuration::from_millis(100));
         let mut t = 0u64;
         b.iter(|| {
@@ -61,10 +59,8 @@ fn bench_window_manager(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_figure_traces,
-    bench_callback_tracker,
-    bench_window_manager
-);
-criterion_main!(benches);
+fn main() {
+    bench_figure_traces();
+    bench_callback_tracker();
+    bench_window_manager();
+}

@@ -4,37 +4,31 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siteselect_bench::harness::bench;
 use siteselect_locks::{LockTable, QueueDiscipline, WaitForGraph};
 use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::{BufferManager, ClientCache, DiskFile, Replacement};
 use siteselect_types::{ClientId, LockMode, ObjectId, SimTime};
 use siteselect_workload::Zipf;
 
-fn bench_lock_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lock_table");
-    for &contention in &[8u32, 512] {
-        g.bench_with_input(
-            BenchmarkId::new("request_release_cycle", contention),
-            &contention,
-            |b, &objects| {
-                let mut table: LockTable<ClientId> = LockTable::new(QueueDiscipline::Deadline);
-                let mut rng = Prng::seed_from_u64(1);
-                b.iter(|| {
-                    let obj = ObjectId(rng.below(u64::from(objects)) as u32);
-                    let owner = ClientId(rng.below(32) as u16);
-                    let mode = LockMode::for_write(rng.bernoulli(0.2));
-                    let _ = black_box(table.request(obj, owner, mode, SimTime::from_secs(60)));
-                    let _ = black_box(table.release(obj, owner));
-                });
-            },
-        );
+fn bench_lock_table() {
+    for &objects in &[8u32, 512] {
+        bench(&format!("lock_table/request_release_cycle/{objects}"), |b| {
+            let mut table: LockTable<ClientId> = LockTable::new(QueueDiscipline::Deadline);
+            let mut rng = Prng::seed_from_u64(1);
+            b.iter(|| {
+                let obj = ObjectId(rng.below(u64::from(objects)) as u32);
+                let owner = ClientId(rng.below(32) as u16);
+                let mode = LockMode::for_write(rng.bernoulli(0.2));
+                let _ = black_box(table.request(obj, owner, mode, SimTime::from_secs(60)));
+                let _ = black_box(table.release(obj, owner));
+            });
+        });
     }
-    g.finish();
 }
 
-fn bench_wait_for_graph(c: &mut Criterion) {
-    c.bench_function("wfg/would_deadlock_50_nodes", |b| {
+fn bench_wait_for_graph() {
+    bench("wfg/would_deadlock_50_nodes", |b| {
         let mut g: WaitForGraph<u16> = WaitForGraph::new();
         // A long chain: worst case for the DFS.
         for i in 0..49u16 {
@@ -44,30 +38,24 @@ fn bench_wait_for_graph(c: &mut Criterion) {
     });
 }
 
-fn bench_buffer_manager(c: &mut Criterion) {
-    let mut g = c.benchmark_group("buffer");
+fn bench_buffer_manager() {
     for &policy in &[Replacement::Lru, Replacement::Clock] {
-        g.bench_with_input(
-            BenchmarkId::new("fetch_zipf", format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                let mut disk = DiskFile::with_patterned_pages(2_000);
-                let mut buf = BufferManager::new(500, policy);
-                let zipf = Zipf::new(2_000, 0.95);
-                let mut rng = Prng::seed_from_u64(2);
-                b.iter(|| {
-                    let id = ObjectId(zipf.sample(&mut rng) as u32);
-                    let f = buf.fetch(id, &mut disk).expect("page exists");
-                    buf.unpin(f).expect("pinned");
-                });
-            },
-        );
+        bench(&format!("buffer/fetch_zipf/{policy:?}"), |b| {
+            let mut disk = DiskFile::with_patterned_pages(2_000);
+            let mut buf = BufferManager::new(500, policy);
+            let zipf = Zipf::new(2_000, 0.95);
+            let mut rng = Prng::seed_from_u64(2);
+            b.iter(|| {
+                let id = ObjectId(zipf.sample(&mut rng) as u32);
+                let f = buf.fetch(id, &mut disk).expect("page exists");
+                buf.unpin(f).expect("pinned");
+            });
+        });
     }
-    g.finish();
 }
 
-fn bench_client_cache(c: &mut Criterion) {
-    c.bench_function("client_cache/probe_insert_localized", |b| {
+fn bench_client_cache() {
+    bench("client_cache/probe_insert_localized", |b| {
         let mut cache = ClientCache::new(500, 500);
         let mut rng = Prng::seed_from_u64(3);
         b.iter(|| {
@@ -79,8 +67,8 @@ fn bench_client_cache(c: &mut Criterion) {
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_1000", |b| {
+fn bench_event_queue() {
+    bench("event_queue/push_pop_1000", |b| {
         let mut rng = Prng::seed_from_u64(4);
         b.iter(|| {
             let mut q = EventQueue::new();
@@ -96,25 +84,23 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
-fn bench_prng_and_zipf(c: &mut Criterion) {
-    c.bench_function("prng/exp_sample", |b| {
+fn bench_prng_and_zipf() {
+    bench("prng/exp_sample", |b| {
         let mut rng = Prng::seed_from_u64(5);
         b.iter(|| black_box(rng.exp_f64(10.0)));
     });
-    c.bench_function("zipf/sample_10k_ranks", |b| {
+    bench("zipf/sample_10k_ranks", |b| {
         let zipf = Zipf::new(10_000, 0.95);
         let mut rng = Prng::seed_from_u64(6);
         b.iter(|| black_box(zipf.sample(&mut rng)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_lock_table,
-    bench_wait_for_graph,
-    bench_buffer_manager,
-    bench_client_cache,
-    bench_event_queue,
-    bench_prng_and_zipf
-);
-criterion_main!(benches);
+fn main() {
+    bench_lock_table();
+    bench_wait_for_graph();
+    bench_buffer_manager();
+    bench_client_cache();
+    bench_event_queue();
+    bench_prng_and_zipf();
+}

@@ -6,16 +6,18 @@
 //! ```
 //!
 //! Targets: `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
-//! `figure5`, `table2`, `table3`, `table4`, `ablations`, `all`.
+//! `figure5`, `table2`, `table3`, `table4`, `ablations`, `faults`, `all`.
 //! `--quick` shortens the simulated runs (coarser numbers, same shapes).
-//! `--clients N` overrides the Table 4 cluster size.
+//! `--clients N` overrides the Table 4 (or `faults`) cluster size.
+//! `faults` is not part of `all`: it sweeps the fault-injection subsystem
+//! (crash/loss/slow-disk chaos) rather than a paper figure.
 
 use std::process::ExitCode;
 
 use siteselect_bench::repro_options;
 use siteselect_core::experiments::{
-    cache_table, deadline_figure, message_table, response_table, SweepOptions, FIGURE_CLIENTS,
-    TABLE_CLIENTS,
+    cache_table, deadline_figure, fault_table, message_table, response_table, SweepOptions,
+    FAULT_INTENSITIES, FIGURE_CLIENTS, TABLE_CLIENTS,
 };
 use siteselect_core::run_experiment;
 use siteselect_locks::protocol_costs;
@@ -31,7 +33,7 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse::<u16>().ok());
     let targets: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && clients_override.map_or(true, |c| a.parse::<u16>() != Ok(c)))
+        .filter(|a| !a.starts_with("--") && clients_override.is_none_or(|c| a.parse::<u16>() != Ok(c)))
         .map(String::as_str)
         .collect();
     let target = targets.first().copied().unwrap_or("all");
@@ -48,11 +50,12 @@ fn main() -> ExitCode {
         "table3" => table3(opts),
         "table4" => table4(opts, clients_override.unwrap_or(100)),
         "ablations" => ablations(opts),
+        "faults" => faults(opts, clients_override.unwrap_or(60)),
         "all" => all(opts, clients_override.unwrap_or(100)),
         other => {
             eprintln!("unknown target: {other}");
             eprintln!(
-                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations all"
+                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults all"
             );
             return ExitCode::FAILURE;
         }
@@ -199,6 +202,18 @@ fn ablations(opts: SweepOptions) -> Result<(), AnyError> {
     base("collection window 500 ms", &|c| {
         c.load_sharing.collection_window = siteselect_types::SimDuration::from_millis(500);
     })?;
+    Ok(())
+}
+
+/// Graceful-degradation sweep of the fault-injection subsystem: CS vs LS
+/// deadline success as `FaultConfig::chaos` intensity rises. Kept out of
+/// `all` so the paper reproduction stays byte-stable.
+fn faults(opts: SweepOptions, clients: u16) -> Result<(), AnyError> {
+    banner(&format!(
+        "Faults: deadline success under chaos ({clients} clients, 20% updates)"
+    ));
+    let t = fault_table(clients, &FAULT_INTENSITIES, opts)?;
+    print!("{}", t.render());
     Ok(())
 }
 

@@ -1,0 +1,84 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets use this small
+//! self-calibrating timer instead of an external framework. Each benchmark
+//! body is batched until a batch takes long enough to time reliably, then
+//! the best of a few batches is reported as nanoseconds per iteration
+//! (minimum-of-samples is robust against scheduler noise).
+
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark.
+const SAMPLES: u32 = 5;
+/// Target wall-clock length of one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+/// Calibration cap so a pathological body cannot spin forever.
+const MAX_BATCH: u64 = 1 << 20;
+
+/// Timing context handed to each benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `body`, batching it until a batch reaches [`BATCH_TARGET`].
+    pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        let mut n = 1u64;
+        let mut per_iter;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(body());
+            }
+            let elapsed = start.elapsed();
+            per_iter = elapsed.as_nanos() as f64 / n as f64;
+            if elapsed >= BATCH_TARGET || n >= MAX_BATCH {
+                break;
+            }
+            n = (n * 8).min(MAX_BATCH);
+        }
+        let mut best = per_iter;
+        for _ in 1..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(body());
+            }
+            best = best.min(start.elapsed().as_nanos() as f64 / n as f64);
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+/// Runs one named benchmark and prints its result.
+pub fn bench(name: &str, mut body: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    body(&mut b);
+    let ns = b.ns_per_iter;
+    if ns >= 1e9 {
+        println!("{name:<55} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{name:<55} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<55} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{name:<55} {:>12.1} ns/iter", ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn bench_prints_without_panicking() {
+        bench("smoke", |b| b.iter(|| 2 + 2));
+    }
+}

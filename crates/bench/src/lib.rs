@@ -4,10 +4,13 @@
 //!
 //! * `src/bin/repro.rs` — regenerates every table and figure of the paper
 //!   (`cargo run -p siteselect-bench --release --bin repro -- all`);
-//! * `benches/*.rs` — Criterion micro/macro benchmarks of the substrates
-//!   and one end-to-end bench per experiment (`cargo bench`).
+//! * `benches/*.rs` — micro/macro benchmarks of the substrates and one
+//!   end-to-end bench per experiment (`cargo bench`), driven by the small
+//!   self-contained [`harness`] in this crate.
 //!
 //! This library only hosts small helpers shared by those targets.
+
+pub mod harness;
 
 use siteselect_core::experiments::SweepOptions;
 use siteselect_types::SimDuration;

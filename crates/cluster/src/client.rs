@@ -5,9 +5,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Receiver;
-use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::Receiver;
+
 use siteselect_types::{ClientId, LockMode, ObjectId, TransactionSpec};
+
+use crate::sync::{Condvar, Mutex};
 
 use crate::history::{HistoryLog, Op};
 use crate::server::{AcquireError, CallbackReq, SharedServer};
@@ -178,35 +180,58 @@ impl ClientShared {
     /// local users to unpin, then answers with a return or a downgrade.
     pub fn callback_loop(self: &Arc<Self>, rx: &Receiver<CallbackReq>, server: &SharedServer) {
         while let Ok(req) = rx.recv() {
-            let mut st = self.state.lock();
-            while st.objects.get(&req.object).is_some_and(|o| o.pins > 0) {
-                self.cv.wait(&mut st);
+            self.serve_callback(req, server);
+        }
+    }
+
+    /// Chaos variant of [`callback_loop`](Self::callback_loop): sleeps a
+    /// uniformly random real-time delay in `[0, max_delay]` before serving
+    /// each recall, modelling slow or reordered channel delivery. The
+    /// protocol must stay serializable no matter how long an answer takes.
+    pub fn callback_loop_jittered(
+        self: &Arc<Self>,
+        rx: &Receiver<CallbackReq>,
+        server: &SharedServer,
+        max_delay: Duration,
+        rng: &mut siteselect_sim::Prng,
+    ) {
+        let bound = u64::try_from(max_delay.as_micros()).unwrap_or(u64::MAX);
+        while let Ok(req) = rx.recv() {
+            if bound > 0 {
+                std::thread::sleep(Duration::from_micros(rng.below(bound + 1)));
             }
-            // The answer to the server goes out while the cache lock is
-            // still held: between removing our copy and the server learning
-            // about it, our own worker must not be able to re-fetch the
-            // object (the server would serve its stale copy).
-            match st.objects.get(&req.object).cloned() {
-                None => {
-                    // Evicted earlier: just release the lock.
-                    server.return_object(self.id, req.object, None, false);
-                }
-                Some(cached) => {
-                    let downgrade =
-                        req.desired == LockMode::Shared && cached.mode == LockMode::Exclusive;
-                    let send_data = cached.mode == LockMode::Exclusive;
-                    if downgrade {
-                        let entry = st.objects.get_mut(&req.object).expect("present");
-                        entry.mode = LockMode::Shared;
-                        entry.dirty = false;
-                    } else {
-                        st.objects.remove(&req.object);
-                    }
-                    let bytes = send_data.then(|| cached.bytes.clone());
-                    server.return_object(self.id, req.object, bytes.as_deref(), downgrade);
-                }
+            self.serve_callback(req, server);
+        }
+    }
+
+    fn serve_callback(self: &Arc<Self>, req: CallbackReq, server: &SharedServer) {
+        let mut st = self.state.lock();
+        while st.objects.get(&req.object).is_some_and(|o| o.pins > 0) {
+            self.cv.wait(&mut st);
+        }
+        // The answer to the server goes out while the cache lock is
+        // still held: between removing our copy and the server learning
+        // about it, our own worker must not be able to re-fetch the
+        // object (the server would serve its stale copy).
+        match st.objects.get(&req.object).cloned() {
+            None => {
+                // Evicted earlier: just release the lock.
+                server.return_object(self.id, req.object, None, false);
             }
-            drop(st);
+            Some(cached) => {
+                let downgrade =
+                    req.desired == LockMode::Shared && cached.mode == LockMode::Exclusive;
+                let send_data = cached.mode == LockMode::Exclusive;
+                if downgrade {
+                    let entry = st.objects.get_mut(&req.object).expect("present");
+                    entry.mode = LockMode::Shared;
+                    entry.dirty = false;
+                } else {
+                    st.objects.remove(&req.object);
+                }
+                let bytes = send_data.then(|| cached.bytes.clone());
+                server.return_object(self.id, req.object, bytes.as_deref(), downgrade);
+            }
         }
     }
 
@@ -240,6 +265,8 @@ pub struct WorkerReport {
     pub timeouts: u64,
     /// Dropped before execution because the deadline had already passed.
     pub expired: u64,
+    /// 1 if this worker was chaos-terminated before finishing its quota.
+    pub terminated: u64,
 }
 
 /// Executes one transaction against the cache/server; returns its

@@ -9,7 +9,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use siteselect_types::{ObjectId, TransactionId};
 
 /// One recorded access by a committed transaction.

@@ -6,7 +6,7 @@
 //! threads: a shared server (global client-granularity lock table, paged
 //! file with real 2 KB pages, callback locking with downgrade, wait-for
 //! deadlock avoidance) and one worker + one callback-handler thread per
-//! client, communicating over crossbeam channels. Deadlines are real
+//! client, communicating over mpsc channels. Deadlines are real
 //! `Instant`s scaled down from the paper's parameters.
 //!
 //! Every committed access is recorded in a [`HistoryLog`] whose
@@ -34,8 +34,9 @@ pub mod history;
 pub mod report;
 pub mod runtime;
 pub mod server;
+pub mod sync;
 
 pub use history::{HistoryLog, Op, SerializabilityError};
 pub use report::ClusterReport;
-pub use runtime::{Cluster, ClusterConfig, ClusterError};
+pub use runtime::{Cluster, ClusterChaos, ClusterConfig, ClusterError};
 pub use server::SharedServer;

@@ -21,6 +21,8 @@ pub struct ClusterReport {
     pub timeouts: u64,
     /// Dropped before execution (deadline already passed).
     pub expired: u64,
+    /// Clients terminated mid-run by chaos injection.
+    pub terminated_clients: u64,
     /// Server-side counters.
     pub server: ServerStats,
     /// The committed-access history (serializability evidence).
@@ -40,6 +42,7 @@ impl ClusterReport {
             deadlock_aborts: 0,
             timeouts: 0,
             expired: 0,
+            terminated_clients: 0,
             server,
             history,
         };
@@ -50,6 +53,7 @@ impl ClusterReport {
             r.deadlock_aborts += w.deadlock_aborts;
             r.timeouts += w.timeouts;
             r.expired += w.expired;
+            r.terminated_clients += w.terminated;
         }
         r
     }
@@ -89,7 +93,11 @@ impl std::fmt::Display for ClusterReport {
             f,
             "server: {} grants, {} recalls, {} returns, {} downgrades",
             self.server.grants, self.server.recalls, self.server.returns, self.server.downgrades
-        )
+        )?;
+        if self.terminated_clients > 0 {
+            writeln!(f, "chaos: {} clients terminated mid-run", self.terminated_clients)?;
+        }
+        Ok(())
     }
 }
 
@@ -107,6 +115,7 @@ mod tests {
                 deadlock_aborts: 1,
                 timeouts: 1,
                 expired: 0,
+                terminated: 0,
             },
             WorkerReport {
                 generated: 5,

@@ -2,10 +2,10 @@
 //! thread per client, runs a scaled-down Table 1 workload, and gathers the
 //! report.
 
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::unbounded;
 use siteselect_sim::Prng;
 use siteselect_types::{
     AccessPatternConfig, ClientId, ConfigError, DeadlinePolicy, SimDuration, WorkloadConfig,
@@ -40,6 +40,101 @@ pub struct ClusterConfig {
     pub time_scale: f64,
     /// Master seed.
     pub seed: u64,
+    /// Chaos-injection knobs (all off by default).
+    pub chaos: ClusterChaos,
+}
+
+/// Chaos-injection knobs for the threaded cluster. Everything defaults to
+/// off; the protocol must stay serializable no matter what is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterChaos {
+    /// Upper bound of a uniformly random real-time delay inserted before
+    /// each lock recall is served — models slow or reordered channel
+    /// delivery between the server and a client's callback thread.
+    pub max_callback_delay: std::time::Duration,
+    /// Probability that a client terminates mid-run: it stops submitting
+    /// after a random prefix of its transactions. Its callback thread keeps
+    /// answering recalls and its cache is returned by the shutdown flush
+    /// (termination with a recovery agent), so the rest of the cluster can
+    /// always make progress.
+    pub termination_probability: f64,
+}
+
+impl ClusterChaos {
+    /// True when no chaos knob is enabled.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.max_callback_delay.is_zero() && self.termination_probability == 0.0
+    }
+}
+
+impl Default for ClusterChaos {
+    fn default() -> Self {
+        ClusterChaos {
+            max_callback_delay: std::time::Duration::ZERO,
+            termination_probability: 0.0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.clients == 0 {
+            return Err(ConfigError::new("clients", "must be at least 1"));
+        }
+        if self.db_objects == 0 {
+            return Err(ConfigError::new("db_objects", "must be positive"));
+        }
+        if self.client_cache == 0 {
+            return Err(ConfigError::new("client_cache", "must be positive"));
+        }
+        if self.server_buffer == 0 {
+            return Err(ConfigError::new("server_buffer", "must be positive"));
+        }
+        if self.time_scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !self.time_scale.is_finite()
+        {
+            return Err(ConfigError::new("time_scale", "must be positive and finite"));
+        }
+        if !(0.0..=1.0).contains(&self.workload.update_fraction) {
+            return Err(ConfigError::new(
+                "workload.update_fraction",
+                "must be within [0, 1]",
+            ));
+        }
+        if self.workload.mean_objects_per_txn.partial_cmp(&0.0)
+            != Some(std::cmp::Ordering::Greater)
+        {
+            return Err(ConfigError::new(
+                "workload.mean_objects_per_txn",
+                "must be positive",
+            ));
+        }
+        if self.workload.mean_interarrival.is_zero() {
+            return Err(ConfigError::new(
+                "workload.mean_interarrival",
+                "must be positive",
+            ));
+        }
+        if self.workload.access_pattern.hot_region_objects > self.db_objects {
+            return Err(ConfigError::new(
+                "workload.access_pattern.hot_region_objects",
+                "hot region cannot exceed the database size",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.chaos.termination_probability) {
+            return Err(ConfigError::new(
+                "chaos.termination_probability",
+                "must be within [0, 1]",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +162,7 @@ impl Default for ClusterConfig {
             },
             time_scale: 0.001,
             seed: 0xC1u64 << 32 | 0x5e1e,
+            chaos: ClusterChaos::default(),
         }
     }
 }
@@ -110,41 +206,12 @@ impl Cluster {
     /// [`ClusterError::Config`] for invalid parameters;
     /// [`ClusterError::WorkerPanicked`] if a thread died.
     pub fn run(cfg: ClusterConfig) -> Result<ClusterReport, ClusterError> {
-        if cfg.clients == 0 {
-            return Err(ClusterError::Config(ConfigError::new(
-                "clients",
-                "must be at least 1",
-            )));
-        }
-        if cfg.db_objects == 0 {
-            return Err(ClusterError::Config(ConfigError::new(
-                "db_objects",
-                "must be positive",
-            )));
-        }
-        if cfg.client_cache == 0 {
-            return Err(ClusterError::Config(ConfigError::new(
-                "client_cache",
-                "must be positive",
-            )));
-        }
-        if !(cfg.time_scale > 0.0) {
-            return Err(ClusterError::Config(ConfigError::new(
-                "time_scale",
-                "must be positive",
-            )));
-        }
-        if cfg.workload.access_pattern.hot_region_objects > cfg.db_objects {
-            return Err(ClusterError::Config(ConfigError::new(
-                "workload.access_pattern.hot_region_objects",
-                "hot region cannot exceed the database size",
-            )));
-        }
+        cfg.validate().map_err(ClusterError::Config)?;
 
         let mut callback_tx = Vec::new();
         let mut callback_rx = Vec::new();
         for _ in 0..cfg.clients {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             callback_tx.push(tx);
             callback_rx.push(rx);
         }
@@ -156,18 +223,24 @@ impl Cluster {
         let root = Prng::seed_from_u64(cfg.seed);
         let start = Instant::now();
 
-        let mut worker_reports: Vec<WorkerReport> = Vec::new();
-        let result = crossbeam::scope(|scope| {
+        let worker_reports: Vec<WorkerReport> = std::thread::scope(|scope| {
             // Callback threads.
+            let chaos_delay = cfg.chaos.max_callback_delay;
             let mut cb_handles = Vec::new();
             for (i, rx) in callback_rx.into_iter().enumerate() {
                 let shared = Arc::clone(&shareds[i]);
                 let server = Arc::clone(&server);
-                cb_handles.push(scope.spawn(move |_| {
-                    shared.callback_loop(&rx, &server);
+                let mut rng = root.derive(0xCB_0000 + i as u64);
+                cb_handles.push(scope.spawn(move || {
+                    if chaos_delay.is_zero() {
+                        shared.callback_loop(&rx, &server);
+                    } else {
+                        shared.callback_loop_jittered(&rx, &server, chaos_delay, &mut rng);
+                    }
                 }));
             }
-            // Worker threads.
+            // Worker threads. A chaos-terminated client submits only a
+            // random prefix of its transaction quota.
             let mut handles = Vec::new();
             for i in 0..cfg.clients {
                 let shared = Arc::clone(&shareds[i as usize]);
@@ -175,25 +248,44 @@ impl Cluster {
                 let history = Arc::clone(&history);
                 let cfg = cfg.clone();
                 let rng = root.derive(u64::from(i) + 1);
-                handles.push(scope.spawn(move |_| {
-                    worker_main(&cfg, shared, &server, &history, rng, start)
+                let mut chaos_rng = root.derive(0xC0A5_0000 + u64::from(i));
+                let quota = if cfg.txns_per_client > 0
+                    && chaos_rng.bernoulli(cfg.chaos.termination_probability)
+                {
+                    chaos_rng.below(u64::from(cfg.txns_per_client)) as u32
+                } else {
+                    cfg.txns_per_client
+                };
+                handles.push(scope.spawn(move || {
+                    worker_main(&cfg, shared, &server, &history, rng, start, quota)
                 }));
             }
             let mut reports = Vec::new();
+            let mut panicked = false;
             for h in handles {
-                reports.push(h.join().map_err(|_| ClusterError::WorkerPanicked)?);
+                match h.join() {
+                    Ok(r) => reports.push(r),
+                    Err(_) => panicked = true,
+                }
             }
             // Flush caches so the store holds the final committed state,
             // then close the callback channels so the callback threads
-            // drain and exit before the scope joins them.
+            // drain and exit before the scope joins them. This must happen
+            // even when a worker panicked, otherwise the callback threads
+            // would block the scope forever.
             for shared in &shareds {
                 shared.flush_all(&server);
             }
             server.close();
-            Ok::<Vec<WorkerReport>, ClusterError>(reports)
-        })
-        .map_err(|_| ClusterError::WorkerPanicked)?;
-        worker_reports.extend(result?);
+            for h in cb_handles {
+                let _ = h.join();
+            }
+            if panicked {
+                Err(ClusterError::WorkerPanicked)
+            } else {
+                Ok(reports)
+            }
+        })?;
         let stats = server.stats();
         Ok(ClusterReport::aggregate(&worker_reports, stats, history))
     }
@@ -206,6 +298,7 @@ fn worker_main(
     history: &HistoryLog,
     rng: Prng,
     start: Instant,
+    quota: u32,
 ) -> WorkerReport {
     let mut gen = TransactionGenerator::new(
         shared.id,
@@ -215,8 +308,11 @@ fn worker_main(
         cfg.clients,
         rng,
     );
-    let mut total = WorkerReport::default();
-    for _ in 0..cfg.txns_per_client {
+    let mut total = WorkerReport {
+        terminated: u64::from(quota < cfg.txns_per_client),
+        ..WorkerReport::default()
+    };
+    for _ in 0..quota {
         let spec = gen.next_txn();
         // Pace arrivals on the scaled clock.
         let due = start + scale_duration(spec.arrival.as_micros(), cfg.time_scale);
@@ -286,6 +382,46 @@ mod tests {
         .unwrap();
         report.history.check_serializable().unwrap();
         assert!(report.is_balanced());
+    }
+
+    #[test]
+    fn chaotic_cluster_stays_serializable() {
+        // Delayed recall delivery + mid-run client termination on a hot
+        // contended database: the worst interleavings we can provoke must
+        // still be conflict-serializable and fully accounted.
+        let mut cfg = ClusterConfig {
+            clients: 6,
+            db_objects: 8,
+            server_buffer: 8,
+            client_cache: 8,
+            txns_per_client: 25,
+            chaos: ClusterChaos {
+                max_callback_delay: std::time::Duration::from_millis(3),
+                termination_probability: 0.5,
+            },
+            ..ClusterConfig::default()
+        };
+        cfg.workload.access_pattern.hot_region_objects = 8;
+        cfg.workload.update_fraction = 0.8;
+        cfg.workload.mean_objects_per_txn = 3.0;
+        cfg.workload.mean_interarrival = SimDuration::from_secs(1);
+        let report = Cluster::run(cfg).unwrap();
+        assert!(report.is_balanced());
+        // Termination draws are seed-deterministic: with p = 0.5 over six
+        // clients this seed terminates at least one.
+        assert!(report.terminated_clients > 0, "no client terminated");
+        assert!(
+            report.generated < 6 * 25,
+            "terminated clients must submit fewer transactions"
+        );
+        report.history.check_serializable().unwrap();
+    }
+
+    #[test]
+    fn chaos_validation_rejects_bad_probability() {
+        let mut bad = ClusterConfig::default();
+        bad.chaos.termination_probability = 1.5;
+        assert!(matches!(Cluster::run(bad), Err(ClusterError::Config(_))));
     }
 
     #[test]

@@ -2,14 +2,15 @@
 //! store with real bytes, and blocking lock acquisition with deadline
 //! timeouts.
 
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::Sender;
-use parking_lot::{Condvar, Mutex};
 use siteselect_locks::{LockTable, QueueDiscipline, WaitForGraph};
 use siteselect_storage::PagedFile;
 use siteselect_types::{ClientId, LockMode, ObjectId, SimTime};
+
+use crate::sync::{Condvar, Mutex};
 
 /// A lock recall delivered to a client's callback thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,10 +246,10 @@ impl SharedServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use std::sync::mpsc::channel as unbounded;
     use std::time::Duration;
 
-    fn server(clients: u16) -> (Arc<SharedServer>, Vec<crossbeam::channel::Receiver<CallbackReq>>) {
+    fn server(clients: u16) -> (Arc<SharedServer>, Vec<std::sync::mpsc::Receiver<CallbackReq>>) {
         let mut txs = Vec::new();
         let mut rxs = Vec::new();
         for _ in 0..clients {

@@ -406,12 +406,16 @@ impl CentralizedSim {
         // the CPU ("tasks that have missed their deadlines are not
         // processed at all", §2) — this is what keeps the overloaded
         // centralized server doing useful work for feasible transactions.
-        let dead: Vec<Key> = self
+        let mut dead: Vec<Key> = self
             .txns
             .iter()
             .filter(|(_, t)| t.spec.is_expired(self.now))
             .map(|(&k, _)| k)
             .collect();
+        // HashMap iteration order is process-random; the abort cascade
+        // (lock grants, CPU reschedules) is order-sensitive, so sort to
+        // keep runs reproducible across invocations.
+        dead.sort_unstable();
         for key in dead {
             self.abort_inflight(key, AbortReason::Expired);
         }

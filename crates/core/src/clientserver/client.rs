@@ -33,14 +33,8 @@ impl ClientServerSim {
     ) {
         let delivery =
             self.fabric
-                .send_counted(self.now, SiteId::Client(from), SiteId::Server, kind, objects, logical);
-        self.queue.push(
-            delivery,
-            Ev::Deliver {
-                to: SiteDest::Server,
-                msg,
-            },
-        );
+                .try_send_counted(self.now, SiteId::Client(from), SiteId::Server, kind, objects, logical);
+        self.push_delivery(delivery, SiteDest::Server, msg);
     }
 
     pub(crate) fn send_to_client(
@@ -59,17 +53,11 @@ impl ClientServerSim {
         let client_to_client = matches!(from, SiteDest::Client(_));
         let delivery = if client_to_client && self.cfg.load_sharing.directory_enabled {
             self.fabric
-                .send_via_directory(self.now, from_site, to_site, kind, objects)
+                .try_send_via_directory(self.now, from_site, to_site, kind, objects)
         } else {
-            self.fabric.send(self.now, from_site, to_site, kind, objects)
+            self.fabric.try_send(self.now, from_site, to_site, kind, objects)
         };
-        self.queue.push(
-            delivery,
-            Ev::Deliver {
-                to: SiteDest::Client(to),
-                msg,
-            },
-        );
+        self.push_delivery(delivery, SiteDest::Client(to), msg);
     }
 
     // ------------------------------------------------------------------
@@ -80,6 +68,15 @@ impl ClientServerSim {
         let spec = self.specs[i].clone();
         let key = spec.id.as_u64();
         let ci = spec.origin.index();
+        if !self.site_up(spec.origin) {
+            // The originating workstation is crashed: the transaction is
+            // lost with it (a dead site submits nothing).
+            if self.measured_arrival(spec.arrival) {
+                self.metrics
+                    .record_outcome(TxnOutcome::Aborted(AbortReason::SiteCrash));
+            }
+            return;
+        }
         self.inflight += 1;
         let run = TxnRun {
             kind: RunKind::Normal,
@@ -265,8 +262,22 @@ impl ClientServerSim {
                 sent_at: self.now,
                 waiters: vec![key],
                 sent: true,
+                attempts: 0,
             },
         );
+        // Failure handling: guard the fresh request with a retry timer in
+        // case it (or its grant) is lost.
+        if self.faults.active && self.cfg.faults.max_retries > 0 {
+            self.queue.push(
+                self.now + self.cfg.faults.retry_backoff_base,
+                Ev::RetryFetch {
+                    client: ci,
+                    object,
+                    attempt: 0,
+                    sent_at: self.now,
+                },
+            );
+        }
         Some(Want {
             object,
             mode,
@@ -556,6 +567,7 @@ impl ClientServerSim {
             let best_score = Self::h2_score(best, &accesses, &conflicts) as f64;
             let origin_score = Self::h2_score(self_id, &accesses, &conflicts) as f64;
             if best != self_id
+                && self.site_up(best)
                 && best_score <= ls.ship_conflict_ratio * origin_score
                 && Self::holds_fraction(best, &accesses, &conflicts) >= ls.ship_locality_min
             {
@@ -683,9 +695,11 @@ impl ClientServerSim {
                         .min()
                         .map_or(self_id, |(_, _, c)| c)
                 };
-                if best != self_id {
+                if best != self_id && self.site_up(best) {
                     self.ship_txn(ci, key, best);
                 } else {
+                    // Best site is home, or the chosen site is crashed:
+                    // local processing degrades gracefully.
                     self.begin_acquisition(ci, key, true);
                 }
             }
@@ -698,7 +712,8 @@ impl ClientServerSim {
                 let mut origin_accs: Vec<AccessSpec> = Vec::new();
                 let mut groups: Vec<(ClientId, Vec<AccessSpec>)> = Vec::new();
                 for (site, accs) in raw {
-                    if site == self_id || accs.len() < 2 || groups.len() >= 4 {
+                    if site == self_id || !self.site_up(site) || accs.len() < 2 || groups.len() >= 4
+                    {
                         origin_accs.extend(accs);
                     } else {
                         groups.push((site, accs));
@@ -856,6 +871,7 @@ impl ClientServerSim {
             }
         });
         if !cancelled.is_empty() {
+            cancelled.sort_unstable(); // retain walks hash order
             let client = self.clients[ci].id;
             self.send_to_server(
                 client,
@@ -984,7 +1000,16 @@ impl ClientServerSim {
             self.clients[ci].cached_locks.remove(&object);
             self.clients[ci].cache.invalidate(object);
             self.clients[ci].dirty.remove(&object);
-            let (next, _skipped) = list.pop_next_live(self.now);
+            // Skip entries whose deadline passed and (failure handling)
+            // entries whose client is crashed — forwarding to a dead site
+            // would strand the object.
+            let next = loop {
+                let (next, _skipped) = list.pop_next_live(self.now);
+                match next {
+                    Some(e) if !self.site_up(e.client) => continue,
+                    other => break other,
+                }
+            };
             match next {
                 Some(entry) => {
                     self.send_to_client(
@@ -1339,17 +1364,207 @@ impl ClientServerSim {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection and failure handling
+    // ------------------------------------------------------------------
+
+    /// A client site crashes: every resident unit of work dies, all
+    /// volatile state (caches, cached locks, local lock table) is lost, and
+    /// the fabric refuses deliveries until recovery. The site sends
+    /// nothing on its way down — the rest of the system learns of the
+    /// failure only through timeouts and lease expiry.
+    pub(crate) fn on_site_crash(&mut self, ci: usize) {
+        if !self.faults.up[ci] {
+            return; // already down (schedules can overlap at run end)
+        }
+        self.faults.up[ci] = false;
+        self.metrics.faults.crashes += 1;
+        let id = self.clients[ci].id;
+        self.fabric.set_site_down(SiteId::Client(id));
+        let mut keys: Vec<TKey> = self.clients[ci].txns.keys().copied().collect();
+        keys.sort_unstable(); // hash order is process-random; kills cascade
+        for key in keys {
+            self.kill_run_on_crash(ci, key);
+        }
+        let cfg = self.cfg.client;
+        let c = &mut self.clients[ci];
+        c.cached_locks.clear();
+        c.dirty.clear();
+        c.fetches.clear();
+        c.revokes.clear();
+        c.cache = siteselect_storage::ClientCache::new(
+            cfg.memory_cache_objects,
+            cfg.disk_cache_objects,
+        );
+        c.local_locks =
+            siteselect_locks::LockTable::new(siteselect_locks::QueueDiscipline::Deadline);
+        c.local_wfg = siteselect_locks::WaitForGraph::new();
+    }
+
+    /// Silent death of one unit of work in a crash. Unlike
+    /// [`abort_txn`](Self::abort_txn) nothing is sent: remote interest is
+    /// settled by a synthetic timeout result, and whatever the site held at
+    /// the server is reclaimed by callback leases.
+    fn kill_run_on_crash(&mut self, ci: usize, key: TKey) {
+        let Some(run) = self.clients[ci].txns.remove(&key) else {
+            return;
+        };
+        if matches!(run.state, RunState::Executing | RunState::Synthesis) {
+            if let Some((t, generation)) = self.clients[ci].cpu.remove(self.now, key) {
+                self.queue.push(
+                    t,
+                    Ev::ClientCpu {
+                        client: ci,
+                        generation,
+                    },
+                );
+            }
+        }
+        match run.kind {
+            RunKind::Normal => {
+                self.inflight -= 1;
+                if self.measured_arrival(run.spec.arrival) {
+                    self.metrics
+                        .record_outcome(TxnOutcome::Aborted(AbortReason::SiteCrash));
+                }
+            }
+            // The origin is still waiting; model its failure detector as a
+            // synthetic failed result that fires after the full backoff
+            // cap (pushed straight to the event queue — a dead site puts
+            // nothing on the wire).
+            RunKind::Shipped { origin } => {
+                self.queue.push(
+                    self.now.saturating_add(self.cfg.faults.retry_backoff_cap),
+                    Ev::Deliver {
+                        to: SiteDest::Client(origin),
+                        msg: Msg::TxnShipResult {
+                            committed: false,
+                            deadline: run.spec.deadline,
+                            arrival: run.spec.arrival,
+                        },
+                    },
+                );
+            }
+            RunKind::Subtask {
+                parent,
+                index: _,
+                origin,
+            } => {
+                self.queue.push(
+                    self.now.saturating_add(self.cfg.faults.retry_backoff_cap),
+                    Ev::Deliver {
+                        to: SiteDest::Client(origin),
+                        msg: Msg::SubtaskResult { parent, ok: false },
+                    },
+                );
+            }
+        }
+    }
+
+    /// A crashed site comes back up, cold: it accepts traffic again but
+    /// remembers nothing (its caches were wiped at crash time).
+    pub(crate) fn on_site_recover(&mut self, ci: usize) {
+        if self.faults.up[ci] {
+            return;
+        }
+        self.faults.up[ci] = true;
+        self.metrics.faults.recoveries += 1;
+        let id = self.clients[ci].id;
+        self.fabric.set_site_up(SiteId::Client(id));
+    }
+
+    /// Retry timer for an outstanding fetch: if the fetch `sent_at` is
+    /// still unanswered, retransmit the request and re-arm with doubled
+    /// (capped) backoff. Stale timers — the fetch resolved, was replaced,
+    /// or a newer retry round superseded this one — mismatch and do
+    /// nothing.
+    pub(crate) fn on_retry_fetch(
+        &mut self,
+        ci: usize,
+        object: ObjectId,
+        attempt: u32,
+        sent_at: SimTime,
+    ) {
+        let f = self.cfg.faults;
+        if !self.faults.active || !self.faults.up[ci] {
+            return;
+        }
+        let Some(fetch) = self.clients[ci].fetches.get(&object) else {
+            return; // answered (or cancelled) in time
+        };
+        if !fetch.sent || fetch.sent_at != sent_at || fetch.attempts != attempt {
+            return; // stale timer
+        }
+        if attempt >= f.max_retries {
+            return; // budget exhausted; the deadline sweep settles waiters
+        }
+        let mode = fetch.mode;
+        // Re-issue on behalf of the earliest-deadline surviving waiter.
+        let Some((txn, deadline)) = fetch
+            .waiters
+            .iter()
+            .filter_map(|&k| {
+                self.clients[ci]
+                    .txns
+                    .get(&k)
+                    .map(|r| (k, r.spec.deadline))
+            })
+            .min_by_key(|&(k, d)| (d, k))
+        else {
+            return;
+        };
+        if let Some(fetch) = self.clients[ci].fetches.get_mut(&object) {
+            fetch.attempts = attempt + 1;
+        }
+        self.metrics.faults.retries += 1;
+        let needs_data = !self.clients[ci].cache.contains(object);
+        let client = self.clients[ci].id;
+        self.send_to_server(
+            client,
+            MessageKind::ObjectRequest,
+            0,
+            1,
+            Msg::RequestBatch {
+                txn,
+                client,
+                wants: vec![Want {
+                    object,
+                    mode,
+                    needs_data,
+                    deadline,
+                }],
+                grant_all: false,
+            },
+        );
+        let backoff = f
+            .retry_backoff_base
+            .mul_f64(f64::from(2u32.saturating_pow(attempt + 1)))
+            .min(f.retry_backoff_cap);
+        self.queue.push(
+            self.now + backoff,
+            Ev::RetryFetch {
+                client: ci,
+                object,
+                attempt: attempt + 1,
+                sent_at,
+            },
+        );
+    }
+
     /// Drops transactions whose deadline passed while they were not yet
     /// executing ("tasks that have missed their deadlines are not processed
     /// at all", §2).
     pub(crate) fn sweep_expired_txns(&mut self) {
         for ci in 0..self.clients.len() {
-            let expired: Vec<TKey> = self.clients[ci]
+            let mut expired: Vec<TKey> = self.clients[ci]
                 .txns
                 .iter()
                 .filter(|(_, r)| r.spec.is_expired(self.now))
                 .map(|(&k, _)| k)
                 .collect();
+            // HashMap order is process-random and the abort cascade is
+            // order-sensitive; sort for cross-invocation reproducibility.
+            expired.sort_unstable();
             for key in expired {
                 self.abort_txn(ci, key, AbortReason::Expired);
             }

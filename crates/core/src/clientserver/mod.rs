@@ -27,8 +27,8 @@ mod server;
 use std::collections::{BTreeMap, HashMap};
 
 use siteselect_locks::{CallbackTracker, ForwardList, LockTable, QueueDiscipline, WaitForGraph, WindowManager};
-use siteselect_net::Fabric;
-use siteselect_sim::EventQueue;
+use siteselect_net::{Delivery, Fabric};
+use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::{ClientCache, DiskModel};
 use siteselect_types::{
     AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime,
@@ -179,6 +179,22 @@ pub(crate) enum Ev {
     EndWarmup,
     /// Periodic pruning of expired transactions and waiters.
     Sweep,
+    /// Fault injection: a client site crashes (from the pre-generated
+    /// schedule).
+    SiteCrash { client: usize },
+    /// Fault injection: a crashed client site comes back up, cold.
+    SiteRecover { client: usize },
+    /// Failure handling: check whether a fetch is still unanswered and
+    /// retransmit its request (capped exponential backoff).
+    RetryFetch {
+        client: usize,
+        object: ObjectId,
+        /// The retry round this event belongs to (stale events mismatch).
+        attempt: u32,
+        /// Issue time of the fetch this retry guards (stale events
+        /// mismatch).
+        sent_at: SimTime,
+    },
 }
 
 /// Delivery destination (server or a client).
@@ -197,6 +213,9 @@ pub(crate) struct Fetch {
     /// True once the request actually went to the server (a fetch created
     /// while a batch is being assembled is not yet on the wire).
     pub sent: bool,
+    /// Retransmissions sent so far (failure handling; always 0 with faults
+    /// off).
+    pub attempts: u32,
 }
 
 /// A pending lock revocation at a client, answered when the last local user
@@ -347,6 +366,30 @@ pub(crate) struct ServerState {
     pub waiting_wants: HashMap<(ObjectId, ClientId), WantInfo>,
 }
 
+/// Fault-injection runtime state. `active` is false unless the experiment
+/// config enables an injection knob, and every fault code path is gated on
+/// it, so a default run schedules no fault events and draws no fault
+/// randomness.
+pub(crate) struct FaultRuntime {
+    /// True if `cfg.faults.injects_faults()`.
+    pub active: bool,
+    /// Liveness of each client site (all true with faults off).
+    pub up: Vec<bool>,
+    /// Pre-crash in-flight deliveries refused at a crashed destination
+    /// (fabric-level drops are counted by the fabric itself).
+    pub gate_dropped: u64,
+}
+
+impl FaultRuntime {
+    fn new(active: bool, clients: usize) -> Self {
+        FaultRuntime {
+            active,
+            up: vec![true; clients],
+            gate_dropped: 0,
+        }
+    }
+}
+
 /// Discrete-event simulator of CS-RTDBS / LS-CS-RTDBS.
 pub struct ClientServerSim {
     pub(crate) cfg: ExperimentConfig,
@@ -361,6 +404,7 @@ pub struct ClientServerSim {
     pub(crate) inflight: usize,
     /// Parent transactions of decompositions also count in `inflight`.
     pub(crate) specs: Vec<TransactionSpec>,
+    pub(crate) faults: FaultRuntime,
 }
 
 impl ClientServerSim {
@@ -383,7 +427,7 @@ impl ClientServerSim {
         // refused — while EDF-ordering the lock queue itself breaks up
         // naturally batched reader grants and lowers aggregate success.
         let discipline = QueueDiscipline::Fifo;
-        let clients = (0..cfg.clients)
+        let clients: Vec<ClientState> = (0..cfg.clients)
             .map(|i| ClientState {
                 id: ClientId(i),
                 cache: ClientCache::new(
@@ -420,8 +464,16 @@ impl ClientServerSim {
             cfg.workload.update_fraction,
             cfg.runtime.seed,
         );
+        let faults = FaultRuntime::new(cfg.faults.injects_faults(), clients.len());
+        let mut fabric = Fabric::new(cfg.network, cfg.database.object_size_bytes);
+        if faults.active {
+            // A dedicated PRNG stream for the fabric: loss and jitter draws
+            // never perturb the workload's random sequence.
+            let prng = Prng::seed_from_u64(cfg.runtime.seed).derive(0xFA_B1);
+            fabric.enable_faults(cfg.faults, prng);
+        }
         ClientServerSim {
-            fabric: Fabric::new(cfg.network, cfg.database.object_size_bytes),
+            fabric,
             ls,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -431,7 +483,55 @@ impl ClientServerSim {
             metrics,
             inflight: 0,
             specs: Vec::new(),
+            faults,
             cfg,
+        }
+    }
+
+    /// Pre-generates the whole fault schedule (crashes, recoveries and
+    /// slow-disk episodes) from seed-derived PRNG streams, so two runs with
+    /// the same seed inject identical faults regardless of workload
+    /// interleaving.
+    fn schedule_faults(&mut self) {
+        let f = self.cfg.faults;
+        let duration = self.cfg.runtime.duration;
+        let end = SimTime::ZERO + duration;
+        if !f.mean_time_to_crash.is_zero() {
+            let crash_base = Prng::seed_from_u64(self.cfg.runtime.seed).derive(0xFA_C2);
+            for ci in 0..self.clients.len() {
+                let mut prng = crash_base.derive(ci as u64);
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += prng.exp_duration(f.mean_time_to_crash);
+                    if t >= end {
+                        break;
+                    }
+                    self.queue.push(t, Ev::SiteCrash { client: ci });
+                    if f.mean_recovery_time.is_zero() {
+                        break; // this site stays down for the rest of the run
+                    }
+                    t += prng.exp_duration(f.mean_recovery_time);
+                    if t >= end {
+                        break;
+                    }
+                    self.queue.push(t, Ev::SiteRecover { client: ci });
+                }
+            }
+        }
+        if !f.mean_time_to_slow_disk.is_zero() {
+            let mut prng = Prng::seed_from_u64(self.cfg.runtime.seed).derive(0xFA_D3);
+            let mut episodes = Vec::new();
+            let mut t = SimTime::ZERO;
+            loop {
+                t += prng.exp_duration(f.mean_time_to_slow_disk);
+                if t >= end {
+                    break;
+                }
+                let until = t + f.slow_disk_duration;
+                episodes.push((t, until));
+                t = until;
+            }
+            self.server.disk.set_slow_episodes(episodes, f.slow_disk_factor);
         }
     }
 
@@ -449,6 +549,9 @@ impl ClientServerSim {
         self.specs = trace.transactions().to_vec();
         for (i, spec) in self.specs.iter().enumerate() {
             self.queue.push(spec.arrival, Ev::Arrive(i));
+        }
+        if self.faults.active {
+            self.schedule_faults();
         }
         self.queue.push(self.warmup_end, Ev::EndWarmup);
         self.queue.push(SimTime::from_secs(1), Ev::Sweep);
@@ -475,7 +578,65 @@ impl ClientServerSim {
             (busy / (span * self.clients.len() as f64)).min(1.0);
         self.metrics.load_sharing.windows_opened = self.server.windows.total_opened();
         self.metrics.messages = self.fabric.stats().clone();
+        self.metrics.faults.messages_dropped =
+            self.fabric.dropped_messages() + self.faults.gate_dropped;
+        self.metrics.faults.messages_delayed = self.fabric.delayed_messages();
+        self.metrics.faults.slow_disk_ios = self.server.disk.slow_ios();
         self.metrics
+    }
+
+    /// True unless fault injection has `client` currently crashed.
+    pub(crate) fn site_up(&self, client: ClientId) -> bool {
+        self.faults.up.get(client.index()).copied().unwrap_or(true)
+    }
+
+    /// Schedules (or accounts for the loss of) a fault-aware send.
+    pub(crate) fn push_delivery(&mut self, delivery: Delivery, to: SiteDest, msg: Msg) {
+        match delivery {
+            Delivery::Delivered(t) => self.queue.push(t, Ev::Deliver { to, msg }),
+            Delivery::Dropped => self.on_dropped_delivery(msg),
+        }
+    }
+
+    /// Accounting for a message that will never arrive. Most losses are
+    /// recovered by retries, leases or deadline sweeps; the ones that carry
+    /// a transaction (or the only record of one) must settle its outcome
+    /// here or `inflight` leaks and the run never drains.
+    fn on_dropped_delivery(&mut self, msg: Msg) {
+        match msg {
+            // The travelling transaction is gone; its origin's timeout
+            // scores it as a crash loss.
+            Msg::TxnShip { spec } => {
+                self.inflight -= 1;
+                if self.measured_arrival(spec.arrival) {
+                    self.metrics
+                        .record_outcome(siteselect_types::TxnOutcome::Aborted(
+                            siteselect_types::AbortReason::SiteCrash,
+                        ));
+                }
+            }
+            // The origin can no longer learn the outcome (it crashed, or
+            // the result was lost): settle the shipped transaction now.
+            Msg::TxnShipResult { arrival, .. } => {
+                self.inflight -= 1;
+                if self.measured_arrival(arrival) {
+                    self.metrics
+                        .record_outcome(siteselect_types::TxnOutcome::Aborted(
+                            siteselect_types::AbortReason::SiteCrash,
+                        ));
+                }
+            }
+            // The object died in transit: the chain is broken, so the
+            // server's own copy becomes authoritative again and later
+            // requests must not keep batching onto the dead route.
+            Msg::ObjectForward { object, .. } => {
+                self.server.routing.remove(&object);
+            }
+            // Everything else is recovered by retries (requests/grants),
+            // leases (recalls/acks/returns) or the deadline sweeps
+            // (queries, subtask traffic).
+            _ => {}
+        }
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -483,7 +644,17 @@ impl ClientServerSim {
             Ev::Arrive(i) => self.on_arrive(i),
             Ev::Deliver { to, msg } => match to {
                 SiteDest::Server => self.server_on_msg(msg),
-                SiteDest::Client(c) => self.client_on_msg(c, msg),
+                SiteDest::Client(c) => {
+                    // Crash refusal for deliveries already in flight when
+                    // the destination went down (new sends are refused by
+                    // the fabric itself).
+                    if self.site_up(c) {
+                        self.client_on_msg(c, msg);
+                    } else {
+                        self.faults.gate_dropped += 1;
+                        self.on_dropped_delivery(msg);
+                    }
+                }
             },
             Ev::ClientCpu { client, generation } => self.on_client_cpu(client, generation),
             Ev::ClientDiskReady {
@@ -495,6 +666,14 @@ impl ClientServerSim {
             Ev::WindowClose { object } => self.server_on_window_close(object),
             Ev::EndWarmup => self.fabric.reset_stats(),
             Ev::Sweep => self.on_sweep(),
+            Ev::SiteCrash { client } => self.on_site_crash(client),
+            Ev::SiteRecover { client } => self.on_site_recover(client),
+            Ev::RetryFetch {
+                client,
+                object,
+                attempt,
+                sent_at,
+            } => self.on_retry_fetch(client, object, attempt, sent_at),
         }
     }
 

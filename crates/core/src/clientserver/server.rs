@@ -4,7 +4,7 @@
 //! the buffer/disk path that ships object payloads.
 
 use siteselect_locks::{Acquire, ForwardEntry, ForwardList, WindowOffer};
-use siteselect_net::MessageKind;
+use siteselect_net::{Delivery, MessageKind};
 use siteselect_types::{ClientId, LockMode, ObjectId, SiteId, TransactionId};
 
 use super::{ClientServerSim, Ev, Msg, SiteDest, TKey, Want, WantInfo};
@@ -78,19 +78,17 @@ impl ClientServerSim {
             self.server_handle_want(txn, client, w);
         }
         if !conflicts.is_empty() {
-            let delivery = self.fabric.send(
+            let delivery = self.fabric.try_send(
                 self.now,
                 SiteId::Server,
                 SiteId::Client(client),
                 MessageKind::ConflictInfo,
                 0,
             );
-            self.queue.push(
+            self.push_delivery(
                 delivery,
-                Ev::Deliver {
-                    to: SiteDest::Client(client),
-                    msg: Msg::ConflictReport { txn, conflicts },
-                },
+                SiteDest::Client(client),
+                Msg::ConflictReport { txn, conflicts },
             );
         }
     }
@@ -169,6 +167,11 @@ impl ClientServerSim {
     /// The plain (CS-RTDBS) path: queue in the lock table under deadlock
     /// avoidance and recall conflicting cached locks.
     fn server_want_plain(&mut self, txn: TKey, client: ClientId, w: Want, conflicting: Vec<ClientId>) {
+        // Failure handling: a retransmitted request whose original is still
+        // queued must not double-queue in the lock table.
+        if self.faults.active && self.server.waiting_wants.contains_key(&(w.object, client)) {
+            return;
+        }
         if self.server.wfg.would_deadlock(client, &conflicting) {
             self.server_reject(client, txn, false);
             return;
@@ -193,27 +196,29 @@ impl ClientServerSim {
                 );
                 self.server.wfg.add_waits(client, conflicts);
                 // Call back the conflicting cached locks.
-                let targets =
-                    self.server
-                        .callbacks
-                        .begin(w.object, conflicting.clone(), w.mode);
+                let targets = self.server.callbacks.begin_at(
+                    w.object,
+                    conflicting.clone(),
+                    w.mode,
+                    self.now,
+                );
                 for t in targets {
-                    let delivery = self.fabric.send(
+                    let delivery = self.fabric.try_send(
                         self.now,
                         SiteId::Server,
                         SiteId::Client(t),
                         MessageKind::Recall,
                         0,
                     );
-                    self.queue.push(
+                    // A lost recall is recovered by the callback lease: the
+                    // server presumes the silent holder dead and reclaims.
+                    self.push_delivery(
                         delivery,
-                        Ev::Deliver {
-                            to: SiteDest::Client(t),
-                            msg: Msg::Recall {
-                                object: w.object,
-                                desired: w.mode,
-                                forward: None,
-                            },
+                        SiteDest::Client(t),
+                        Msg::Recall {
+                            object: w.object,
+                            desired: w.mode,
+                            forward: None,
                         },
                     );
                 }
@@ -222,20 +227,14 @@ impl ClientServerSim {
     }
 
     fn server_reject(&mut self, client: ClientId, txn: TKey, expired: bool) {
-        let delivery = self.fabric.send(
+        let delivery = self.fabric.try_send(
             self.now,
             SiteId::Server,
             SiteId::Client(client),
             MessageKind::ConflictInfo,
             0,
         );
-        self.queue.push(
-            delivery,
-            Ev::Deliver {
-                to: SiteDest::Client(client),
-                msg: Msg::Rejected { txn, expired },
-            },
-        );
+        self.push_delivery(delivery, SiteDest::Client(client), Msg::Rejected { txn, expired });
     }
 
     // ------------------------------------------------------------------
@@ -288,9 +287,9 @@ impl ClientServerSim {
     pub(crate) fn server_ship_now(&mut self, to: ClientId, items: Vec<(ObjectId, LockMode, bool)>) {
         let with_data = items.iter().filter(|(_, _, d)| *d).count() as u32;
         let lock_only = items.len() as u32 - with_data;
-        let mut delivery = self.now;
+        let mut delivery = Delivery::Delivered(self.now);
         if with_data > 0 {
-            delivery = self.fabric.send_counted(
+            delivery = self.fabric.try_send_counted(
                 self.now,
                 SiteId::Server,
                 SiteId::Client(to),
@@ -300,22 +299,22 @@ impl ClientServerSim {
             );
         }
         if lock_only > 0 {
-            delivery = delivery.max(self.fabric.send_counted(
+            let locks = self.fabric.try_send_counted(
                 self.now,
                 SiteId::Server,
                 SiteId::Client(to),
                 MessageKind::LockGrant,
                 0,
                 lock_only,
-            ));
+            );
+            // The batch resolves as one unit: losing either frame loses it
+            // (the client's retries re-request everything outstanding).
+            delivery = match (delivery, locks) {
+                (Delivery::Delivered(a), Delivery::Delivered(b)) => Delivery::Delivered(a.max(b)),
+                _ => Delivery::Dropped,
+            };
         }
-        self.queue.push(
-            delivery,
-            Ev::Deliver {
-                to: SiteDest::Client(to),
-                msg: Msg::GrantBatch { items },
-            },
-        );
+        self.push_delivery(delivery, SiteDest::Client(to), Msg::GrantBatch { items });
     }
 
     // ------------------------------------------------------------------
@@ -449,22 +448,25 @@ impl ClientServerSim {
                 self.server.routing.insert(object, list.clone());
                 let grants = self.server.locks.release(object, holder);
                 debug_assert!(grants.is_empty(), "no queue behind a routed object");
-                let delivery = self.fabric.send(
+                let delivery = self.fabric.try_send(
                     self.now,
                     SiteId::Server,
                     SiteId::Client(holder),
                     MessageKind::Recall,
                     0,
                 );
-                self.queue.push(
+                if delivery == Delivery::Dropped {
+                    // The chain never started: the stale routing entry
+                    // would otherwise shadow the object forever.
+                    self.server.routing.remove(&object);
+                }
+                self.push_delivery(
                     delivery,
-                    Ev::Deliver {
-                        to: SiteDest::Client(holder),
-                        msg: Msg::Recall {
-                            object,
-                            desired: LockMode::Exclusive,
-                            forward: Some(list),
-                        },
+                    SiteDest::Client(holder),
+                    Msg::Recall {
+                        object,
+                        desired: LockMode::Exclusive,
+                        forward: Some(list),
                     },
                 );
             }
@@ -493,9 +495,16 @@ impl ClientServerSim {
 
     /// Ships a forward list starting from the server's copy of the object.
     pub(crate) fn serve_list_from_server(&mut self, object: ObjectId, mut list: ForwardList) {
-        let (next, _skipped) = list.pop_next_live(self.now);
+        // Skip expired requesters and (failure handling) crashed ones.
+        let next = loop {
+            let (next, _skipped) = list.pop_next_live(self.now);
+            match next {
+                Some(e) if !self.site_up(e.client) => continue,
+                other => break other,
+            }
+        };
         let Some(entry) = next else {
-            return; // every requester expired; the object stays home
+            return; // every requester expired or crashed; the object stays home
         };
         self.server.buffer.insert(object);
         if list.is_empty() {
@@ -527,22 +536,22 @@ impl ClientServerSim {
         // A real chain: route it untracked; the last client returns the
         // object.
         self.server.routing.insert(object, list.clone());
-        let delivery = self.fabric.send(
+        let delivery = self.fabric.try_send(
             self.now,
             SiteId::Server,
             SiteId::Client(entry.client),
             MessageKind::ObjectSend,
             1,
         );
-        self.queue.push(
+        // A dropped ObjectForward clears the routing entry again (see
+        // `on_dropped_delivery`).
+        self.push_delivery(
             delivery,
-            Ev::Deliver {
-                to: SiteDest::Client(entry.client),
-                msg: Msg::ObjectForward {
-                    object,
-                    mode: entry.mode,
-                    rest: list,
-                },
+            SiteDest::Client(entry.client),
+            Msg::ObjectForward {
+                object,
+                mode: entry.mode,
+                rest: list,
             },
         );
     }
@@ -567,22 +576,22 @@ impl ClientServerSim {
             .map(|c| (c.id, c.load(), c.atl()))
             .collect();
         let client = TransactionId::from_raw(txn).origin();
-        let delivery = self.fabric.send(
+        let delivery = self.fabric.try_send(
             self.now,
             SiteId::Server,
             SiteId::Client(client),
             MessageKind::LoadReply,
             0,
         );
-        self.queue.push(
+        // A lost reply leaves the transaction in AwaitInfo until the
+        // deadline sweep reaps it — a miss, never a hang.
+        self.push_delivery(
             delivery,
-            Ev::Deliver {
-                to: SiteDest::Client(client),
-                msg: Msg::LoadReply {
-                    txn,
-                    locations,
-                    loads,
-                },
+            SiteDest::Client(client),
+            Msg::LoadReply {
+                txn,
+                locations,
+                loads,
             },
         );
     }
@@ -592,6 +601,7 @@ impl ClientServerSim {
     // ------------------------------------------------------------------
 
     pub(crate) fn server_sweep(&mut self) {
+        self.reclaim_expired_leases();
         let (expired, grants) = self.server.locks.cancel_expired(self.now);
         let mut touched: Vec<ClientId> = Vec::new();
         for (object, waiter) in expired {
@@ -606,6 +616,39 @@ impl ClientServerSim {
         for (object, waiters) in grants {
             self.server_apply_grants(object, waiters.iter().map(|w| w.owner).collect());
         }
+    }
+
+    /// Failure handling: callbacks unanswered past the lease are presumed
+    /// lost with their holder. The server reclaims the lock, fences the
+    /// holder's cached copy (so a zombie or recovered site cannot serve
+    /// stale data) and grants the waiters from its own copy. Inert unless
+    /// faults are injected and a non-zero lease is configured.
+    fn reclaim_expired_leases(&mut self) {
+        let lease = self.cfg.faults.callback_lease;
+        if !self.faults.active || lease.is_zero() {
+            return;
+        }
+        for (object, holder) in self.server.callbacks.expired(self.now, lease) {
+            self.metrics.faults.leases_expired += 1;
+            self.server.callbacks.acknowledge(object, holder);
+            let grants = self.server.locks.release(object, holder);
+            // Fence the presumed-dead holder. If it was merely slow, the
+            // invalidation is conservative but safe: it must re-fetch.
+            let c = &mut self.clients[holder.index()];
+            c.cached_locks.remove(&object);
+            c.cache.invalidate(object);
+            c.dirty.remove(&object);
+            c.revokes.remove(&object);
+            self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+        }
+        // A forward chain whose every requester deadline has passed can no
+        // longer terminate by itself (a crashed intermediary may have
+        // swallowed the object): the server's copy becomes authoritative
+        // again, which also lets stalled collection windows drain.
+        let now = self.now;
+        self.server
+            .routing
+            .retain(|_, l| l.entries().iter().any(|e| e.deadline >= now));
     }
 }
 

@@ -25,7 +25,8 @@ pub type Reschedule = Option<(SimTime, u64)>;
 /// never fires before the work is actually done (rounding down would leave
 /// an infinitesimal residue and a zero-length event loop).
 fn ceil_to_micros(secs: f64) -> SimDuration {
-    if !(secs > 0.0) {
+    // NaN and non-positive inputs both map to zero work.
+    if secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return SimDuration::ZERO;
     }
     let micros = (secs * 1e6).ceil();

@@ -77,8 +77,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut cfg = ExperimentConfig::default();
-        cfg.clients = 0;
+        let cfg = ExperimentConfig {
+            clients: 0,
+            ..ExperimentConfig::default()
+        };
         assert!(run_experiment(&cfg).is_err());
     }
 
@@ -94,6 +96,84 @@ mod tests {
         let m = quick(SystemKind::Centralized, 6, 0.05);
         assert!(m.server_cpu_utilization > 0.0);
         assert!(m.server_buffer.total() > 0);
+    }
+
+    #[test]
+    fn chaos_runs_complete_and_stay_balanced() {
+        use siteselect_types::FaultConfig;
+        for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+            for intensity in [1.0, 3.0] {
+                let mut cfg = ExperimentConfig::paper(system, 6, 0.20);
+                cfg.runtime.duration = SimDuration::from_secs(300);
+                cfg.runtime.warmup = SimDuration::from_secs(50);
+                cfg.faults = FaultConfig::chaos(intensity);
+                // The run draining at all proves no transaction hangs: the
+                // sweep keeps firing while anything is in flight.
+                let m = run_experiment(&cfg).unwrap();
+                assert!(m.measured > 0, "{system}@{intensity}: nothing measured");
+                assert!(
+                    m.is_consistent(),
+                    "{system}@{intensity}: outcome accounting out of balance"
+                );
+                assert!(
+                    m.faults.any(),
+                    "{system}@{intensity}: chaos injected no observable fault"
+                );
+                assert!(
+                    m.faults.messages_dropped > 0,
+                    "{system}@{intensity}: 10%+ loss dropped nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        use siteselect_types::FaultConfig;
+        let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, 5, 0.20);
+        cfg.runtime.duration = SimDuration::from_secs(300);
+        cfg.runtime.warmup = SimDuration::from_secs(50);
+        cfg.faults = FaultConfig::chaos(2.0);
+        let a = run_experiment(&cfg).unwrap();
+        let b = run_experiment(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handling_knobs_alone_change_nothing() {
+        // Lease/backoff settings are failure *handling*: with every
+        // injection knob off they must not perturb the run at all.
+        let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, 5, 0.20);
+        cfg.runtime.duration = SimDuration::from_secs(300);
+        cfg.runtime.warmup = SimDuration::from_secs(50);
+        let a = run_experiment(&cfg).unwrap();
+        cfg.faults.callback_lease = SimDuration::from_secs(1);
+        cfg.faults.max_retries = 9;
+        cfg.faults.retry_backoff_base = SimDuration::from_millis(50);
+        let b = run_experiment(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.faults.any());
+    }
+
+    #[test]
+    fn crash_only_chaos_records_crashes_and_site_crash_losses() {
+        use siteselect_types::FaultConfig;
+        let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, 6, 0.20);
+        cfg.runtime.duration = SimDuration::from_secs(600);
+        cfg.runtime.warmup = SimDuration::from_secs(50);
+        cfg.faults = FaultConfig {
+            mean_time_to_crash: SimDuration::from_secs(120),
+            mean_recovery_time: SimDuration::from_secs(30),
+            ..FaultConfig::default()
+        };
+        let m = run_experiment(&cfg).unwrap();
+        assert!(m.faults.crashes > 0, "no crash in 600s at MTTC 120s x6 sites");
+        assert!(m.faults.recoveries > 0, "no recovery observed");
+        assert!(
+            m.failures.site_crash > 0,
+            "crashes killed no measured transaction"
+        );
+        assert!(m.is_consistent());
     }
 
     #[test]

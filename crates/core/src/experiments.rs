@@ -1,7 +1,6 @@
 //! Parameter sweeps that regenerate every figure and table of the paper's
 //! evaluation (§5.2).
 
-use serde::{Deserialize, Serialize};
 use siteselect_types::{ConfigError, ExperimentConfig, SimDuration, SystemKind};
 
 use crate::driver::run_experiment;
@@ -9,7 +8,7 @@ use crate::report::{fnum, TextTable};
 
 /// Run-length control for sweeps: the paper-scale defaults take minutes;
 /// `quick()` keeps CI and doctests fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
     /// Simulated duration per run.
     pub duration: SimDuration,
@@ -61,7 +60,7 @@ pub const TABLE_CLIENTS: [u16; 3] = [20, 60, 100];
 pub const UPDATE_FRACTIONS: [f64; 3] = [0.01, 0.05, 0.20];
 
 /// One figure: deadline-success percentage per system and client count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeadlineFigure {
     /// Per-access update probability of this figure (0.01 / 0.05 / 0.20).
     pub update_fraction: f64,
@@ -134,7 +133,7 @@ pub fn deadline_figure(
 
 /// Table 2: average client cache hit rates, CS vs LS, by update percentage
 /// and client count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheTable {
     /// `(clients, [CS hit% at 1/5/20%], [LS hit% at 1/5/20%])`.
     pub rows: Vec<(u16, [f64; 3], [f64; 3])>,
@@ -196,7 +195,7 @@ pub fn cache_table(clients: &[u16], opts: SweepOptions) -> Result<CacheTable, Co
 
 /// Table 3: average object response times (seconds) by requested lock mode
 /// at 1% updates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponseTable {
     /// `(clients, CS [SL, EL], LS [SL, EL])` in seconds.
     pub rows: Vec<(u16, [f64; 2], [f64; 2])>,
@@ -253,7 +252,7 @@ pub fn response_table(clients: &[u16], opts: SweepOptions) -> Result<ResponseTab
 }
 
 /// Table 4: message counts by category (100 clients, 1% updates).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MessageTable {
     /// `(row label, CS count, LS count)` in the paper's row order.
     pub rows: Vec<(String, u64, u64)>,
@@ -302,6 +301,92 @@ pub fn message_table(clients: u16, opts: SweepOptions) -> Result<MessageTable, C
     Ok(MessageTable { rows })
 }
 
+/// Fault intensities swept by [`fault_table`]: off, then increasing chaos.
+pub const FAULT_INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Graceful-degradation study: deadline-success of CS-RTDBS vs
+/// LS-CS-RTDBS under increasing fault intensity, with the observed fault
+/// activity alongside. Not part of the paper — it exercises the
+/// fault-injection subsystem end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTable {
+    /// Client count of every run.
+    pub clients: u16,
+    /// Per-intensity measurements.
+    pub rows: Vec<FaultRow>,
+}
+
+/// One [`FaultTable`] row: `(intensity, [CS, LS] success %, [CS, LS]
+/// dropped messages, [CS, LS] site crashes)`.
+pub type FaultRow = (f64, [f64; 2], [u64; 2], [u64; 2]);
+
+impl FaultTable {
+    /// Renders the degradation table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "intensity".into(),
+            "CS-RTDBS %".into(),
+            "LS-CS-RTDBS %".into(),
+            "CS drops".into(),
+            "LS drops".into(),
+            "CS crashes".into(),
+            "LS crashes".into(),
+        ]);
+        for (intensity, success, drops, crashes) in &self.rows {
+            t.row(vec![
+                fnum(*intensity, 2),
+                fnum(success[0], 2),
+                fnum(success[1], 2),
+                drops[0].to_string(),
+                drops[1].to_string(),
+                crashes[0].to_string(),
+                crashes[1].to_string(),
+            ]);
+        }
+        format!(
+            "Deadline success under increasing fault intensity ({} clients, 20% updates)\n{}",
+            self.clients,
+            t.render()
+        )
+    }
+}
+
+/// Runs the graceful-degradation sweep: CS and LS at `clients` clients and
+/// 20% updates for each intensity in `intensities`
+/// (see [`FaultConfig::chaos`](siteselect_types::FaultConfig::chaos)).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn fault_table(
+    clients: u16,
+    intensities: &[f64],
+    opts: SweepOptions,
+) -> Result<FaultTable, ConfigError> {
+    use siteselect_types::FaultConfig;
+    let mut rows = Vec::with_capacity(intensities.len());
+    for &intensity in intensities {
+        let mut success = [0.0f64; 2];
+        let mut drops = [0u64; 2];
+        let mut crashes = [0u64; 2];
+        for (i, system) in [SystemKind::ClientServer, SystemKind::LoadSharing]
+            .iter()
+            .enumerate()
+        {
+            let mut cfg = ExperimentConfig::paper(*system, clients, 0.20);
+            opts.apply(&mut cfg);
+            cfg.faults = FaultConfig::chaos(intensity);
+            let m = run_experiment(&cfg)?;
+            success[i] = m.success_percent();
+            drops[i] = m.faults.messages_dropped;
+            crashes[i] = m.faults.crashes;
+        }
+        rows.push((intensity, success, drops, crashes));
+    }
+    Ok(FaultTable { clients, rows })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +430,24 @@ mod tests {
         let t = response_table(&[4], tiny()).unwrap();
         assert_eq!(t.rows.len(), 1);
         assert!(t.render().contains("object response times"));
+    }
+
+    #[test]
+    fn fault_table_zero_intensity_matches_clean_runs() {
+        let t = fault_table(4, &[0.0, 1.0], tiny()).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        let (_, clean, clean_drops, clean_crashes) = &t.rows[0];
+        assert_eq!(*clean_drops, [0, 0], "intensity 0 must inject nothing");
+        assert_eq!(*clean_crashes, [0, 0]);
+        for v in clean {
+            assert!((0.0..=100.0).contains(v));
+        }
+        let (_, _, chaotic_drops, _) = &t.rows[1];
+        assert!(
+            chaotic_drops[0] > 0 && chaotic_drops[1] > 0,
+            "full chaos must drop messages in both systems"
+        );
+        assert!(t.render().contains("fault intensity"));
     }
 
     #[test]

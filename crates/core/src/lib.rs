@@ -37,4 +37,6 @@ pub mod report;
 pub use centralized::CentralizedSim;
 pub use clientserver::ClientServerSim;
 pub use driver::run_experiment;
-pub use metrics::{CacheReport, FailureBreakdown, LoadSharingReport, ResponseReport, RunMetrics};
+pub use metrics::{
+    CacheReport, FailureBreakdown, FaultReport, LoadSharingReport, ResponseReport, RunMetrics,
+};

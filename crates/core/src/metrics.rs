@@ -1,13 +1,12 @@
 //! Run metrics: everything the paper's tables and figures report, plus
 //! diagnostics.
 
-use serde::{Deserialize, Serialize};
 use siteselect_net::MessageStats;
 use siteselect_sim::{OnlineStats, Ratio};
 use siteselect_types::{SystemKind, TxnOutcome};
 
 /// Why transactions failed, broken down (diagnostics beyond the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FailureBreakdown {
     /// Dropped because the deadline passed before/while processing.
     pub expired: u64,
@@ -19,18 +18,50 @@ pub struct FailureBreakdown {
     pub late: u64,
     /// In flight when the run ended.
     pub shutdown: u64,
+    /// Lost to an injected site crash (in flight at a crashing site, or
+    /// arrived while its site was down).
+    pub site_crash: u64,
 }
 
 impl FailureBreakdown {
     /// Total failures.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.expired + self.deadlock + self.subtask + self.late + self.shutdown
+        self.expired + self.deadlock + self.subtask + self.late + self.shutdown + self.site_crash
+    }
+}
+
+/// Fault-injection and failure-handling activity (all zero when the fault
+/// subsystem is off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Site crashes injected.
+    pub crashes: u64,
+    /// Site recoveries completed.
+    pub recoveries: u64,
+    /// Messages lost (random loss plus deliveries to crashed sites).
+    pub messages_dropped: u64,
+    /// Messages given non-zero extra delivery jitter.
+    pub messages_delayed: u64,
+    /// Callback leases that expired, reclaiming a presumed-dead holder's
+    /// lock.
+    pub leases_expired: u64,
+    /// Client request retries sent after a presumed-lost control message.
+    pub retries: u64,
+    /// Server disk I/Os served during a slow-disk episode.
+    pub slow_disk_ios: u64,
+}
+
+impl FaultReport {
+    /// True if any fault activity was observed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != FaultReport::default()
     }
 }
 
 /// Client cache behaviour (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheReport {
     /// Accesses served from the memory tier.
     pub memory_hits: u64,
@@ -54,7 +85,7 @@ impl CacheReport {
 }
 
 /// Object response times by requested lock mode (Table 3), in seconds.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ResponseReport {
     /// Request-to-receipt latency for shared-lock requests.
     pub shared: OnlineStats,
@@ -63,7 +94,7 @@ pub struct ResponseReport {
 }
 
 /// Load-sharing activity (LS-CS-RTDBS only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LoadSharingReport {
     /// Transactions shipped to another site (H1 or H2 decision).
     pub shipped: u64,
@@ -81,7 +112,7 @@ pub struct LoadSharingReport {
 }
 
 /// Complete metrics of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// System under test.
     pub system: SystemKind,
@@ -106,6 +137,8 @@ pub struct RunMetrics {
     pub messages: MessageStats,
     /// Load-sharing activity (meaningful for LS runs).
     pub load_sharing: LoadSharingReport,
+    /// Fault-injection activity (meaningful when faults are enabled).
+    pub faults: FaultReport,
     /// End-to-end latency of in-time transactions, seconds.
     pub latency: OnlineStats,
     /// Time transactions spent blocked waiting for objects/locks, seconds.
@@ -134,6 +167,7 @@ impl RunMetrics {
             response: ResponseReport::default(),
             messages: MessageStats::new(),
             load_sharing: LoadSharingReport::default(),
+            faults: FaultReport::default(),
             latency: OnlineStats::new(),
             blocking: OnlineStats::new(),
             client_cpu_utilization: 0.0,
@@ -164,6 +198,7 @@ impl RunMetrics {
             TxnOutcome::Aborted(R::Deadlock) => self.failures.deadlock += 1,
             TxnOutcome::Aborted(R::SubtaskFailure) => self.failures.subtask += 1,
             TxnOutcome::Aborted(R::Shutdown) => self.failures.shutdown += 1,
+            TxnOutcome::Aborted(R::SiteCrash) => self.failures.site_crash += 1,
         }
     }
 
@@ -201,6 +236,20 @@ impl std::fmt::Display for RunMetrics {
             self.failures.late,
             self.failures.shutdown
         )?;
+        if self.failures.site_crash > 0 || self.faults.any() {
+            writeln!(
+                f,
+                "  faults: {} crash-lost txns | {} crashes, {} recoveries, {} msgs dropped, {} delayed, {} leases expired, {} retries, {} slow I/Os",
+                self.failures.site_crash,
+                self.faults.crashes,
+                self.faults.recoveries,
+                self.faults.messages_dropped,
+                self.faults.messages_delayed,
+                self.faults.leases_expired,
+                self.faults.retries,
+                self.faults.slow_disk_ios
+            )?;
+        }
         if self.cache.memory_hits + self.cache.disk_hits + self.cache.misses > 0 {
             writeln!(f, "  cache hit rate: {:.2}%", self.cache.hit_percent())?;
         }

@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(3.45678, 2), "3.46");
         assert_eq!(fnum(10.0, 0), "10");
     }
 }

@@ -10,9 +10,9 @@
 //! answer, so the server knows when the recall completed and the blocked
 //! request can be granted.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
-use siteselect_types::{ClientId, LockMode, ObjectId};
+use siteselect_types::{ClientId, LockMode, ObjectId, SimDuration, SimTime};
 
 /// Progress of an in-flight recall after one acknowledgement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +28,9 @@ pub enum RecallProgress {
 
 #[derive(Debug, Clone)]
 struct Recall {
-    outstanding: BTreeSet<ClientId>,
+    /// Holders still owing an answer, with the instant their callback was
+    /// issued (for lease expiry; `SimTime::ZERO` for untimed callers).
+    outstanding: BTreeMap<ClientId, SimTime>,
     desired: LockMode,
 }
 
@@ -75,14 +77,29 @@ impl CallbackTracker {
         holders: impl IntoIterator<Item = ClientId>,
         desired: LockMode,
     ) -> Vec<ClientId> {
+        self.begin_at(object, holders, desired, SimTime::ZERO)
+    }
+
+    /// [`begin`](Self::begin) with the issue instant recorded, so unanswered
+    /// callbacks can later be found by [`expired`](Self::expired). A holder
+    /// already being recalled keeps its original issue time (it is not
+    /// re-messaged, so its lease keeps running).
+    pub fn begin_at(
+        &mut self,
+        object: ObjectId,
+        holders: impl IntoIterator<Item = ClientId>,
+        desired: LockMode,
+        now: SimTime,
+    ) -> Vec<ClientId> {
         let recall = self.recalls.entry(object).or_insert_with(|| Recall {
-            outstanding: BTreeSet::new(),
+            outstanding: BTreeMap::new(),
             desired,
         });
         recall.desired = recall.desired.stronger(desired);
         let mut fresh = Vec::new();
         for h in holders {
-            if recall.outstanding.insert(h) {
+            if let std::collections::btree_map::Entry::Vacant(e) = recall.outstanding.entry(h) {
+                e.insert(now);
                 fresh.push(h);
                 self.issued += 1;
             }
@@ -93,14 +110,38 @@ impl CallbackTracker {
         fresh
     }
 
+    /// Callbacks issued at least `lease` ago and still unanswered, sorted by
+    /// `(object, holder)`. A zero lease disables expiry (the pre-fault
+    /// behaviour: wait forever).
+    ///
+    /// The server presumes these holders dead: it should
+    /// [`forget_client`](Self::forget_client) them, reclaim their locks and
+    /// invalidate their cached copies.
+    #[must_use]
+    pub fn expired(&self, now: SimTime, lease: SimDuration) -> Vec<(ObjectId, ClientId)> {
+        if lease.is_zero() {
+            return Vec::new();
+        }
+        let mut out: Vec<(ObjectId, ClientId)> = self
+            .recalls
+            .iter()
+            .flat_map(|(&obj, r)| {
+                r.outstanding
+                    .iter()
+                    .filter(move |&(_, &t)| now.duration_since(t) >= lease)
+                    .map(move |(&c, _)| (obj, c))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Records that `from` answered the callback on `object` (returned or
     /// downgraded its lock). Returns `None` if no recall was outstanding for
     /// that pair.
     pub fn acknowledge(&mut self, object: ObjectId, from: ClientId) -> Option<RecallProgress> {
         let recall = self.recalls.get_mut(&object)?;
-        if !recall.outstanding.remove(&from) {
-            return None;
-        }
+        recall.outstanding.remove(&from)?;
         if recall.outstanding.is_empty() {
             self.recalls.remove(&object);
             self.completed += 1;
@@ -130,7 +171,7 @@ impl CallbackTracker {
     pub fn outstanding(&self, object: ObjectId) -> Vec<ClientId> {
         self.recalls
             .get(&object)
-            .map(|r| r.outstanding.iter().copied().collect())
+            .map(|r| r.outstanding.keys().copied().collect())
             .unwrap_or_default()
     }
 
@@ -224,6 +265,49 @@ mod tests {
         let fresh = cb.begin(OBJ, [], LockMode::Shared);
         assert!(fresh.is_empty());
         assert!(!cb.is_recalling(OBJ));
+    }
+
+    #[test]
+    fn leases_expire_only_after_the_full_lease() {
+        let mut cb = CallbackTracker::new();
+        let lease = SimDuration::from_secs(5);
+        cb.begin_at(OBJ, [ClientId(1)], LockMode::Exclusive, SimTime::from_secs(10));
+        cb.begin_at(ObjectId(9), [ClientId(2)], LockMode::Shared, SimTime::from_secs(12));
+
+        assert!(cb.expired(SimTime::from_secs(14), lease).is_empty());
+        assert_eq!(
+            cb.expired(SimTime::from_secs(15), lease),
+            vec![(OBJ, ClientId(1))]
+        );
+        assert_eq!(
+            cb.expired(SimTime::from_secs(30), lease),
+            vec![(OBJ, ClientId(1)), (ObjectId(9), ClientId(2))]
+        );
+
+        // An acknowledged callback no longer expires.
+        cb.acknowledge(OBJ, ClientId(1));
+        assert_eq!(
+            cb.expired(SimTime::from_secs(30), lease),
+            vec![(ObjectId(9), ClientId(2))]
+        );
+    }
+
+    #[test]
+    fn zero_lease_never_expires() {
+        let mut cb = CallbackTracker::new();
+        cb.begin_at(OBJ, [ClientId(1)], LockMode::Shared, SimTime::ZERO);
+        assert!(cb.expired(SimTime::from_secs(10_000), SimDuration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn re_recall_keeps_the_original_lease_clock() {
+        let mut cb = CallbackTracker::new();
+        let lease = SimDuration::from_secs(5);
+        cb.begin_at(OBJ, [ClientId(1)], LockMode::Shared, SimTime::from_secs(0));
+        // Re-recalled later: not re-messaged, so the old clock keeps running.
+        let fresh = cb.begin_at(OBJ, [ClientId(1)], LockMode::Exclusive, SimTime::from_secs(4));
+        assert!(fresh.is_empty());
+        assert_eq!(cb.expired(SimTime::from_secs(5), lease), vec![(OBJ, ClientId(1))]);
     }
 
     #[test]

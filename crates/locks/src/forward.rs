@@ -10,11 +10,10 @@
 //! expired entries are skipped, and consecutive read-only entries are marked
 //! for parallel shared access.
 
-use serde::{Deserialize, Serialize};
 use siteselect_types::{ClientId, LockMode, ObjectId, SimTime, TransactionId};
 
 /// One hop in a forward list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ForwardEntry {
     /// The client to ship the object to.
     pub client: ClientId,
@@ -53,7 +52,7 @@ pub struct ForwardEntry {
 /// assert_eq!(fl.entries()[0].client, ClientId(1));
 /// assert_eq!(ForwardList::expected_messages(2), 5); // Figure 2
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForwardList {
     object: ObjectId,
     entries: Vec<ForwardEntry>,

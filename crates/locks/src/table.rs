@@ -98,6 +98,11 @@ impl<O: LockOwner> ObjectLocks<O> {
     }
 }
 
+/// Waiters cancelled by [`LockTable::cancel_expired`], tagged by object.
+pub type ExpiredWaiters<O> = Vec<(ObjectId, Waiter<O>)>;
+/// Grants unblocked by a pruning pass, grouped by object.
+pub type UnblockedGrants<O> = Vec<(ObjectId, Vec<Waiter<O>>)>;
+
 /// A strict-2PL lock table.
 ///
 /// See the [crate-level example](crate) for typical use. Grants are
@@ -332,7 +337,7 @@ impl<O: LockOwner> LockTable<O> {
 
     /// Drops every queued waiter whose deadline precedes `now`; returns the
     /// cancelled waiters and any grants unblocked by the pruning.
-    pub fn cancel_expired(&mut self, now: SimTime) -> (Vec<(ObjectId, Waiter<O>)>, Vec<(ObjectId, Vec<Waiter<O>>)>) {
+    pub fn cancel_expired(&mut self, now: SimTime) -> (ExpiredWaiters<O>, UnblockedGrants<O>) {
         let mut expired = Vec::new();
         let mut objs: Vec<ObjectId> = self.objects.keys().copied().collect();
         objs.sort_unstable();
@@ -364,10 +369,7 @@ impl<O: LockOwner> LockTable<O> {
             return Vec::new();
         };
         let mut granted = Vec::new();
-        loop {
-            let Some(head) = entry.waiters.first().copied() else {
-                break;
-            };
+        while let Some(head) = entry.waiters.first().copied() {
             // Upgrade waiter: grantable when it is the sole holder.
             if let Some(held) = entry.holder_mode(head.owner) {
                 let sole = entry.holders.iter().all(|(o, _)| *o == head.owner);

@@ -231,7 +231,7 @@ mod tests {
                 g.add_waits(waiter, [holder]);
             }
             assert!(!g.has_cycle());
-            if x % 7 == 0 {
+            if x.is_multiple_of(7) {
                 g.remove_node(((x >> 16) % 20) as u32);
             }
         }

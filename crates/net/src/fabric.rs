@@ -1,11 +1,47 @@
 //! Delivery-time computation over the shared or switched LAN.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use siteselect_types::{LanKind, NetworkConfig, SimDuration, SimTime, SiteId};
+use siteselect_sim::Prng;
+use siteselect_types::{FaultConfig, LanKind, NetworkConfig, SimDuration, SimTime, SiteId};
 
 use crate::message::MessageKind;
 use crate::stats::MessageStats;
+
+/// Outcome of a fault-aware send ([`Fabric::try_send`] and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives at the destination at this instant.
+    Delivered(SimTime),
+    /// The message was lost — dropped by the fault layer or addressed to a
+    /// crashed site. No delivery event should be scheduled; recovery is the
+    /// sender's problem (retry or lease expiry).
+    Dropped,
+}
+
+impl Delivery {
+    /// The delivery instant, or `None` if the message was lost.
+    #[must_use]
+    pub fn time(self) -> Option<SimTime> {
+        match self {
+            Delivery::Delivered(t) => Some(t),
+            Delivery::Dropped => None,
+        }
+    }
+}
+
+/// Fault-injection state, present only after [`Fabric::enable_faults`] (or
+/// the first liveness update). Message loss and jitter draw from a PRNG
+/// stream dedicated to the fabric so enabling faults does not perturb the
+/// workload's random sequence.
+#[derive(Debug)]
+struct FaultState {
+    cfg: FaultConfig,
+    prng: Prng,
+    down: HashSet<SiteId>,
+    dropped: u64,
+    delayed: u64,
+}
 
 /// The cluster interconnect.
 ///
@@ -24,6 +60,7 @@ pub struct Fabric {
     shared_busy_until: SimTime,
     link_busy_until: HashMap<(SiteId, SiteId), SimTime>,
     stats: MessageStats,
+    faults: Option<FaultState>,
 }
 
 impl Fabric {
@@ -37,7 +74,88 @@ impl Fabric {
             shared_busy_until: SimTime::ZERO,
             link_busy_until: HashMap::new(),
             stats: MessageStats::new(),
+            faults: None,
         }
+    }
+
+    /// Arms the fault layer: subsequent `try_send*` calls may drop or delay
+    /// messages according to `cfg`, drawing from `prng`. A fabric without
+    /// this call behaves exactly as before the fault subsystem existed.
+    pub fn enable_faults(&mut self, cfg: FaultConfig, prng: Prng) {
+        self.faults = Some(FaultState {
+            cfg,
+            prng,
+            down: HashSet::new(),
+            dropped: 0,
+            delayed: 0,
+        });
+    }
+
+    fn fault_state(&mut self) -> &mut FaultState {
+        self.faults.get_or_insert_with(|| FaultState {
+            cfg: FaultConfig::default(),
+            prng: Prng::seed_from_u64(0),
+            down: HashSet::new(),
+            dropped: 0,
+            delayed: 0,
+        })
+    }
+
+    /// Marks `site` crashed: every message addressed to it is dropped until
+    /// [`set_site_up`](Self::set_site_up). Usable without
+    /// [`enable_faults`](Self::enable_faults) for pure liveness tracking.
+    pub fn set_site_down(&mut self, site: SiteId) {
+        self.fault_state().down.insert(site);
+    }
+
+    /// Marks `site` recovered; deliveries to it resume.
+    pub fn set_site_up(&mut self, site: SiteId) {
+        self.fault_state().down.remove(&site);
+    }
+
+    /// True unless `site` is currently marked crashed.
+    #[must_use]
+    pub fn is_site_up(&self, site: SiteId) -> bool {
+        self.faults.as_ref().is_none_or(|f| !f.down.contains(&site))
+    }
+
+    /// Messages lost so far (random loss plus deliveries to crashed sites).
+    #[must_use]
+    pub fn dropped_messages(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dropped)
+    }
+
+    /// Messages that received non-zero extra jitter so far.
+    #[must_use]
+    pub fn delayed_messages(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.delayed)
+    }
+
+    /// Applies loss, crash-refusal and jitter to a computed delivery time.
+    /// The frame has already occupied the wire — losses happen at the
+    /// receiver, so a dropped message still pays transmission time and is
+    /// counted in the message statistics.
+    fn apply_faults(&mut self, to: SiteId, delivery: SimTime) -> Delivery {
+        let Some(state) = self.faults.as_mut() else {
+            return Delivery::Delivered(delivery);
+        };
+        if state.down.contains(&to) {
+            state.dropped += 1;
+            return Delivery::Dropped;
+        }
+        if state.cfg.loss_probability > 0.0 && state.prng.bernoulli(state.cfg.loss_probability) {
+            state.dropped += 1;
+            return Delivery::Dropped;
+        }
+        if !state.cfg.max_delay_jitter.is_zero() {
+            let jitter =
+                SimDuration::from_micros(state.prng.below(state.cfg.max_delay_jitter.as_micros() + 1));
+            if !jitter.is_zero() {
+                state.delayed += 1;
+                return Delivery::Delivered(delivery + jitter);
+            }
+        }
+        Delivery::Delivered(delivery)
     }
 
     /// Transmission time for `bytes` on the wire.
@@ -132,6 +250,55 @@ impl Fabric {
         let hop2 = self.transmit(hop1, SiteId::Directory, to, bytes);
         self.stats.record(kind, 2, 2 * u64::from(bytes));
         hop2
+    }
+
+    /// Fault-aware [`send`](Self::send): the frame pays wire time either
+    /// way, but the fault layer may lose it (random loss or crashed
+    /// destination) or add delivery jitter. Identical to `send` when faults
+    /// are not enabled.
+    pub fn try_send(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        kind: MessageKind,
+        objects: u32,
+    ) -> Delivery {
+        let delivery = self.send(now, from, to, kind, objects);
+        self.apply_faults(to, delivery)
+    }
+
+    /// Fault-aware [`send_counted`](Self::send_counted); the whole batch is
+    /// lost or delivered as one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is zero.
+    pub fn try_send_counted(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        kind: MessageKind,
+        objects: u32,
+        logical: u32,
+    ) -> Delivery {
+        let delivery = self.send_counted(now, from, to, kind, objects, logical);
+        self.apply_faults(to, delivery)
+    }
+
+    /// Fault-aware [`send_via_directory`](Self::send_via_directory); loss
+    /// and jitter apply to the relayed message as a whole.
+    pub fn try_send_via_directory(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        kind: MessageKind,
+        objects: u32,
+    ) -> Delivery {
+        let delivery = self.send_via_directory(now, from, to, kind, objects);
+        self.apply_faults(to, delivery)
     }
 
     /// Cumulative message statistics.
@@ -280,6 +447,89 @@ mod tests {
         f.reset_stats();
         assert_eq!(f.stats().total_messages(), 0);
         assert_eq!(f.busy_until(), busy);
+    }
+
+    #[test]
+    fn faults_off_try_send_equals_send() {
+        let mut plain = fabric(LanKind::SharedEthernet);
+        let mut faulty = fabric(LanKind::SharedEthernet);
+        for i in 0..10 {
+            let d = plain.send(SimTime::ZERO, site(i), SiteId::Server, MessageKind::ObjectSend, 1);
+            let t = faulty.try_send(SimTime::ZERO, site(i), SiteId::Server, MessageKind::ObjectSend, 1);
+            assert_eq!(t, Delivery::Delivered(d));
+        }
+        assert_eq!(faulty.dropped_messages(), 0);
+        assert_eq!(faulty.delayed_messages(), 0);
+    }
+
+    #[test]
+    fn crashed_destination_drops_but_pays_wire_time() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.set_site_down(site(1));
+        assert!(!f.is_site_up(site(1)));
+        assert!(f.is_site_up(site(0)));
+        let busy_before = f.busy_until();
+        let d = f.try_send(SimTime::ZERO, SiteId::Server, site(1), MessageKind::ObjectSend, 1);
+        assert_eq!(d, Delivery::Dropped);
+        assert_eq!(d.time(), None);
+        assert!(f.busy_until() > busy_before, "dropped frame still occupied the wire");
+        assert_eq!(f.stats().count(MessageKind::ObjectSend), 1);
+        assert_eq!(f.dropped_messages(), 1);
+
+        f.set_site_up(site(1));
+        let d = f.try_send(SimTime::ZERO, SiteId::Server, site(1), MessageKind::ObjectSend, 1);
+        assert!(matches!(d, Delivery::Delivered(_)));
+    }
+
+    #[test]
+    fn certain_loss_drops_everything_and_zero_loss_drops_nothing() {
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.enable_faults(
+            siteselect_types::FaultConfig {
+                loss_probability: 1.0,
+                ..siteselect_types::FaultConfig::default()
+            },
+            Prng::seed_from_u64(7),
+        );
+        for _ in 0..20 {
+            let d = f.try_send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0);
+            assert_eq!(d, Delivery::Dropped);
+        }
+        assert_eq!(f.dropped_messages(), 20);
+
+        let mut f = fabric(LanKind::SharedEthernet);
+        f.enable_faults(siteselect_types::FaultConfig::default(), Prng::seed_from_u64(7));
+        for _ in 0..20 {
+            let d = f.try_send(SimTime::ZERO, site(0), SiteId::Server, MessageKind::ObjectRequest, 0);
+            assert!(matches!(d, Delivery::Delivered(_)));
+        }
+        assert_eq!(f.dropped_messages(), 0);
+    }
+
+    #[test]
+    fn jitter_never_delivers_earlier_and_is_bounded() {
+        let jitter_cap = SimDuration::from_millis(5);
+        let mut plain = fabric(LanKind::Switched);
+        let mut f = fabric(LanKind::Switched);
+        f.enable_faults(
+            siteselect_types::FaultConfig {
+                max_delay_jitter: jitter_cap,
+                ..siteselect_types::FaultConfig::default()
+            },
+            Prng::seed_from_u64(99),
+        );
+        for i in 0..50u16 {
+            let base =
+                plain.send(SimTime::ZERO, site(i), SiteId::Server, MessageKind::ObjectRequest, 0);
+            let Delivery::Delivered(t) =
+                f.try_send(SimTime::ZERO, site(i), SiteId::Server, MessageKind::ObjectRequest, 0)
+            else {
+                panic!("jitter alone never drops");
+            };
+            assert!(t >= base);
+            assert!(t.duration_since(base) <= jitter_cap);
+        }
+        assert!(f.delayed_messages() > 0);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod fabric;
 pub mod message;
 pub mod stats;
 
-pub use fabric::Fabric;
+pub use fabric::{Delivery, Fabric};
 pub use message::MessageKind;
 pub use stats::MessageStats;

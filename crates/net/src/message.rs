@@ -1,13 +1,12 @@
 //! The protocol message vocabulary and its wire sizes.
 
-use serde::{Deserialize, Serialize};
 use siteselect_types::NetworkConfig;
 
 /// Every message category exchanged by the three systems.
 ///
 /// The variants marked *(Table 4)* correspond one-to-one to the rows of the
 /// paper's message-count table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MessageKind {
     // -- Centralized system --
     /// Client submits a transaction to the server for execution.

@@ -1,6 +1,5 @@
 //! Per-category message accounting — the data behind the paper's Table 4.
 
-use serde::{Deserialize, Serialize};
 
 use crate::message::MessageKind;
 
@@ -9,7 +8,7 @@ use crate::message::MessageKind;
 /// A message routed through the directory server is *one logical message*
 /// (one Table 4 row increment) but *two wire transmissions*; both are
 /// tracked.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageStats {
     by_kind: Vec<u64>,
     bytes_by_kind: Vec<u64>,

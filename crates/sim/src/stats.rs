@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use siteselect_types::{SimDuration, SimTime};
 
 /// Streaming mean/variance/min/max via Welford's algorithm.
@@ -20,7 +19,7 @@ use siteselect_types::{SimDuration, SimTime};
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -155,7 +154,7 @@ impl fmt::Display for OnlineStats {
 /// assert_eq!(h.count(), 10);
 /// assert!(h.percentile(50.0).unwrap() >= 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -242,7 +241,7 @@ impl Histogram {
 }
 
 /// A hit/total ratio (cache hit rates, deadline success rates).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -306,7 +305,7 @@ impl fmt::Display for Ratio {
 
 /// Time-weighted average of a piecewise-constant signal (queue lengths,
 /// utilization).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
@@ -360,7 +359,7 @@ impl TimeWeighted {
 }
 
 /// A set of labelled monotone counters with deterministic iteration order.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Counter {
     counts: BTreeMap<String, u64>,
 }

@@ -31,6 +31,12 @@ pub struct DiskModel {
     total_ios: u64,
     total_busy: SimDuration,
     total_queueing: SimDuration,
+    /// Slow-disk fault episodes as `(start, end)` windows, non-overlapping
+    /// and sorted; I/Os issued inside a window pay `slow_factor ×` the
+    /// normal service time.
+    slow_episodes: Vec<(SimTime, SimTime)>,
+    slow_factor: f64,
+    slow_ios: u64,
 }
 
 impl DiskModel {
@@ -43,15 +49,61 @@ impl DiskModel {
             total_ios: 0,
             total_busy: SimDuration::ZERO,
             total_queueing: SimDuration::ZERO,
+            slow_episodes: Vec::new(),
+            slow_factor: 1.0,
+            slow_ios: 0,
         }
+    }
+
+    /// Installs a pre-generated slow-disk fault schedule: during each
+    /// `(start, end)` window, every I/O *started* inside the window costs
+    /// `factor ×` the normal service time (a degraded spindle or a
+    /// background scrub stealing bandwidth). Windows must be sorted and
+    /// non-overlapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `factor < 1` or the windows are unsorted.
+    pub fn set_slow_episodes(&mut self, episodes: Vec<(SimTime, SimTime)>, factor: f64) {
+        debug_assert!(factor >= 1.0, "slow factor {factor} must not speed the disk up");
+        debug_assert!(
+            episodes.windows(2).all(|w| w[0].1 <= w[1].0),
+            "slow episodes must be sorted and non-overlapping"
+        );
+        self.slow_episodes = episodes;
+        self.slow_factor = factor;
+    }
+
+    /// True if an I/O starting at `t` falls inside a slow-disk episode.
+    #[must_use]
+    pub fn is_slow_at(&self, t: SimTime) -> bool {
+        // Schedules are tiny (a handful of episodes per run); linear scan
+        // with the binary search only as a fast path for long schedules.
+        match self.slow_episodes.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => t < self.slow_episodes[i - 1].1,
+        }
+    }
+
+    /// I/Os that were served at the degraded rate.
+    #[must_use]
+    pub fn slow_ios(&self) -> u64 {
+        self.slow_ios
     }
 
     /// Enqueues one page I/O issued at `now`; returns its completion time.
     pub fn schedule_io(&mut self, now: SimTime) -> SimTime {
         let start = self.busy_until.max(now);
-        let done = start + self.service_time;
+        let service = if self.is_slow_at(start) {
+            self.slow_ios += 1;
+            self.service_time.mul_f64(self.slow_factor)
+        } else {
+            self.service_time
+        };
+        let done = start + service;
         self.total_queueing += start.duration_since(now);
-        self.total_busy += self.service_time;
+        self.total_busy += service;
         self.busy_until = done;
         self.total_ios += 1;
         done
@@ -153,6 +205,45 @@ mod tests {
         d.schedule_io(SimTime::ZERO); // starts at 0
         d.schedule_io(SimTime::ZERO); // waits 10ms
         assert!((d.mean_queueing_delay() - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_episode_multiplies_service_time() {
+        let mut d = DiskModel::new(ms(10));
+        d.set_slow_episodes(
+            vec![(SimTime::from_secs(1), SimTime::from_secs(2))],
+            4.0,
+        );
+        // Before the episode: normal.
+        assert_eq!(d.schedule_io(SimTime::ZERO), SimTime::ZERO + ms(10));
+        // Inside the episode: 4x.
+        assert_eq!(d.schedule_io(SimTime::from_secs(1)), SimTime::from_secs(1) + ms(40));
+        // After the episode: normal again.
+        assert_eq!(d.schedule_io(SimTime::from_secs(3)), SimTime::from_secs(3) + ms(10));
+        assert_eq!(d.slow_ios(), 1);
+        assert_eq!(d.total_ios(), 3);
+    }
+
+    #[test]
+    fn slow_episode_applies_to_queued_start_time() {
+        // An I/O issued before the episode but *started* inside it (because
+        // the disk was busy) is served at the degraded rate.
+        let mut d = DiskModel::new(ms(600));
+        d.set_slow_episodes(
+            vec![(SimTime::ZERO + ms(500), SimTime::from_secs(5))],
+            2.0,
+        );
+        assert_eq!(d.schedule_io(SimTime::ZERO), SimTime::ZERO + ms(600));
+        // Issued at 0, starts at 600ms which is inside the window: 1200ms service.
+        assert_eq!(d.schedule_io(SimTime::ZERO), SimTime::ZERO + ms(600) + ms(1_200));
+        assert_eq!(d.slow_ios(), 1);
+    }
+
+    #[test]
+    fn empty_schedule_is_never_slow() {
+        let d = DiskModel::new(ms(10));
+        assert!(!d.is_slow_at(SimTime::ZERO));
+        assert!(!d.is_slow_at(SimTime::from_secs(100)));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fixed-size database pages.
 
-use bytes::{Bytes, BytesMut};
+use std::sync::Arc;
+
 use siteselect_types::ObjectId;
 
 /// Size of one PF-layer page / database object, as in the paper (2 KB).
@@ -26,7 +27,7 @@ pub const PAGE_SIZE: usize = 2_048;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Page {
     id: ObjectId,
-    data: BytesMut,
+    data: Vec<u8>,
 }
 
 impl Page {
@@ -35,7 +36,7 @@ impl Page {
     pub fn zeroed(id: ObjectId) -> Self {
         Page {
             id,
-            data: BytesMut::zeroed(PAGE_SIZE),
+            data: vec![0u8; PAGE_SIZE],
         }
     }
 
@@ -74,8 +75,8 @@ impl Page {
 
     /// An owned, cheaply clonable snapshot of the page contents.
     #[must_use]
-    pub fn snapshot(&self) -> Bytes {
-        Bytes::copy_from_slice(&self.data)
+    pub fn snapshot(&self) -> Arc<[u8]> {
+        Arc::from(self.data.as_slice())
     }
 
     /// Reads a little-endian `u64` at byte `offset`.

@@ -9,13 +9,12 @@
 //! machine; absolute figure values are not recoverable, so defaults are
 //! chosen to reproduce the published *shapes* (documented in EXPERIMENTS.md).
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 use crate::time::SimDuration;
 
 /// Which of the three prototype systems to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// CE-RTDBS: all processing at the server; clients are terminals.
     Centralized,
@@ -54,7 +53,7 @@ impl std::fmt::Display for SystemKind {
 }
 
 /// Static description of the shared database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DatabaseConfig {
     /// Number of fixed-size objects (Table 1: 10,000).
     pub num_objects: u32,
@@ -72,7 +71,7 @@ impl Default for DatabaseConfig {
 }
 
 /// Disk service model for one site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskConfig {
     /// Service time to read or write one page (seek + rotation + transfer).
     pub page_service_time: SimDuration,
@@ -88,7 +87,7 @@ impl Default for DiskConfig {
 }
 
 /// CPU speeds and the calibration of transaction processing demand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuConfig {
     /// Relative speed of a client workstation (1.0 = baseline).
     pub client_speed: f64,
@@ -121,7 +120,7 @@ impl Default for CpuConfig {
 }
 
 /// Server-side resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Objects that fit in the server's buffer pool. Table 1: 5,000 for the
     /// centralized system, 1,000 for the client-server systems.
@@ -163,7 +162,7 @@ impl Default for ServerConfig {
 }
 
 /// Client-side resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClientConfig {
     /// Objects that fit in the client's memory cache (Table 1: 500).
     pub memory_cache_objects: usize,
@@ -185,7 +184,7 @@ impl Default for ClientConfig {
 }
 
 /// LAN topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LanKind {
     /// A single shared medium (the paper's 10 Mbps Ethernet): transmissions
     /// serialize on the wire.
@@ -196,7 +195,7 @@ pub enum LanKind {
 }
 
 /// Network model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkConfig {
     /// Topology.
     pub kind: LanKind,
@@ -224,7 +223,7 @@ impl Default for NetworkConfig {
 }
 
 /// How transaction deadlines are assigned.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DeadlinePolicy {
     /// `deadline = arrival + Exp(mean)` — Table 1's "average transaction
     /// deadline 20 s (exponential distribution)".
@@ -251,7 +250,7 @@ impl Default for DeadlinePolicy {
 /// The Localized-RW access pattern (paper §5.1): 75% of each client's
 /// accesses go to a per-client region of the database (uniformly), the rest
 /// to the remainder of the database with Zipf skew.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessPatternConfig {
     /// Number of objects in each client's hot region.
     pub hot_region_objects: u32,
@@ -273,7 +272,7 @@ impl Default for AccessPatternConfig {
 }
 
 /// Workload generation parameters (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
     /// Mean transaction inter-arrival time per client (Poisson process;
     /// Table 1: 10 s).
@@ -311,7 +310,7 @@ impl Default for WorkloadConfig {
 
 /// Knobs of the load-sharing algorithm (only consulted when
 /// [`SystemKind::LoadSharing`] runs). Each flag supports one ablation bench.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSharingConfig {
     /// Enable the H1 admission heuristic (queue feasibility via observed
     /// average transaction latency).
@@ -357,8 +356,151 @@ impl Default for LoadSharingConfig {
     }
 }
 
+/// Deterministic fault-injection knobs.
+///
+/// Every injection knob defaults to **off**, so a configuration that never
+/// touches this struct replays bit-identically to a build without the fault
+/// subsystem: no extra PRNG draws are made and no extra events are
+/// scheduled unless a knob is enabled.
+///
+/// Fault schedules are derived from the run seed, so two runs with the same
+/// seed inject the same crashes, losses and slow-disk episodes at the same
+/// simulated instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that any individual network message is silently lost.
+    pub loss_probability: f64,
+    /// Upper bound of the uniformly-distributed extra delay added to each
+    /// message (zero = no jitter).
+    pub max_delay_jitter: SimDuration,
+    /// Mean up-time before a client site crashes (exponential; zero = sites
+    /// never crash).
+    pub mean_time_to_crash: SimDuration,
+    /// Mean down-time before a crashed site recovers (exponential; zero =
+    /// crashed sites stay down for the rest of the run).
+    pub mean_recovery_time: SimDuration,
+    /// Mean up-time between slow-disk episodes at the server (exponential;
+    /// zero = the disk never degrades).
+    pub mean_time_to_slow_disk: SimDuration,
+    /// Length of one slow-disk episode.
+    pub slow_disk_duration: SimDuration,
+    /// Multiplier on the per-page service time during a slow-disk episode.
+    pub slow_disk_factor: f64,
+    /// Lease on callbacks: a recall unanswered for this long presumes the
+    /// holder dead, reclaims its lock and invalidates its cached copy
+    /// (zero = wait forever, the pre-fault behaviour).
+    pub callback_lease: SimDuration,
+    /// First retry delay for unanswered control messages; doubles per
+    /// attempt up to [`retry_backoff_cap`](Self::retry_backoff_cap).
+    pub retry_backoff_base: SimDuration,
+    /// Upper bound on the exponential retry backoff.
+    pub retry_backoff_cap: SimDuration,
+    /// Retries before a request is abandoned to the deadline sweep
+    /// (zero = never retry).
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// True if any injection knob is enabled. Handling machinery (leases,
+    /// retries, liveness tracking) only engages when this is true, so a
+    /// default config cannot perturb event ordering.
+    #[must_use]
+    pub fn injects_faults(&self) -> bool {
+        self.loss_probability > 0.0
+            || !self.max_delay_jitter.is_zero()
+            || !self.mean_time_to_crash.is_zero()
+            || !self.mean_time_to_slow_disk.is_zero()
+    }
+
+    /// A moderately hostile preset used by the `repro faults` experiment:
+    /// `intensity` in `[0, 1]` scales every injection knob from "off" to
+    /// "frequent crashes, 10% loss, regular slow-disk episodes".
+    #[must_use]
+    pub fn chaos(intensity: f64) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let crash_mean = if intensity > 0.0 {
+            // 1000s mean up-time at full intensity, 10,000s at 10%.
+            SimDuration::from_secs_f64(1_000.0 / intensity)
+        } else {
+            SimDuration::ZERO
+        };
+        let slow_mean = if intensity > 0.0 {
+            SimDuration::from_secs_f64(500.0 / intensity)
+        } else {
+            SimDuration::ZERO
+        };
+        FaultConfig {
+            loss_probability: 0.10 * intensity,
+            max_delay_jitter: SimDuration::from_secs_f64(0.02 * intensity),
+            mean_time_to_crash: crash_mean,
+            mean_recovery_time: SimDuration::from_secs(60),
+            mean_time_to_slow_disk: slow_mean,
+            slow_disk_duration: SimDuration::from_secs(20),
+            slow_disk_factor: 4.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Checks the fault knobs for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.loss_probability) {
+            return Err(ConfigError::new(
+                "faults.loss_probability",
+                "must be within [0, 1]",
+            ));
+        }
+        if self.slow_disk_factor < 1.0 || !self.slow_disk_factor.is_finite() {
+            return Err(ConfigError::new(
+                "faults.slow_disk_factor",
+                "must be at least 1",
+            ));
+        }
+        if !self.mean_time_to_slow_disk.is_zero() && self.slow_disk_duration.is_zero() {
+            return Err(ConfigError::new(
+                "faults.slow_disk_duration",
+                "episodes are enabled but have zero length",
+            ));
+        }
+        if self.max_retries > 0 && self.retry_backoff_base.is_zero() {
+            return Err(ConfigError::new(
+                "faults.retry_backoff_base",
+                "retries are enabled but the backoff base is zero",
+            ));
+        }
+        if self.retry_backoff_cap < self.retry_backoff_base {
+            return Err(ConfigError::new(
+                "faults.retry_backoff_cap",
+                "cap must be at least the base",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            loss_probability: 0.0,
+            max_delay_jitter: SimDuration::ZERO,
+            mean_time_to_crash: SimDuration::ZERO,
+            mean_recovery_time: SimDuration::from_secs(60),
+            mean_time_to_slow_disk: SimDuration::ZERO,
+            slow_disk_duration: SimDuration::from_secs(20),
+            slow_disk_factor: 4.0,
+            callback_lease: SimDuration::from_secs(5),
+            retry_backoff_base: SimDuration::from_millis(500),
+            retry_backoff_cap: SimDuration::from_secs(8),
+            max_retries: 3,
+        }
+    }
+}
+
 /// Run control: duration, warm-up, seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Simulated time to generate transactions for.
     pub duration: SimDuration,
@@ -366,6 +508,26 @@ pub struct RuntimeConfig {
     pub warmup: SimDuration,
     /// Master PRNG seed; identical seeds give bit-identical runs.
     pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// Checks the run-control fields for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.duration.is_zero() {
+            return Err(ConfigError::new("runtime.duration", "must be positive"));
+        }
+        if self.warmup >= self.duration {
+            return Err(ConfigError::new(
+                "runtime.warmup",
+                "warm-up must be shorter than the run",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -379,7 +541,7 @@ impl Default for RuntimeConfig {
 }
 
 /// The complete description of one experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Which system model to run.
     pub system: SystemKind,
@@ -399,6 +561,8 @@ pub struct ExperimentConfig {
     pub workload: WorkloadConfig,
     /// Load-sharing knobs.
     pub load_sharing: LoadSharingConfig,
+    /// Fault injection and failure handling (off by default).
+    pub faults: FaultConfig,
     /// Run control.
     pub runtime: RuntimeConfig,
 }
@@ -435,6 +599,7 @@ impl ExperimentConfig {
                 ..WorkloadConfig::default()
             },
             load_sharing: LoadSharingConfig::default(),
+            faults: FaultConfig::default(),
             runtime: RuntimeConfig::default(),
         }
     }
@@ -552,16 +717,8 @@ impl ExperimentConfig {
                 ));
             }
         }
-        if self.runtime.duration.is_zero() {
-            return Err(ConfigError::new("runtime.duration", "must be positive"));
-        }
-        if self.runtime.warmup >= self.runtime.duration {
-            return Err(ConfigError::new(
-                "runtime.warmup",
-                "warm-up must be shorter than the run",
-            ));
-        }
-        Ok(())
+        self.faults.validate()?;
+        self.runtime.validate()
     }
 }
 
@@ -662,11 +819,39 @@ mod tests {
     }
 
     #[test]
-    fn config_is_serializable() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<ExperimentConfig>();
-        assert_serde::<WorkloadConfig>();
-        assert_serde::<LoadSharingConfig>();
-        assert_serde::<SystemKind>();
+    fn fault_defaults_are_off_and_chaos_presets_validate() {
+        let f = FaultConfig::default();
+        assert!(!f.injects_faults());
+        f.validate().unwrap();
+
+        let chaos = FaultConfig::chaos(0.5);
+        assert!(chaos.injects_faults());
+        chaos.validate().unwrap();
+        assert!(!FaultConfig::chaos(0.0).injects_faults());
+
+        let mut c = ExperimentConfig::default();
+        c.faults.loss_probability = 1.5;
+        assert_eq!(c.validate().unwrap_err().field(), "faults.loss_probability");
+
+        let mut c = ExperimentConfig::default();
+        c.faults.slow_disk_factor = 0.5;
+        assert_eq!(c.validate().unwrap_err().field(), "faults.slow_disk_factor");
+
+        let mut c = ExperimentConfig::default();
+        c.faults.retry_backoff_cap = SimDuration::ZERO;
+        assert_eq!(c.validate().unwrap_err().field(), "faults.retry_backoff_cap");
+
+        let mut c = ExperimentConfig::default();
+        c.runtime.duration = SimDuration::ZERO;
+        assert_eq!(c.validate().unwrap_err().field(), "runtime.duration");
+    }
+
+    #[test]
+    fn config_is_cloneable_and_comparable() {
+        fn assert_value_type<T: Clone + PartialEq + std::fmt::Debug + Send + Sync>() {}
+        assert_value_type::<ExperimentConfig>();
+        assert_value_type::<WorkloadConfig>();
+        assert_value_type::<LoadSharingConfig>();
+        assert_value_type::<SystemKind>();
     }
 }

@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Identifies one fixed-size database object (one 2 KB page in the paper's
 /// MiniRel-backed prototype).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ObjectId(pub u32);
 
@@ -27,7 +26,7 @@ impl fmt::Display for ObjectId {
 
 /// Identifies one client workstation in the cluster.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ClientId(pub u16);
 
@@ -48,7 +47,7 @@ impl fmt::Display for ClientId {
 /// A processing site in the cluster: the database server, a client
 /// workstation, or the specialized directory server that forwards
 /// client-to-client traffic in the load-sharing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SiteId {
     /// The database server (global lock table, disk-resident database).
     Server,
@@ -108,7 +107,7 @@ impl fmt::Display for SiteId {
 /// assert_eq!(id.origin(), ClientId(7));
 /// assert_eq!(id.sequence(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransactionId(u64);
 
 impl TransactionId {
@@ -163,7 +162,7 @@ impl fmt::Display for TransactionId {
 ///
 /// Decomposition splits a transaction into independent object groups that are
 /// materialized in parallel at the sites caching them (paper §3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubtaskId {
     /// The parent transaction.
     pub txn: TransactionId,

@@ -30,8 +30,8 @@ pub mod txn;
 
 pub use config::{
     AccessPatternConfig, ClientConfig, CpuConfig, DatabaseConfig, DeadlinePolicy, DiskConfig,
-    ExperimentConfig, LanKind, LoadSharingConfig, NetworkConfig, RuntimeConfig, ServerConfig,
-    SystemKind, WorkloadConfig,
+    ExperimentConfig, FaultConfig, LanKind, LoadSharingConfig, NetworkConfig, RuntimeConfig,
+    ServerConfig, SystemKind, WorkloadConfig,
 };
 pub use error::ConfigError;
 pub use ids::{ClientId, ObjectId, SiteId, SubtaskId, TransactionId};

@@ -6,10 +6,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A database lock mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockMode {
     /// Shared lock (SL): permits concurrent readers.
     Shared,

@@ -7,7 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// Number of microseconds per second.
 pub const MICROS_PER_SEC: u64 = 1_000_000;
@@ -28,7 +27,7 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 /// let t = SimTime::ZERO + SimDuration::from_millis(1_500);
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
@@ -42,7 +41,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_micros(), 2_500_000);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 

@@ -8,14 +8,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{ClientId, ObjectId, TransactionId};
 use crate::lock::LockMode;
 use crate::time::{SimDuration, SimTime};
 
 /// One object access within a transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccessSpec {
     /// The object read or written.
     pub object: ObjectId,
@@ -69,7 +68,7 @@ impl AccessSpec {
 /// assert!(spec.is_update());
 /// assert_eq!(spec.objects().count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransactionSpec {
     /// Globally unique id (encodes the origin).
     pub id: TransactionId,
@@ -170,7 +169,7 @@ impl TransactionSpec {
 }
 
 /// Reason a transaction was aborted before its deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AbortReason {
     /// Its lock request would have closed a cycle in the wait-for graph.
     Deadlock,
@@ -181,10 +180,13 @@ pub enum AbortReason {
     SubtaskFailure,
     /// The run ended while the transaction was still in flight.
     Shutdown,
+    /// Its site crashed (fault injection) while it was in flight, or it
+    /// arrived at a crashed site. Counted as a deadline miss.
+    SiteCrash,
 }
 
 /// Final disposition of a transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxnOutcome {
     /// Committed at or before its deadline.
     Committed,
@@ -267,7 +269,7 @@ mod tests {
         let t = spec(accesses.clone());
         for k in 1..=12 {
             let parts = t.partition_accesses(k);
-            assert!(parts.len() <= k.min(10).max(1));
+            assert!(parts.len() <= k.clamp(1, 10));
             assert!(parts.iter().all(|p| !p.is_empty()));
             let flat: Vec<_> = parts.into_iter().flatten().collect();
             assert_eq!(flat, accesses);

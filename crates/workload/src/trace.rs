@@ -2,14 +2,13 @@
 //! whole cluster, recordable and replayable so every system model runs on
 //! byte-identical input.
 
-use serde::{Deserialize, Serialize};
 use siteselect_sim::Prng;
 use siteselect_types::{ClientId, SimDuration, TransactionSpec, WorkloadConfig};
 
 use crate::txngen::TransactionGenerator;
 
 /// Aggregate description of a trace, for reports and sanity checks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSummary {
     /// Number of transactions.
     pub transactions: usize,
@@ -39,7 +38,7 @@ pub struct TraceSummary {
 /// let s = trace.summary();
 /// assert!(s.mean_accesses > 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     transactions: Vec<TransactionSpec>,
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full local/CI gate. The workspace has no external dependencies, so
+# every step runs offline. Pass --fast to skip the paper-scale seedcheck.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "==> seed sensitivity (Figure 5 headline point, seeds 1-3)"
+  cargo run --release -q -p siteselect-bench --bin seedcheck
+fi
+
+echo "CI OK"

@@ -1,10 +1,15 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Randomized inputs come from the workspace's own deterministic [`Prng`]
+//! (seeded per case), so failures reproduce exactly without an external
+//! property-testing framework.
 
-use proptest::prelude::*;
 use siteselect::locks::{Acquire, ForwardEntry, ForwardList, LockTable, QueueDiscipline, WaitForGraph};
 use siteselect::sim::{EventQueue, OnlineStats, Prng};
 use siteselect::storage::ClientCache;
 use siteselect::types::{ClientId, LockMode, ObjectId, SimTime, TransactionId};
+
+const CASES: u64 = 256;
 
 // ---------------------------------------------------------------------
 // Lock table: no conflicting holders, ever, under arbitrary op sequences.
@@ -20,35 +25,39 @@ enum LockOp {
     Expire { now: u16 },
 }
 
-fn lock_op() -> impl Strategy<Value = LockOp> {
-    prop_oneof![
-        (0u8..6, 0u8..5, any::<bool>(), 0u16..100).prop_map(|(obj, owner, exclusive, deadline)| {
-            LockOp::Request { obj, owner, exclusive, deadline }
-        }),
-        (0u8..6, 0u8..5).prop_map(|(obj, owner)| LockOp::Release { obj, owner }),
-        (0u8..6, 0u8..5).prop_map(|(obj, owner)| LockOp::Downgrade { obj, owner }),
-        (0u8..6, 0u8..5).prop_map(|(obj, owner)| LockOp::Cancel { obj, owner }),
-        (0u8..5).prop_map(|owner| LockOp::ReleaseAll { owner }),
-        (0u16..100).prop_map(|now| LockOp::Expire { now }),
-    ]
+fn lock_op(rng: &mut Prng) -> LockOp {
+    let obj = rng.below(6) as u8;
+    let owner = rng.below(5) as u8;
+    match rng.below(6) {
+        0 => LockOp::Request {
+            obj,
+            owner,
+            exclusive: rng.bernoulli(0.5),
+            deadline: rng.below(100) as u16,
+        },
+        1 => LockOp::Release { obj, owner },
+        2 => LockOp::Downgrade { obj, owner },
+        3 => LockOp::Cancel { obj, owner },
+        4 => LockOp::ReleaseAll { owner },
+        _ => LockOp::Expire {
+            now: rng.below(100) as u16,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lock_table_never_grants_conflicting_holders(
-        ops in proptest::collection::vec(lock_op(), 1..80),
-        deadline_discipline in any::<bool>(),
-    ) {
-        let discipline = if deadline_discipline {
+#[test]
+fn lock_table_never_grants_conflicting_holders() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xA11C_0000 + case);
+        let discipline = if rng.bernoulli(0.5) {
             QueueDiscipline::Deadline
         } else {
             QueueDiscipline::Fifo
         };
         let mut table: LockTable<ClientId> = LockTable::new(discipline);
-        for op in ops {
-            match op {
+        let ops = 1 + rng.below_usize(79);
+        for _ in 0..ops {
+            match lock_op(&mut rng) {
                 LockOp::Request { obj, owner, exclusive, deadline } => {
                     let mode = LockMode::for_write(exclusive);
                     let _ = table.request(
@@ -77,24 +86,25 @@ proptest! {
             table.check_invariants().expect("lock table invariant violated");
         }
     }
+}
 
-    #[test]
-    fn blocked_requests_are_eventually_granted_on_release(
-        writers in proptest::collection::vec(0u8..5, 2..6),
-    ) {
+#[test]
+fn blocked_requests_are_eventually_granted_on_release() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xB10C_0000 + case);
         let mut table: LockTable<ClientId> = LockTable::new(QueueDiscipline::Fifo);
         let obj = ObjectId(1);
-        let mut distinct: Vec<u8> = writers;
+        let n = 2 + rng.below_usize(4);
+        let mut distinct: Vec<u8> = (0..n).map(|_| rng.below(5) as u8).collect();
         distinct.sort_unstable();
         distinct.dedup();
         // All owners request EL; the first wins.
         for (i, &w) in distinct.iter().enumerate() {
             let r = table.request(obj, ClientId(w.into()), LockMode::Exclusive, SimTime::MAX);
             if i == 0 {
-                prop_assert!(r.is_granted());
+                assert!(r.is_granted());
             } else {
-                let blocked = matches!(r, Acquire::Blocked { .. });
-                prop_assert!(blocked);
+                assert!(matches!(r, Acquire::Blocked { .. }));
             }
         }
         // Releasing in turn grants everyone exactly once, in order.
@@ -102,88 +112,104 @@ proptest! {
         for _ in 1..distinct.len() {
             let current = *granted_order.last().unwrap();
             let grants = table.release(obj, ClientId(current.into()));
-            prop_assert_eq!(grants.len(), 1);
+            assert_eq!(grants.len(), 1);
             granted_order.push(grants[0].owner.0 as u8);
         }
-        prop_assert_eq!(granted_order, distinct);
+        assert_eq!(granted_order, distinct);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Wait-for graph: the gate keeps the graph acyclic.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Wait-for graph: the gate keeps the graph acyclic.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn wfg_gate_prevents_cycles(edges in proptest::collection::vec((0u8..8, 0u8..8), 1..60)) {
+#[test]
+fn wfg_gate_prevents_cycles() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x3F6_0000 + case);
         let mut g: WaitForGraph<u8> = WaitForGraph::new();
-        for (a, b) in edges {
+        let edges = 1 + rng.below_usize(59);
+        for _ in 0..edges {
+            let a = rng.below(8) as u8;
+            let b = rng.below(8) as u8;
             if a != b && !g.would_deadlock(a, &[b]) {
                 g.add_waits(a, [b]);
             }
-            prop_assert!(!g.has_cycle());
+            assert!(!g.has_cycle());
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Client cache: capacity and tier behaviour.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Client cache: capacity and tier behaviour.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn client_cache_never_exceeds_capacity(
-        mem in 1usize..8,
-        disk in 0usize..8,
-        ops in proptest::collection::vec((0u32..40, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn client_cache_never_exceeds_capacity() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xCAC4_E000 + case);
+        let mem = 1 + rng.below_usize(7);
+        let disk = rng.below_usize(8);
         let mut cache = ClientCache::new(mem, disk);
-        for (obj, insert) in ops {
-            if insert {
+        let ops = 1 + rng.below_usize(199);
+        for _ in 0..ops {
+            let obj = rng.below(40) as u32;
+            if rng.bernoulli(0.5) {
                 cache.insert(ObjectId(obj));
             } else {
                 let _ = cache.probe(ObjectId(obj));
             }
-            prop_assert!(cache.len() <= mem + disk);
+            assert!(cache.len() <= mem + disk);
         }
         // Every id the iterator yields is reported present.
         let ids: Vec<ObjectId> = cache.iter().collect();
         for id in ids {
-            prop_assert!(cache.contains(id));
+            assert!(cache.contains(id));
         }
     }
+}
 
-    #[test]
-    fn client_cache_insert_makes_present_until_evicted(
-        objs in proptest::collection::vec(0u32..20, 1..50),
-    ) {
+#[test]
+fn client_cache_insert_makes_present_until_evicted() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x1A5E_0000 + case);
         let mut cache = ClientCache::new(4, 4);
-        for o in objs {
+        let n = 1 + rng.below_usize(49);
+        for _ in 0..n {
+            let o = rng.below(20) as u32;
             cache.insert(ObjectId(o));
             // The most recently inserted object is always present.
-            prop_assert!(cache.contains(ObjectId(o)));
+            assert!(cache.contains(ObjectId(o)));
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Forward lists: ordering and liveness filtering.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Forward lists: ordering and liveness filtering.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn forward_list_serves_in_deadline_order_and_skips_expired(
-        entries in proptest::collection::vec((0u16..10, 1u64..100, any::<bool>()), 1..20),
-        now in 0u64..100,
-    ) {
+#[test]
+fn forward_list_serves_in_deadline_order_and_skips_expired() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xF0D0_0000 + case);
         let mut list = ForwardList::new(ObjectId(1));
-        for (client, deadline, write) in &entries {
+        let n = 1 + rng.below_usize(19);
+        for _ in 0..n {
+            let client = rng.below(10) as u16;
+            let deadline = rng.range_u64(1, 100);
+            let write = rng.bernoulli(0.5);
             list.push(ForwardEntry {
-                client: ClientId(*client),
-                txn: TransactionId::new(ClientId(*client), *deadline),
-                deadline: SimTime::from_secs(*deadline),
-                mode: LockMode::for_write(*write),
+                client: ClientId(client),
+                txn: TransactionId::new(ClientId(client), deadline),
+                deadline: SimTime::from_secs(deadline),
+                mode: LockMode::for_write(write),
             });
         }
         // Entries are deadline-sorted.
         let ds: Vec<_> = list.entries().iter().map(|e| e.deadline).collect();
-        prop_assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
         // Draining never yields an expired entry and consumes everything.
-        let now_t = SimTime::from_secs(now);
+        let now_t = SimTime::from_secs(rng.below(100));
         let mut served = 0usize;
         let mut skipped = 0usize;
         loop {
@@ -191,43 +217,52 @@ proptest! {
             skipped += dead.len();
             match next {
                 Some(e) => {
-                    prop_assert!(e.deadline >= now_t);
+                    assert!(e.deadline >= now_t);
                     served += 1;
                 }
                 None => break,
             }
         }
-        prop_assert_eq!(served + skipped, entries.len());
+        assert_eq!(served + skipped, n);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Event queue: global ordering with FIFO ties.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Event queue: global ordering with FIFO ties.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn event_queue_is_stable_priority_order(times in proptest::collection::vec(0u64..50, 1..100)) {
+#[test]
+fn event_queue_is_stable_priority_order() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xE0_0000 + case);
         let mut q = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            q.push(SimTime::from_secs(*t), i);
+        let n = 1 + rng.below_usize(99);
+        for i in 0..n {
+            q.push(SimTime::from_secs(rng.below(50)), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt);
                 if t == lt {
-                    prop_assert!(i > li, "FIFO tie-break violated");
+                    assert!(i > li, "FIFO tie-break violated");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Statistics: Welford matches the naive two-pass computation.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Statistics: Welford matches the naive two-pass computation.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn online_stats_match_naive(values in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+#[test]
+fn online_stats_match_naive() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x57A7_0000 + case);
+        let n = 2 + rng.below_usize(98);
+        let values: Vec<f64> = (0..n).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut s = OnlineStats::new();
         for &v in &values {
             s.push(v);
@@ -235,19 +270,129 @@ proptest! {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
     }
+}
 
-    // ------------------------------------------------------------------
-    // PRNG: bounds hold for arbitrary seeds and ranges.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Network fabric: timing, medium booking and fault-layer invariants.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn prng_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+use siteselect::net::{Delivery, Fabric, MessageKind};
+use siteselect::types::{FaultConfig, LanKind, NetworkConfig, SimDuration, SiteId};
+
+fn random_site(rng: &mut Prng) -> SiteId {
+    match rng.below(6) {
+        0 => SiteId::Server,
+        1 => SiteId::Directory,
+        n => SiteId::Client(ClientId((n - 2) as u16)),
+    }
+}
+
+fn random_kind(rng: &mut Prng) -> MessageKind {
+    *rng.choose(&[
+        MessageKind::TxnSubmit,
+        MessageKind::ObjectRequest,
+        MessageKind::ObjectSend,
+        MessageKind::Recall,
+        MessageKind::ObjectReturn,
+        MessageKind::ObjectForward,
+    ])
+}
+
+#[test]
+fn fabric_never_delivers_before_latency_plus_now() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xFAB_0000 + case);
+        let cfg = NetworkConfig {
+            kind: if rng.bernoulli(0.5) {
+                LanKind::SharedEthernet
+            } else {
+                LanKind::Switched
+            },
+            latency: SimDuration::from_micros(rng.below(5_000)),
+            ..NetworkConfig::default()
+        };
+        let latency = cfg.latency;
+        let mut fabric = Fabric::new(cfg, 2048);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1 + rng.below_usize(39) {
+            now = now.saturating_add(SimDuration::from_micros(rng.below(10_000)));
+            let from = random_site(&mut rng);
+            let to = random_site(&mut rng);
+            let objects = rng.below(3) as u32;
+            let delivered = fabric.send(now, from, to, random_kind(&mut rng), objects);
+            assert!(
+                delivered >= now.saturating_add(latency),
+                "delivered {delivered:?} before now {now:?} + latency {latency:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fabric_shared_medium_busy_time_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xFAB2_0000 + case);
+        let mut fabric = Fabric::new(NetworkConfig::default(), 2048);
+        let mut now = SimTime::ZERO;
+        let mut last_busy = fabric.busy_until();
+        for _ in 0..1 + rng.below_usize(59) {
+            now = now.saturating_add(SimDuration::from_micros(rng.below(20_000)));
+            let from = random_site(&mut rng);
+            let to = random_site(&mut rng);
+            fabric.send(now, from, to, random_kind(&mut rng), rng.below(3) as u32);
+            let busy = fabric.busy_until();
+            assert!(
+                busy >= last_busy,
+                "shared busy time went backwards: {busy:?} < {last_busy:?}"
+            );
+            last_busy = busy;
+        }
+    }
+}
+
+#[test]
+fn fabric_with_zero_loss_probability_never_drops() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xFAB3_0000 + case);
+        let mut fabric = Fabric::new(NetworkConfig::default(), 2048);
+        // Jitter without loss: deliveries may shift but never vanish.
+        let faults = FaultConfig {
+            loss_probability: 0.0,
+            max_delay_jitter: SimDuration::from_micros(rng.below(2_000)),
+            ..FaultConfig::default()
+        };
+        fabric.enable_faults(faults, Prng::seed_from_u64(0xFA_B1 ^ case));
+        let mut now = SimTime::ZERO;
+        for _ in 0..1 + rng.below_usize(59) {
+            now = now.saturating_add(SimDuration::from_micros(rng.below(10_000)));
+            let from = random_site(&mut rng);
+            let to = random_site(&mut rng);
+            let sent = fabric.try_send(now, from, to, random_kind(&mut rng), rng.below(3) as u32);
+            match sent {
+                Delivery::Delivered(t) => assert!(t >= now),
+                Delivery::Dropped => panic!("dropped a frame at loss probability 0"),
+            }
+        }
+        assert_eq!(fabric.dropped_messages(), 0);
+    }
+}
+
+// ------------------------------------------------------------------
+// PRNG: bounds hold for arbitrary seeds and ranges.
+// ------------------------------------------------------------------
+
+#[test]
+fn prng_below_respects_bound() {
+    for case in 0..CASES {
+        let mut meta = Prng::seed_from_u64(0x5EED_0000 + case);
+        let seed = meta.next_u64();
+        let bound = meta.range_u64(1, 1_000_000);
         let mut rng = Prng::seed_from_u64(seed);
         for _ in 0..50 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
 }
