@@ -6,11 +6,17 @@
 //! ```
 //!
 //! Targets: `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
-//! `figure5`, `table2`, `table3`, `table4`, `ablations`, `faults`, `all`.
+//! `figure5`, `table2`, `table3`, `table4`, `ablations`, `faults`,
+//! `trace`, `all`.
 //! `--quick` shortens the simulated runs (coarser numbers, same shapes).
-//! `--clients N` overrides the Table 4 (or `faults`) cluster size.
+//! `--clients N` overrides the Table 4 (or `faults` / `trace`) cluster size.
 //! `faults` is not part of `all`: it sweeps the fault-injection subsystem
 //! (crash/loss/slow-disk chaos) rather than a paper figure.
+//! `trace` runs one LS experiment with the event-tracing pipeline attached
+//! and writes `trace.jsonl` (one event per line) plus `trace.json` (Chrome
+//! `trace_event` format, loadable in chrome://tracing or Perfetto) to
+//! `--out DIR` (default `target/trace`); `--seed S` overrides the seed.
+//! The files are byte-identical across runs at the same seed and options.
 
 use std::process::ExitCode;
 
@@ -19,22 +25,36 @@ use siteselect_core::experiments::{
     cache_table, deadline_figure, fault_table, message_table, response_table, SweepOptions,
     FAULT_INTENSITIES, FIGURE_CLIENTS, TABLE_CLIENTS,
 };
-use siteselect_core::run_experiment;
+use siteselect_core::{run_experiment, run_experiment_traced};
 use siteselect_locks::protocol_costs;
 use siteselect_types::{ExperimentConfig, SystemKind};
+
+/// Returns the value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let clients_override = args
+    let clients_override = flag_value(&args, "--clients").and_then(|v| v.parse::<u16>().ok());
+    let seed_override = flag_value(&args, "--seed").and_then(|v| v.parse::<u64>().ok());
+    let out_dir = flag_value(&args, "--out").unwrap_or("target/trace");
+    // A target is any token that is neither a flag nor a flag's value.
+    let value_slots: Vec<usize> = args
         .iter()
-        .position(|a| a == "--clients")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u16>().ok());
+        .enumerate()
+        .filter(|(_, a)| matches!(a.as_str(), "--clients" | "--seed" | "--out"))
+        .map(|(i, _)| i + 1)
+        .collect();
     let targets: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && clients_override.is_none_or(|c| a.parse::<u16>() != Ok(c)))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !value_slots.contains(i))
+        .map(|(_, a)| a.as_str())
         .collect();
     let target = targets.first().copied().unwrap_or("all");
     let opts = repro_options(quick);
@@ -51,11 +71,12 @@ fn main() -> ExitCode {
         "table4" => table4(opts, clients_override.unwrap_or(100)),
         "ablations" => ablations(opts),
         "faults" => faults(opts, clients_override.unwrap_or(60)),
+        "trace" => trace(opts, clients_override.unwrap_or(20), seed_override, out_dir),
         "all" => all(opts, clients_override.unwrap_or(100)),
         other => {
             eprintln!("unknown target: {other}");
             eprintln!(
-                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults all"
+                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace all"
             );
             return ExitCode::FAILURE;
         }
@@ -214,6 +235,40 @@ fn faults(opts: SweepOptions, clients: u16) -> Result<(), AnyError> {
     ));
     let t = fault_table(clients, &FAULT_INTENSITIES, opts)?;
     print!("{}", t.render());
+    Ok(())
+}
+
+/// One traced LS run: emits the full event stream as JSONL and Chrome
+/// `trace_event` JSON, and prints the streaming observability report.
+/// Deterministic: same seed and options give byte-identical files.
+fn trace(
+    opts: SweepOptions,
+    clients: u16,
+    seed: Option<u64>,
+    out_dir: &str,
+) -> Result<(), AnyError> {
+    let seed = seed.unwrap_or(opts.seed);
+    banner(&format!(
+        "Trace: LS-CS-RTDBS lifecycle trace ({clients} clients, 20% updates, seed {seed})"
+    ));
+    let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, clients, 0.20);
+    cfg.runtime.duration = opts.duration;
+    cfg.runtime.warmup = opts.warmup;
+    cfg.runtime.seed = seed;
+    let (metrics, trace) = run_experiment_traced(&cfg, 1 << 20)?;
+    std::fs::create_dir_all(out_dir)?;
+    let jsonl_path = format!("{out_dir}/trace.jsonl");
+    let chrome_path = format!("{out_dir}/trace.json");
+    std::fs::write(&jsonl_path, siteselect_obs::export::jsonl(&trace.records))?;
+    std::fs::write(&chrome_path, siteselect_obs::export::chrome_trace(&trace.records))?;
+    print!("{}", trace.report.render());
+    println!(
+        "\nrun: {}/{} in time ({:.2}%)",
+        metrics.in_time,
+        metrics.measured,
+        metrics.success_percent()
+    );
+    println!("wrote {jsonl_path} ({} records) and {chrome_path}", trace.records.len());
     Ok(())
 }
 

@@ -7,7 +7,8 @@ use std::time::{Duration, Instant};
 
 use std::sync::mpsc::Receiver;
 
-use siteselect_types::{ClientId, LockMode, ObjectId, TransactionSpec};
+use siteselect_obs::{Event, EventSink};
+use siteselect_types::{ClientId, LockMode, ObjectId, SimTime, SiteId, TransactionSpec};
 
 use crate::sync::{Condvar, Mutex};
 
@@ -281,14 +282,27 @@ pub fn run_transaction(
     spec: &TransactionSpec,
     start: Instant,
     scale: f64,
+    sink: &EventSink,
 ) -> WorkerReport {
     let mut report = WorkerReport {
         generated: 1,
         ..WorkerReport::default()
     };
+    let site = SiteId::Client(shared.id);
+    let (txn, spec_deadline) = (spec.id, spec.deadline);
+    let accesses = spec.accesses.len() as u32;
+    sink.emit(sim_now(start, scale), site, || Event::TxnSubmit {
+        txn,
+        deadline: spec_deadline,
+        accesses,
+    });
     let deadline = start + scale_duration(spec.deadline.as_micros(), scale);
     if Instant::now() > deadline {
         report.expired = 1;
+        sink.emit(sim_now(start, scale), site, || Event::Abort {
+            txn,
+            reason: siteselect_types::AbortReason::Expired,
+        });
         return report;
     }
     let mut pinned: Vec<ObjectId> = Vec::new();
@@ -307,15 +321,23 @@ pub fn run_transaction(
             Err(e) => {
                 shared.abort_install(access.object);
                 shared.unpin_all(&pinned);
-                match e {
-                    AcquireError::Deadlock => report.deadlock_aborts = 1,
-                    AcquireError::DeadlineExpired => report.timeouts = 1,
-                }
+                let reason = match e {
+                    AcquireError::Deadlock => {
+                        report.deadlock_aborts = 1;
+                        siteselect_types::AbortReason::Deadlock
+                    }
+                    AcquireError::DeadlineExpired => {
+                        report.timeouts = 1;
+                        siteselect_types::AbortReason::Expired
+                    }
+                };
+                sink.emit(sim_now(start, scale), site, || Event::Abort { txn, reason });
                 return report;
             }
         }
     }
     // Execute: burn the scaled CPU demand.
+    sink.emit(sim_now(start, scale), site, || Event::ExecStart { txn });
     let cpu = scale_duration(spec.cpu_demand.as_micros(), scale);
     if !cpu.is_zero() {
         std::thread::sleep(cpu);
@@ -340,6 +362,14 @@ pub fn run_transaction(
     }
     history.commit(ops);
     shared.unpin_all(&pinned);
+    let now = sim_now(start, scale);
+    let latency_us = now.as_micros().saturating_sub(spec.arrival.as_micros());
+    let slack_us = spec.deadline.as_micros() as i64 - now.as_micros() as i64;
+    sink.emit(now, site, || Event::Commit {
+        txn,
+        latency_us,
+        slack_us,
+    });
     if Instant::now() <= deadline {
         report.in_time = 1;
     } else {
@@ -352,6 +382,15 @@ pub fn run_transaction(
 #[must_use]
 pub fn scale_duration(sim_micros: u64, scale: f64) -> Duration {
     Duration::from_secs_f64((sim_micros as f64 * scale / 1e6).max(0.0))
+}
+
+/// The inverse of [`scale_duration`]: maps real time elapsed since the
+/// cluster start back onto the simulated clock, so threaded-cluster events
+/// can be merged and sorted on the same axis as the simulators'.
+#[must_use]
+pub fn sim_now(start: Instant, scale: f64) -> SimTime {
+    let real = Instant::now().saturating_duration_since(start);
+    SimTime::from_micros((real.as_secs_f64() / scale * 1e6) as u64)
 }
 
 #[cfg(test)]

@@ -2,6 +2,9 @@
 
 use std::sync::Arc;
 
+use siteselect_obs::TraceData;
+use siteselect_sim::Ratio;
+
 use crate::client::WorkerReport;
 use crate::history::HistoryLog;
 use crate::server::ServerStats;
@@ -27,6 +30,8 @@ pub struct ClusterReport {
     pub server: ServerStats,
     /// The committed-access history (serializability evidence).
     pub history: Arc<HistoryLog>,
+    /// Merged per-site event trace, when tracing was enabled.
+    pub trace: Option<TraceData>,
 }
 
 impl ClusterReport {
@@ -34,6 +39,7 @@ impl ClusterReport {
         workers: &[WorkerReport],
         server: ServerStats,
         history: Arc<HistoryLog>,
+        trace: Option<TraceData>,
     ) -> Self {
         let mut r = ClusterReport {
             generated: 0,
@@ -45,6 +51,7 @@ impl ClusterReport {
             terminated_clients: 0,
             server,
             history,
+            trace,
         };
         for w in workers {
             r.generated += w.generated;
@@ -65,14 +72,11 @@ impl ClusterReport {
             == self.generated
     }
 
-    /// Percentage of transactions that met their deadline.
+    /// Percentage of transactions that met their deadline. 0.0 (never NaN)
+    /// when nothing was generated, via the shared [`Ratio`] helper.
     #[must_use]
     pub fn success_percent(&self) -> f64 {
-        if self.generated == 0 {
-            0.0
-        } else {
-            self.in_time as f64 * 100.0 / self.generated as f64
-        }
+        Ratio::of(self.in_time, self.generated).percent()
     }
 }
 
@@ -123,7 +127,12 @@ mod tests {
                 ..WorkerReport::default()
             },
         ];
-        let r = ClusterReport::aggregate(&workers, ServerStats::default(), Arc::new(HistoryLog::new()));
+        let r = ClusterReport::aggregate(
+            &workers,
+            ServerStats::default(),
+            Arc::new(HistoryLog::new()),
+            None,
+        );
         assert_eq!(r.generated, 15);
         assert_eq!(r.in_time, 12);
         assert!(r.is_balanced());
@@ -133,7 +142,7 @@ mod tests {
 
     #[test]
     fn empty_report() {
-        let r = ClusterReport::aggregate(&[], ServerStats::default(), Arc::new(HistoryLog::new()));
+        let r = ClusterReport::aggregate(&[], ServerStats::default(), Arc::new(HistoryLog::new()), None);
         assert!(r.is_balanced());
         assert_eq!(r.success_percent(), 0.0);
     }

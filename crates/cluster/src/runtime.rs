@@ -12,6 +12,8 @@ use siteselect_types::{
 };
 use siteselect_workload::TransactionGenerator;
 
+use siteselect_obs::{EventSink, TraceData};
+
 use crate::client::{run_transaction, scale_duration, ClientShared, WorkerReport};
 use crate::history::HistoryLog;
 use crate::report::ClusterReport;
@@ -42,6 +44,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Chaos-injection knobs (all off by default).
     pub chaos: ClusterChaos,
+    /// Capture per-site event traces, merged by simulated time into
+    /// [`ClusterReport::trace`]. Off by default; real-thread scheduling
+    /// makes these traces informative but not deterministic.
+    pub trace: bool,
 }
 
 /// Chaos-injection knobs for the threaded cluster. Everything defaults to
@@ -163,6 +169,7 @@ impl Default for ClusterConfig {
             time_scale: 0.001,
             seed: 0xC1u64 << 32 | 0x5e1e,
             chaos: ClusterChaos::default(),
+            trace: false,
         }
     }
 }
@@ -223,6 +230,17 @@ impl Cluster {
         let root = Prng::seed_from_u64(cfg.seed);
         let start = Instant::now();
 
+        // One sink per worker thread: emissions stay lock-uncontended and
+        // the site-local buffers are merged by simulated time at shutdown.
+        let sinks: Vec<EventSink> = (0..cfg.clients)
+            .map(|_| {
+                if cfg.trace {
+                    EventSink::enabled(TRACE_CAPACITY_PER_SITE)
+                } else {
+                    EventSink::disabled()
+                }
+            })
+            .collect();
         let worker_reports: Vec<WorkerReport> = std::thread::scope(|scope| {
             // Callback threads.
             let chaos_delay = cfg.chaos.max_callback_delay;
@@ -256,8 +274,9 @@ impl Cluster {
                 } else {
                     cfg.txns_per_client
                 };
+                let sink = sinks[i as usize].clone();
                 handles.push(scope.spawn(move || {
-                    worker_main(&cfg, shared, &server, &history, rng, start, quota)
+                    worker_main(&cfg, shared, &server, &history, rng, start, quota, &sink)
                 }));
             }
             let mut reports = Vec::new();
@@ -287,10 +306,18 @@ impl Cluster {
             }
         })?;
         let stats = server.stats();
-        Ok(ClusterReport::aggregate(&worker_reports, stats, history))
+        let trace = cfg
+            .trace
+            .then(|| TraceData::merge(sinks.iter().filter_map(EventSink::finish).collect()));
+        Ok(ClusterReport::aggregate(&worker_reports, stats, history, trace))
     }
 }
 
+/// Ring capacity of each worker's trace buffer: generously above any
+/// realistic per-client event volume (a few events per transaction).
+const TRACE_CAPACITY_PER_SITE: usize = 1 << 16;
+
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     cfg: &ClusterConfig,
     shared: Arc<ClientShared>,
@@ -299,6 +326,7 @@ fn worker_main(
     rng: Prng,
     start: Instant,
     quota: u32,
+    sink: &EventSink,
 ) -> WorkerReport {
     let mut gen = TransactionGenerator::new(
         shared.id,
@@ -320,7 +348,7 @@ fn worker_main(
         if due > now {
             std::thread::sleep(due - now);
         }
-        let r = run_transaction(&shared, server, history, &spec, start, cfg.time_scale);
+        let r = run_transaction(&shared, server, history, &spec, start, cfg.time_scale, sink);
         total.generated += r.generated;
         total.in_time += r.in_time;
         total.late += r.late;
@@ -407,6 +435,14 @@ mod tests {
         cfg.workload.mean_interarrival = SimDuration::from_secs(1);
         let report = Cluster::run(cfg).unwrap();
         assert!(report.is_balanced());
+        // Conservation under chaos: the failure breakdown exactly covers
+        // what was submitted but not committed on time — chaos must not
+        // create, lose or double-count a transaction.
+        assert_eq!(
+            report.late + report.deadlock_aborts + report.timeouts + report.expired,
+            report.generated - report.in_time,
+            "failure breakdown out of balance with submissions"
+        );
         // Termination draws are seed-deterministic: with p = 0.5 over six
         // clients this seed terminates at least one.
         assert!(report.terminated_clients > 0, "no client terminated");
@@ -415,6 +451,42 @@ mod tests {
             "terminated clients must submit fewer transactions"
         );
         report.history.check_serializable().unwrap();
+    }
+
+    #[test]
+    fn traced_cluster_captures_merged_lifecycles() {
+        let report = Cluster::run(ClusterConfig {
+            clients: 3,
+            txns_per_client: 10,
+            trace: true,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        assert!(report.is_balanced());
+        let trace = report.trace.as_ref().expect("tracing was enabled");
+        // Every generated transaction submits exactly once, and every
+        // commit in the report has a matching trace event.
+        assert_eq!(trace.report.kind_count("txn_submit"), report.generated);
+        assert_eq!(
+            trace.report.kind_count("commit"),
+            report.in_time + report.late
+        );
+        // The merge is globally ordered by simulated time.
+        assert!(trace
+            .records
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn untraced_cluster_reports_no_trace() {
+        let report = Cluster::run(ClusterConfig {
+            clients: 2,
+            txns_per_client: 5,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        assert!(report.trace.is_none());
     }
 
     #[test]

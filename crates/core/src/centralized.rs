@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use siteselect_net::{Fabric, MessageKind};
+use siteselect_obs::{Event, EventSink};
 use siteselect_sim::EventQueue;
 use siteselect_storage::ClientCache;
 use siteselect_storage::DiskModel;
@@ -79,6 +80,7 @@ pub struct CentralizedSim {
     inflight: usize,
     warmup_end: SimTime,
     metrics: RunMetrics,
+    sink: EventSink,
 }
 
 impl CentralizedSim {
@@ -106,8 +108,16 @@ impl CentralizedSim {
             queue: EventQueue::new(),
             warmup_end,
             metrics,
+            sink: EventSink::disabled(),
             cfg,
         }
+    }
+
+    /// Routes structured events from this engine (and its fabric) into
+    /// `sink`. Tracing is off by default; see [`siteselect_obs`].
+    pub fn attach_sink(&mut self, sink: EventSink) {
+        self.fabric.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// Runs the experiment to completion and returns its metrics.
@@ -153,6 +163,15 @@ impl CentralizedSim {
         match ev {
             Ev::Arrive(i) => {
                 let spec = &specs[i];
+                let (txn, deadline) = (spec.id, spec.deadline);
+                let accesses = spec.accesses.len() as u32;
+                self.sink.emit(self.now, SiteId::Client(spec.origin), || {
+                    Event::TxnSubmit {
+                        txn,
+                        deadline,
+                        accesses,
+                    }
+                });
                 let delivery = self.fabric.send(
                     self.now,
                     SiteId::Client(spec.origin),
@@ -200,6 +219,11 @@ impl CentralizedSim {
             match self.locks.request(access.object, key, mode, spec.deadline) {
                 Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {}
                 Acquire::Blocked { conflicts } => {
+                    let (id, object) = (spec.id, access.object);
+                    self.sink.emit(self.now, SiteId::Server, || Event::LockWait {
+                        txn: id,
+                        object,
+                    });
                     txn.blocked.push(access.object);
                     self.wfg.add_waits(key, conflicts);
                 }
@@ -218,6 +242,9 @@ impl CentralizedSim {
 
     /// Removes every trace of an un-inserted transaction.
     fn abort(&mut self, key: Key, txn: CeTxn, reason: AbortReason) {
+        let id = txn.spec.id;
+        self.sink
+            .emit(self.now, SiteId::Server, || Event::Abort { txn: id, reason });
         self.release_locks(key);
         self.wfg.remove_node(key);
         self.inflight -= 1;
@@ -324,6 +351,9 @@ impl CentralizedSim {
         txn.phase = Phase::Cpu;
         let deadline = txn.spec.deadline;
         let demand = txn.spec.cpu_demand;
+        let id = txn.spec.id;
+        self.sink
+            .emit(self.now, SiteId::Server, || Event::ExecStart { txn: id });
         if let Some((t, g)) = self.cpu.submit(self.now, key, deadline, demand) {
             self.queue.push(t, Ev::CpuTick(g));
         }
@@ -348,6 +378,14 @@ impl CentralizedSim {
             return;
         };
         txn.phase = Phase::Done;
+        let id = txn.spec.id;
+        let latency_us = self.now.duration_since(txn.spec.arrival).as_micros();
+        let slack_us = txn.spec.deadline.as_micros() as i64 - self.now.as_micros() as i64;
+        self.sink.emit(self.now, SiteId::Server, || Event::Commit {
+            txn: id,
+            latency_us,
+            slack_us,
+        });
         self.release_locks(key);
         self.inflight -= 1;
         let spec = txn.spec.clone();

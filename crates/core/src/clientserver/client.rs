@@ -78,6 +78,13 @@ impl ClientServerSim {
             return;
         }
         self.inflight += 1;
+        self.sink.emit(self.now, SiteId::Client(spec.origin), || {
+            siteselect_obs::Event::TxnSubmit {
+                txn: spec.id,
+                deadline: spec.deadline,
+                accesses: spec.accesses.len() as u32,
+            }
+        });
         let run = TxnRun {
             kind: RunKind::Normal,
             state: RunState::Acquiring,
@@ -107,7 +114,19 @@ impl ClientServerSim {
             let feasible = !ls_cfg.h1_enabled || {
                 let n = c.queue_ahead() as f64;
                 let projected = self.now + siteselect_types::SimDuration::from_secs_f64(n * c.atl());
-                projected <= spec_deadline
+                let ok = projected <= spec_deadline;
+                let (txn, queue_ahead) = (run.spec.id, c.queue_ahead() as u64);
+                let atl_us =
+                    siteselect_types::SimDuration::from_secs_f64(c.atl()).as_micros();
+                self.sink.emit(self.now, SiteId::Client(run.spec.origin), || {
+                    let (projected, deadline) = (projected, spec_deadline);
+                    if ok {
+                        siteselect_obs::Event::H1Admit { txn, queue_ahead, atl_us, projected, deadline }
+                    } else {
+                        siteselect_obs::Event::H1Reject { txn, queue_ahead, atl_us, projected, deadline }
+                    }
+                });
+                ok
             };
             let objects: Vec<ObjectId> = run.spec.objects().collect();
             if !feasible {
@@ -329,6 +348,10 @@ impl ClientServerSim {
                 c.local_wfg.add_waits(key, conflicts);
                 if let Some(run) = c.txns.get_mut(&key) {
                     run.needed.insert(object, (mode, Need::LocalWait));
+                    let (txn, origin) = (run.spec.id, run.spec.origin);
+                    self.sink.emit(self.now, SiteId::Client(origin), || {
+                        siteselect_obs::Event::LockWait { txn, object }
+                    });
                 }
             }
         }
@@ -554,9 +577,13 @@ impl ClientServerSim {
         }
         let shipped = !matches!(run.kind, RunKind::Normal);
         let self_id = self.clients[ci].id;
+        let txn = run.spec.id;
         let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
         if self.cfg.load_sharing.h2_enabled && !shipped {
             let best = Self::h2_choose(self_id, &accesses, &conflicts, &[]);
+            self.sink.emit(self.now, SiteId::Client(self_id), || {
+                Self::h2_choose_event(txn, self_id, best, &accesses, &conflicts)
+            });
             // Ship only when the destination substantially reduces the
             // conflicting-lock count and already caches a significant share
             // of the transaction's data (§3.1: transaction-shipping pays
@@ -583,6 +610,37 @@ impl ClientServerSim {
             }
         }
         self.check_ready(ci, key);
+    }
+
+    /// Builds the `H2Choose` trace event: every scored candidate in
+    /// evaluation order (origin first, then holders as discovered).
+    fn h2_choose_event(
+        txn: siteselect_types::TransactionId,
+        origin: ClientId,
+        chosen: ClientId,
+        accesses: &[AccessSpec],
+        locations: &[(ObjectId, Vec<(ClientId, LockMode)>)],
+    ) -> siteselect_obs::Event {
+        let mut candidates: Vec<ClientId> = vec![origin];
+        for (_, holders) in locations {
+            for &(c, _) in holders {
+                if !candidates.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+        }
+        siteselect_obs::Event::H2Choose {
+            txn,
+            origin: SiteId::Client(origin),
+            chosen: SiteId::Client(chosen),
+            candidates: candidates
+                .into_iter()
+                .map(|c| siteselect_obs::H2Candidate {
+                    site: SiteId::Client(c),
+                    score: Self::h2_score(c, accesses, locations) as u64,
+                })
+                .collect(),
+        }
     }
 
     /// H2: the site at which the transaction would wait for the fewest
@@ -682,11 +740,16 @@ impl ClientServerSim {
             return;
         };
         let self_id = self.clients[ci].id;
+        let txn = run.spec.id;
         let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
         match reason {
             InfoReason::H1Infeasible => {
                 let best = if self.cfg.load_sharing.h2_enabled {
-                    Self::h2_choose(self_id, &accesses, &locations, &loads)
+                    let best = Self::h2_choose(self_id, &accesses, &locations, &loads);
+                    self.sink.emit(self.now, SiteId::Client(self_id), || {
+                        Self::h2_choose_event(txn, self_id, best, &accesses, &locations)
+                    });
+                    best
                 } else {
                     // Without H2, fall back to the least-loaded site.
                     loads
@@ -745,6 +808,14 @@ impl ClientServerSim {
             self.metrics.load_sharing.decomposed += 1;
             self.metrics.load_sharing.subtasks += groups.len() as u64;
         }
+        let subtasks = groups.len() as u32;
+        self.sink
+            .emit(self.now, SiteId::Client(parent_spec.origin), || {
+                siteselect_obs::Event::Decomposed {
+                    txn: parent_spec.id,
+                    subtasks,
+                }
+            });
         let origin = self.clients[ci].id;
         for (index, (site, accesses)) in groups.into_iter().enumerate() {
             let index = index as u8;
@@ -831,6 +902,14 @@ impl ClientServerSim {
         if self.measured_arrival(run.spec.arrival) {
             self.metrics.load_sharing.shipped += 1;
         }
+        let txn = run.spec.id;
+        self.sink
+            .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                siteselect_obs::Event::Shipped {
+                    txn,
+                    to: SiteId::Client(dest),
+                }
+            });
         self.detach_txn(ci, key, &run);
         let from = self.clients[ci].id;
         self.send_to_client(
@@ -1012,6 +1091,10 @@ impl ClientServerSim {
             };
             match next {
                 Some(entry) => {
+                    let to = entry.client;
+                    self.sink.emit(self.now, SiteId::Client(from), || {
+                        siteselect_obs::Event::ForwardHop { object, to }
+                    });
                     self.send_to_client(
                         SiteDest::Client(from),
                         entry.client,
@@ -1188,10 +1271,15 @@ impl ClientServerSim {
             self.metrics.blocking.push_duration(blocked);
         }
         let (deadline, demand) = (run.spec.deadline, run.spec.cpu_demand);
+        let txn = run.spec.id;
         if let Some(run) = self.clients[ci].txns.get_mut(&key) {
             run.state = RunState::Executing;
             run.exec_started = self.now;
         }
+        self.sink
+            .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                siteselect_obs::Event::ExecStart { txn }
+            });
         let resched = self.clients[ci].cpu.submit(self.now, key, deadline, demand);
         if let Some((t, generation)) = resched {
             self.queue.push(
@@ -1247,6 +1335,19 @@ impl ClientServerSim {
 
         let committed = self.now <= run.spec.deadline;
         let measured = self.measured_arrival(run.spec.arrival);
+        if matches!(run.kind, RunKind::Normal) {
+            let txn = run.spec.id;
+            let latency_us = self.now.duration_since(run.spec.arrival).as_micros();
+            let slack_us = run.spec.deadline.as_micros() as i64 - self.now.as_micros() as i64;
+            self.sink
+                .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                    siteselect_obs::Event::Commit {
+                        txn,
+                        latency_us,
+                        slack_us,
+                    }
+                });
+        }
         match run.kind {
             RunKind::Normal => {
                 self.inflight -= 1;
@@ -1319,6 +1420,11 @@ impl ClientServerSim {
         }
         self.detach_txn(ci, key, &run);
         let measured = self.measured_arrival(run.spec.arrival);
+        let txn = run.spec.id;
+        self.sink
+            .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                siteselect_obs::Event::Abort { txn, reason }
+            });
         match run.kind {
             RunKind::Normal => {
                 self.inflight -= 1;
@@ -1380,6 +1486,11 @@ impl ClientServerSim {
         self.faults.up[ci] = false;
         self.metrics.faults.crashes += 1;
         let id = self.clients[ci].id;
+        self.sink.emit(self.now, SiteId::Client(id), || {
+            siteselect_obs::Event::SiteCrash {
+                site: SiteId::Client(id),
+            }
+        });
         self.fabric.set_site_down(SiteId::Client(id));
         let mut keys: Vec<TKey> = self.clients[ci].txns.keys().copied().collect();
         keys.sort_unstable(); // hash order is process-random; kills cascade
@@ -1470,6 +1581,11 @@ impl ClientServerSim {
         self.faults.up[ci] = true;
         self.metrics.faults.recoveries += 1;
         let id = self.clients[ci].id;
+        self.sink.emit(self.now, SiteId::Client(id), || {
+            siteselect_obs::Event::SiteRecover {
+                site: SiteId::Client(id),
+            }
+        });
         self.fabric.set_site_up(SiteId::Client(id));
     }
 
@@ -1519,6 +1635,11 @@ impl ClientServerSim {
         self.metrics.faults.retries += 1;
         let needs_data = !self.clients[ci].cache.contains(object);
         let client = self.clients[ci].id;
+        if let Some(id) = self.clients[ci].txns.get(&txn).map(|r| r.spec.id) {
+            self.sink.emit(self.now, SiteId::Client(client), || {
+                siteselect_obs::Event::RetrySent { txn: id }
+            });
+        }
         self.send_to_server(
             client,
             MessageKind::ObjectRequest,

@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use siteselect_locks::{CallbackTracker, ForwardList, LockTable, QueueDiscipline, WaitForGraph, WindowManager};
 use siteselect_net::{Delivery, Fabric};
+use siteselect_obs::EventSink;
 use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::{ClientCache, DiskModel};
 use siteselect_types::{
@@ -405,6 +406,7 @@ pub struct ClientServerSim {
     /// Parent transactions of decompositions also count in `inflight`.
     pub(crate) specs: Vec<TransactionSpec>,
     pub(crate) faults: FaultRuntime,
+    pub(crate) sink: EventSink,
 }
 
 impl ClientServerSim {
@@ -484,8 +486,19 @@ impl ClientServerSim {
             inflight: 0,
             specs: Vec::new(),
             faults,
+            sink: EventSink::disabled(),
             cfg,
         }
+    }
+
+    /// Enables event tracing: the sink is shared with the fabric and the
+    /// server's window/callback managers so every layer stamps the same
+    /// timeline.
+    pub fn attach_sink(&mut self, sink: EventSink) {
+        self.fabric.set_sink(sink.clone());
+        self.server.windows.set_sink(sink.clone());
+        self.server.callbacks.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// Pre-generates the whole fault schedule (crashes, recoveries and

@@ -227,6 +227,12 @@ impl ClientServerSim {
     }
 
     fn server_reject(&mut self, client: ClientId, txn: TKey, expired: bool) {
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::ServerReject {
+                txn: TransactionId::from_raw(txn),
+                expired,
+            }
+        });
         let delivery = self.fabric.try_send(
             self.now,
             SiteId::Server,
@@ -324,6 +330,9 @@ impl ClientServerSim {
     fn server_on_return(&mut self, object: ObjectId, from: ClientId, downgraded: bool) {
         self.server.buffer.insert(object);
         self.server.callbacks.acknowledge(object, from);
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::CallbackAcked { object, from }
+        });
         // The end of a forward chain: the object is home again.
         self.server.routing.remove(&object);
         let grants = if downgraded {
@@ -336,6 +345,9 @@ impl ClientServerSim {
 
     fn server_on_ack(&mut self, object: ObjectId, from: ClientId, had_copy: bool) {
         self.server.callbacks.acknowledge(object, from);
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::CallbackAcked { object, from }
+        });
         let grants = self.server.locks.release(object, from);
         self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
         if !had_copy {
@@ -392,7 +404,7 @@ impl ClientServerSim {
     // ------------------------------------------------------------------
 
     pub(crate) fn server_on_window_close(&mut self, object: ObjectId) {
-        let Some(list) = self.server.windows.close(object) else {
+        let Some(list) = self.server.windows.close_at(object, self.now) else {
             return;
         };
         let still_busy = self.server.routing.contains_key(&object)
@@ -536,6 +548,10 @@ impl ClientServerSim {
         // A real chain: route it untracked; the last client returns the
         // object.
         self.server.routing.insert(object, list.clone());
+        let to = entry.client;
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::ForwardHop { object, to }
+        });
         let delivery = self.fabric.try_send(
             self.now,
             SiteId::Server,
@@ -630,6 +646,9 @@ impl ClientServerSim {
         }
         for (object, holder) in self.server.callbacks.expired(self.now, lease) {
             self.metrics.faults.leases_expired += 1;
+            self.sink.emit(self.now, SiteId::Server, || {
+                siteselect_obs::Event::LeaseExpired { object, holder }
+            });
             self.server.callbacks.acknowledge(object, holder);
             let grants = self.server.locks.release(object, holder);
             // Fence the presumed-dead holder. If it was merely slow, the

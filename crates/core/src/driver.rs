@@ -1,5 +1,6 @@
 //! One-call experiment driver.
 
+use siteselect_obs::{EventSink, TraceData};
 use siteselect_types::{ConfigError, ExperimentConfig, SystemKind};
 
 use crate::centralized::CentralizedSim;
@@ -34,6 +35,42 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunMetrics, ConfigError>
     };
     debug_assert!(metrics.is_consistent(), "outcome accounting out of balance");
     Ok(metrics)
+}
+
+/// Like [`run_experiment`], but with the event-tracing pipeline attached:
+/// every engine event lands in a ring buffer of `capacity` records
+/// (oldest dropped first; aggregates in the [`siteselect_obs::ObsReport`]
+/// still see every event).
+///
+/// Tracing observes the deterministic simulation without perturbing it:
+/// the returned [`RunMetrics`] are identical to an untraced run at the
+/// same config, and the trace itself is byte-stable across runs at the
+/// same seed.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is inconsistent.
+pub fn run_experiment_traced(
+    cfg: &ExperimentConfig,
+    capacity: usize,
+) -> Result<(RunMetrics, TraceData), ConfigError> {
+    cfg.validate()?;
+    let sink = EventSink::enabled(capacity);
+    let metrics = match cfg.system {
+        SystemKind::Centralized => {
+            let mut sim = CentralizedSim::new(cfg.clone());
+            sim.attach_sink(sink.clone());
+            sim.run()
+        }
+        SystemKind::ClientServer | SystemKind::LoadSharing => {
+            let mut sim = ClientServerSim::new(cfg.clone());
+            sim.attach_sink(sink.clone());
+            sim.run()
+        }
+    };
+    debug_assert!(metrics.is_consistent(), "outcome accounting out of balance");
+    let trace = sink.finish().expect("sink was enabled");
+    Ok((metrics, trace))
 }
 
 #[cfg(test)]
@@ -123,6 +160,20 @@ mod tests {
                     m.faults.messages_dropped > 0,
                     "{system}@{intensity}: 10%+ loss dropped nothing"
                 );
+                // Conservation: every measured transaction is either
+                // committed on time or accounted to exactly one failure
+                // bucket — chaos must not create or lose transactions.
+                let f = m.failures;
+                assert_eq!(
+                    f.total(),
+                    f.expired + f.deadlock + f.subtask + f.late + f.shutdown + f.site_crash,
+                    "{system}@{intensity}: breakdown total out of sync with its buckets"
+                );
+                assert_eq!(
+                    m.in_time + f.total(),
+                    m.measured,
+                    "{system}@{intensity}: submitted != committed-on-time + failures"
+                );
             }
         }
     }
@@ -174,6 +225,44 @@ mod tests {
             "crashes killed no measured transaction"
         );
         assert!(m.is_consistent());
+        // Conservation under crash-only chaos: the breakdown still
+        // balances against the measured population.
+        assert_eq!(m.in_time + m.failures.total(), m.measured);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        // The observability pipeline must be a pure observer: attaching a
+        // sink changes nothing about the simulation itself, for every
+        // system kind, with and without chaos.
+        use siteselect_types::FaultConfig;
+        for system in SystemKind::ALL {
+            let mut cfg = ExperimentConfig::paper(system, 5, 0.20);
+            cfg.runtime.duration = SimDuration::from_secs(300);
+            cfg.runtime.warmup = SimDuration::from_secs(50);
+            let plain = run_experiment(&cfg).unwrap();
+            let (traced, trace) = run_experiment_traced(&cfg, 1 << 16).unwrap();
+            assert_eq!(plain, traced, "{system}: tracing perturbed the run");
+            assert!(trace.report.events > 0, "{system}: no events captured");
+            cfg.faults = FaultConfig::chaos(1.0);
+            let plain = run_experiment(&cfg).unwrap();
+            let (traced, _) = run_experiment_traced(&cfg, 1 << 16).unwrap();
+            assert_eq!(plain, traced, "{system}: tracing perturbed chaos run");
+        }
+    }
+
+    #[test]
+    fn traced_runs_are_byte_deterministic() {
+        let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, 5, 0.20);
+        cfg.runtime.duration = SimDuration::from_secs(300);
+        cfg.runtime.warmup = SimDuration::from_secs(50);
+        let (_, a) = run_experiment_traced(&cfg, 1 << 20).unwrap();
+        let (_, b) = run_experiment_traced(&cfg, 1 << 20).unwrap();
+        assert_eq!(
+            siteselect_obs::export::jsonl(&a.records),
+            siteselect_obs::export::jsonl(&b.records)
+        );
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod report;
 
 pub use centralized::CentralizedSim;
 pub use clientserver::ClientServerSim;
-pub use driver::run_experiment;
+pub use driver::{run_experiment, run_experiment_traced};
 pub use metrics::{
     CacheReport, FailureBreakdown, FaultReport, LoadSharingReport, ResponseReport, RunMetrics,
 };

@@ -73,14 +73,11 @@ pub struct CacheReport {
 
 impl CacheReport {
     /// Overall hit percentage (both tiers), the quantity in Table 2.
+    /// 0.0 (never NaN) when no access was recorded.
     #[must_use]
     pub fn hit_percent(&self) -> f64 {
         let total = self.memory_hits + self.disk_hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            (self.memory_hits + self.disk_hits) as f64 * 100.0 / total as f64
-        }
+        Ratio::of(self.memory_hits + self.disk_hits, total).percent()
     }
 }
 
@@ -177,14 +174,12 @@ impl RunMetrics {
     }
 
     /// Percentage of measured transactions that met their deadline — the
-    /// y-axis of Figures 3–5.
+    /// y-axis of Figures 3–5. 0.0 (never NaN) when nothing was measured;
+    /// every percentage helper routes through [`Ratio`] for uniform
+    /// division-by-zero handling.
     #[must_use]
     pub fn success_percent(&self) -> f64 {
-        if self.measured == 0 {
-            0.0
-        } else {
-            self.in_time as f64 * 100.0 / self.measured as f64
-        }
+        Ratio::of(self.in_time, self.measured).percent()
     }
 
     /// Records a measured transaction outcome.

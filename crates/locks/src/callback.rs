@@ -12,7 +12,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use siteselect_types::{ClientId, LockMode, ObjectId, SimDuration, SimTime};
+use siteselect_obs::{Event, EventSink};
+use siteselect_types::{ClientId, LockMode, ObjectId, SimDuration, SimTime, SiteId};
 
 /// Progress of an in-flight recall after one acknowledgement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,7 @@ pub struct CallbackTracker {
     recalls: HashMap<ObjectId, Recall>,
     issued: u64,
     completed: u64,
+    sink: EventSink,
 }
 
 impl CallbackTracker {
@@ -63,6 +65,13 @@ impl CallbackTracker {
     #[must_use]
     pub fn new() -> Self {
         CallbackTracker::default()
+    }
+
+    /// Attaches an event sink; recall issuance is emitted at the server
+    /// site (acknowledgements are emitted by the caller, which knows the
+    /// delivery time).
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.sink = sink;
     }
 
     /// Starts (or extends) a recall of `object` from `holders`; `desired` is
@@ -106,6 +115,11 @@ impl CallbackTracker {
         }
         if recall.outstanding.is_empty() {
             self.recalls.remove(&object);
+        }
+        if !fresh.is_empty() {
+            let holders = fresh.len() as u32;
+            self.sink
+                .emit(now, SiteId::Server, || Event::CallbackIssued { object, holders });
         }
         fresh
     }

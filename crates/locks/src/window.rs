@@ -8,7 +8,8 @@
 
 use std::collections::HashMap;
 
-use siteselect_types::{ObjectId, SimDuration, SimTime};
+use siteselect_obs::{Event, EventSink};
+use siteselect_types::{ObjectId, SimDuration, SimTime, SiteId};
 
 use crate::forward::{ForwardEntry, ForwardList};
 
@@ -56,6 +57,7 @@ pub struct WindowManager {
     open: HashMap<ObjectId, OpenWindow>,
     total_opened: u64,
     total_requests: u64,
+    sink: EventSink,
 }
 
 impl WindowManager {
@@ -67,7 +69,14 @@ impl WindowManager {
             open: HashMap::new(),
             total_opened: 0,
             total_requests: 0,
+            sink: EventSink::disabled(),
         }
+    }
+
+    /// Attaches an event sink; window open/close events are emitted at the
+    /// server site.
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.sink = sink;
     }
 
     /// The configured window length.
@@ -89,6 +98,8 @@ impl WindowManager {
         list.push(entry);
         self.open.insert(object, OpenWindow { closes_at, list });
         self.total_opened += 1;
+        self.sink
+            .emit(now, SiteId::Server, || Event::WindowOpen { object });
         WindowOffer::Opened { closes_at }
     }
 
@@ -96,6 +107,18 @@ impl WindowManager {
     /// list. Returns `None` if no window is open (e.g. already closed).
     pub fn close(&mut self, object: ObjectId) -> Option<ForwardList> {
         self.open.remove(&object).map(|w| w.list)
+    }
+
+    /// Like [`close`](Self::close), but stamps a `WindowClose` event with
+    /// the batch size at `now` when a window was actually open.
+    pub fn close_at(&mut self, object: ObjectId, now: SimTime) -> Option<ForwardList> {
+        let list = self.close(object);
+        if let Some(list) = &list {
+            let batch = list.len() as u32;
+            self.sink
+                .emit(now, SiteId::Server, || Event::WindowClose { object, batch });
+        }
+        list
     }
 
     /// True if a window is currently collecting for `object`.

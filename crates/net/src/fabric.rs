@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use siteselect_obs::{Event, EventSink};
 use siteselect_sim::Prng;
 use siteselect_types::{FaultConfig, LanKind, NetworkConfig, SimDuration, SimTime, SiteId};
 
@@ -61,6 +62,7 @@ pub struct Fabric {
     link_busy_until: HashMap<(SiteId, SiteId), SimTime>,
     stats: MessageStats,
     faults: Option<FaultState>,
+    sink: EventSink,
 }
 
 impl Fabric {
@@ -75,7 +77,14 @@ impl Fabric {
             link_busy_until: HashMap::new(),
             stats: MessageStats::new(),
             faults: None,
+            sink: EventSink::disabled(),
         }
+    }
+
+    /// Attaches an event sink; fault-layer drops and delays are emitted at
+    /// the destination site with the would-be delivery time.
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.sink = sink;
     }
 
     /// Arms the fault layer: subsequent `try_send*` calls may drop or delay
@@ -141,10 +150,14 @@ impl Fabric {
         };
         if state.down.contains(&to) {
             state.dropped += 1;
+            self.sink
+                .emit(delivery, to, || Event::MsgDropped { to });
             return Delivery::Dropped;
         }
         if state.cfg.loss_probability > 0.0 && state.prng.bernoulli(state.cfg.loss_probability) {
             state.dropped += 1;
+            self.sink
+                .emit(delivery, to, || Event::MsgDropped { to });
             return Delivery::Dropped;
         }
         if !state.cfg.max_delay_jitter.is_zero() {
@@ -152,6 +165,11 @@ impl Fabric {
                 SimDuration::from_micros(state.prng.below(state.cfg.max_delay_jitter.as_micros() + 1));
             if !jitter.is_zero() {
                 state.delayed += 1;
+                let jitter_us = jitter.as_micros();
+                self.sink.emit(delivery + jitter, to, || Event::MsgDelayed {
+                    to,
+                    jitter_us,
+                });
                 return Delivery::Delivered(delivery + jitter);
             }
         }

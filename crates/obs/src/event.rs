@@ -1,0 +1,411 @@
+//! The structured event taxonomy emitted by the simulators.
+//!
+//! Every payload field is an integer (microseconds for times) or a stable
+//! identifier rendered through its `Display` impl, so serialized traces are
+//! byte-identical across runs at the same seed — no floats, no pointers, no
+//! hash-map iteration order anywhere near the wire format.
+
+use std::fmt::Write as _;
+
+use siteselect_types::{AbortReason, ClientId, ObjectId, SimTime, SiteId, TransactionId};
+
+/// Stable lower-case label for an abort reason, used in exports.
+#[must_use]
+pub fn abort_reason_str(reason: AbortReason) -> &'static str {
+    match reason {
+        AbortReason::Expired => "expired",
+        AbortReason::Deadlock => "deadlock",
+        AbortReason::SubtaskFailure => "subtask_failure",
+        AbortReason::SiteCrash => "site_crash",
+        AbortReason::Shutdown => "shutdown",
+    }
+}
+
+/// One candidate considered by the H2 site-selection heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct H2Candidate {
+    /// The candidate execution site.
+    pub site: SiteId,
+    /// Conflicting-lock count (lower is better).
+    pub score: u64,
+}
+
+/// A structured trace event. See DESIGN.md §Observability for the taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A transaction arrived at its originating client.
+    TxnSubmit {
+        /// The new transaction.
+        txn: TransactionId,
+        /// Its firm deadline.
+        deadline: SimTime,
+        /// Number of object accesses it will make.
+        accesses: u32,
+    },
+    /// H1 admitted the transaction: `now + n·ATL ≤ deadline`.
+    H1Admit {
+        /// The admitted transaction.
+        txn: TransactionId,
+        /// `n`: EDF queue length ahead of it (CPU load proxy).
+        queue_ahead: u64,
+        /// Running average transaction latency, microseconds.
+        atl_us: u64,
+        /// The projected completion instant `now + n·ATL`.
+        projected: SimTime,
+        /// The transaction deadline the projection was tested against.
+        deadline: SimTime,
+    },
+    /// H1 judged local completion infeasible (`now + n·ATL > deadline`).
+    H1Reject {
+        /// The rejected transaction.
+        txn: TransactionId,
+        /// `n`: EDF queue length ahead of it.
+        queue_ahead: u64,
+        /// Running average transaction latency, microseconds.
+        atl_us: u64,
+        /// The projected completion instant that missed the deadline.
+        projected: SimTime,
+        /// The deadline it missed.
+        deadline: SimTime,
+    },
+    /// H2 scored candidate sites and picked one.
+    H2Choose {
+        /// The transaction being placed.
+        txn: TransactionId,
+        /// Site the transaction originated at.
+        origin: SiteId,
+        /// Site H2 selected.
+        chosen: SiteId,
+        /// Every scored candidate, in evaluation order.
+        candidates: Vec<H2Candidate>,
+    },
+    /// A transaction started executing on a CPU.
+    ExecStart {
+        /// The transaction.
+        txn: TransactionId,
+    },
+    /// A lock request blocked behind a conflicting holder.
+    LockWait {
+        /// The blocked transaction.
+        txn: TransactionId,
+        /// The contended object.
+        object: ObjectId,
+    },
+    /// The server issued callback recalls to the current holders.
+    CallbackIssued {
+        /// The recalled object.
+        object: ObjectId,
+        /// How many holders were asked to give the object up.
+        holders: u32,
+    },
+    /// A holder acknowledged (or returned the object for) a callback.
+    CallbackAcked {
+        /// The recalled object.
+        object: ObjectId,
+        /// The acknowledging client.
+        from: ClientId,
+    },
+    /// A collection window opened on an object (grouped locks, §3.4).
+    WindowOpen {
+        /// The object the window collects requests for.
+        object: ObjectId,
+    },
+    /// A collection window closed and produced a forward list.
+    WindowClose {
+        /// The object.
+        object: ObjectId,
+        /// Number of requests batched into the forward list.
+        batch: u32,
+    },
+    /// An object hopped client→client along a forward list.
+    ForwardHop {
+        /// The forwarded object.
+        object: ObjectId,
+        /// The next client on the list.
+        to: ClientId,
+    },
+    /// A whole transaction was shipped to a better site (H2 outcome).
+    Shipped {
+        /// The shipped transaction.
+        txn: TransactionId,
+        /// Destination site.
+        to: SiteId,
+    },
+    /// A transaction was decomposed into subtasks (§3.2).
+    Decomposed {
+        /// The parent transaction.
+        txn: TransactionId,
+        /// Number of subtasks created.
+        subtasks: u32,
+    },
+    /// A transaction committed.
+    Commit {
+        /// The committed transaction.
+        txn: TransactionId,
+        /// Response time (submit → commit), microseconds.
+        latency_us: u64,
+        /// Slack vs. deadline, microseconds; negative means it was late.
+        slack_us: i64,
+    },
+    /// A transaction aborted.
+    Abort {
+        /// The aborted transaction.
+        txn: TransactionId,
+        /// Why it aborted.
+        reason: AbortReason,
+    },
+    /// The server refused a lock request (deadline passed or deadlock).
+    ServerReject {
+        /// The refused transaction.
+        txn: TransactionId,
+        /// True when the refusal was because the deadline had passed.
+        expired: bool,
+    },
+    /// The fabric dropped a message (fault injection).
+    MsgDropped {
+        /// The destination that never received it.
+        to: SiteId,
+    },
+    /// The fabric delayed a message beyond its modeled latency.
+    MsgDelayed {
+        /// The destination.
+        to: SiteId,
+        /// Extra delay added, microseconds.
+        jitter_us: u64,
+    },
+    /// A site crashed (fault injection).
+    SiteCrash {
+        /// The crashed site.
+        site: SiteId,
+    },
+    /// A crashed site came back up.
+    SiteRecover {
+        /// The recovered site.
+        site: SiteId,
+    },
+    /// A client re-sent a fetch after a timeout.
+    RetrySent {
+        /// The retrying transaction.
+        txn: TransactionId,
+    },
+    /// The server reclaimed a callback lease that was never acknowledged.
+    LeaseExpired {
+        /// The object whose recall went unanswered.
+        object: ObjectId,
+        /// The unresponsive holder.
+        holder: ClientId,
+    },
+}
+
+impl Event {
+    /// Stable snake_case label for the event kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TxnSubmit { .. } => "txn_submit",
+            Event::H1Admit { .. } => "h1_admit",
+            Event::H1Reject { .. } => "h1_reject",
+            Event::H2Choose { .. } => "h2_choose",
+            Event::ExecStart { .. } => "exec_start",
+            Event::LockWait { .. } => "lock_wait",
+            Event::CallbackIssued { .. } => "callback_issued",
+            Event::CallbackAcked { .. } => "callback_acked",
+            Event::WindowOpen { .. } => "window_open",
+            Event::WindowClose { .. } => "window_close",
+            Event::ForwardHop { .. } => "forward_hop",
+            Event::Shipped { .. } => "shipped",
+            Event::Decomposed { .. } => "decomposed",
+            Event::Commit { .. } => "commit",
+            Event::Abort { .. } => "abort",
+            Event::ServerReject { .. } => "server_reject",
+            Event::MsgDropped { .. } => "msg_dropped",
+            Event::MsgDelayed { .. } => "msg_delayed",
+            Event::SiteCrash { .. } => "site_crash",
+            Event::SiteRecover { .. } => "site_recover",
+            Event::RetrySent { .. } => "retry_sent",
+            Event::LeaseExpired { .. } => "lease_expired",
+        }
+    }
+
+    /// The transaction this event concerns, if any.
+    #[must_use]
+    pub fn txn(&self) -> Option<TransactionId> {
+        match self {
+            Event::TxnSubmit { txn, .. }
+            | Event::H1Admit { txn, .. }
+            | Event::H1Reject { txn, .. }
+            | Event::H2Choose { txn, .. }
+            | Event::ExecStart { txn }
+            | Event::LockWait { txn, .. }
+            | Event::Shipped { txn, .. }
+            | Event::Decomposed { txn, .. }
+            | Event::Commit { txn, .. }
+            | Event::Abort { txn, .. }
+            | Event::ServerReject { txn, .. }
+            | Event::RetrySent { txn } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    /// Appends the event's payload as JSON object members (`,"k":v` pairs).
+    pub fn write_json_fields(&self, out: &mut String) {
+        match self {
+            Event::TxnSubmit {
+                txn,
+                deadline,
+                accesses,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","txn":"{txn}","deadline_us":{},"accesses":{accesses}"#,
+                    deadline.as_micros()
+                );
+            }
+            Event::H1Admit {
+                txn,
+                queue_ahead,
+                atl_us,
+                projected,
+                deadline,
+            }
+            | Event::H1Reject {
+                txn,
+                queue_ahead,
+                atl_us,
+                projected,
+                deadline,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","txn":"{txn}","queue_ahead":{queue_ahead},"atl_us":{atl_us},"projected_us":{},"deadline_us":{}"#,
+                    projected.as_micros(),
+                    deadline.as_micros()
+                );
+            }
+            Event::H2Choose {
+                txn,
+                origin,
+                chosen,
+                candidates,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","txn":"{txn}","origin":"{origin}","chosen":"{chosen}","candidates":["#
+                );
+                for (i, c) in candidates.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, r#"{{"site":"{}","score":{}}}"#, c.site, c.score);
+                }
+                out.push(']');
+            }
+            Event::ExecStart { txn } | Event::RetrySent { txn } => {
+                let _ = write!(out, r#","txn":"{txn}""#);
+            }
+            Event::LockWait { txn, object } => {
+                let _ = write!(out, r#","txn":"{txn}","object":"{object}""#);
+            }
+            Event::CallbackIssued { object, holders } => {
+                let _ = write!(out, r#","object":"{object}","holders":{holders}"#);
+            }
+            Event::CallbackAcked { object, from } => {
+                let _ = write!(out, r#","object":"{object}","from":"{from}""#);
+            }
+            Event::WindowOpen { object } => {
+                let _ = write!(out, r#","object":"{object}""#);
+            }
+            Event::WindowClose { object, batch } => {
+                let _ = write!(out, r#","object":"{object}","batch":{batch}"#);
+            }
+            Event::ForwardHop { object, to } => {
+                let _ = write!(out, r#","object":"{object}","to":"{to}""#);
+            }
+            Event::Shipped { txn, to } => {
+                let _ = write!(out, r#","txn":"{txn}","to":"{to}""#);
+            }
+            Event::Decomposed { txn, subtasks } => {
+                let _ = write!(out, r#","txn":"{txn}","subtasks":{subtasks}"#);
+            }
+            Event::Commit {
+                txn,
+                latency_us,
+                slack_us,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","txn":"{txn}","latency_us":{latency_us},"slack_us":{slack_us}"#
+                );
+            }
+            Event::Abort { txn, reason } => {
+                let _ = write!(
+                    out,
+                    r#","txn":"{txn}","reason":"{}""#,
+                    abort_reason_str(*reason)
+                );
+            }
+            Event::ServerReject { txn, expired } => {
+                let _ = write!(out, r#","txn":"{txn}","expired":{expired}"#);
+            }
+            Event::MsgDropped { to } => {
+                let _ = write!(out, r#","to":"{to}""#);
+            }
+            Event::MsgDelayed { to, jitter_us } => {
+                let _ = write!(out, r#","to":"{to}","jitter_us":{jitter_us}"#);
+            }
+            Event::SiteCrash { site } | Event::SiteRecover { site } => {
+                let _ = write!(out, r#","site":"{site}""#);
+            }
+            Event::LeaseExpired { object, holder } => {
+                let _ = write!(out, r#","object":"{object}","holder":"{holder}""#);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_snake_case() {
+        let e = Event::Commit {
+            txn: TransactionId::new(ClientId(1), 2),
+            latency_us: 10,
+            slack_us: -5,
+        };
+        assert_eq!(e.kind(), "commit");
+        assert_eq!(e.txn(), Some(TransactionId::new(ClientId(1), 2)));
+    }
+
+    #[test]
+    fn json_fields_are_valid_members() {
+        let e = Event::H2Choose {
+            txn: TransactionId::new(ClientId(0), 1),
+            origin: SiteId::Client(ClientId(0)),
+            chosen: SiteId::Client(ClientId(3)),
+            candidates: vec![
+                H2Candidate {
+                    site: SiteId::Client(ClientId(0)),
+                    score: 4,
+                },
+                H2Candidate {
+                    site: SiteId::Client(ClientId(3)),
+                    score: 1,
+                },
+            ],
+        };
+        let mut s = String::new();
+        e.write_json_fields(&mut s);
+        assert!(s.starts_with(','));
+        assert!(s.contains(r#""chosen":"client#3""#));
+        assert!(s.contains(r#""score":1"#));
+    }
+
+    #[test]
+    fn events_without_a_txn_say_so() {
+        let e = Event::MsgDropped { to: SiteId::Server };
+        assert_eq!(e.txn(), None);
+        assert_eq!(e.kind(), "msg_dropped");
+    }
+}

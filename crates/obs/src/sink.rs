@@ -1,0 +1,212 @@
+//! The ring-buffered event sink.
+//!
+//! [`EventSink`] is the single handle every subsystem holds. Disabled (the
+//! default) it is a `None` — emitting is one branch and the event payload is
+//! never even constructed, which is what makes the disabled path free.
+//! Enabled it is an `Arc<Mutex<_>>` so the same type works in the
+//! single-threaded simulators and in the threaded cluster runtime, and
+//! cloning a sink shares the underlying buffer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use siteselect_types::{SimTime, SiteId};
+
+use crate::event::Event;
+use crate::report::ObsReport;
+
+/// One captured event: when, where, in what global order, and what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time the event was emitted at.
+    pub time: SimTime,
+    /// Emission sequence number within the sink (total order tie-break).
+    pub seq: u64,
+    /// The site the event happened at.
+    pub site: SiteId,
+    /// The structured payload.
+    pub event: Event,
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    capacity: usize,
+    next_seq: u64,
+    ring: VecDeque<TraceRecord>,
+    report: ObsReport,
+}
+
+/// A shareable, optionally-enabled event sink.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_obs::{Event, EventSink};
+/// use siteselect_types::{ClientId, SimTime, SiteId, TransactionId};
+///
+/// let off = EventSink::disabled();
+/// off.emit(SimTime::from_secs(1), SiteId::Server, || unreachable!());
+///
+/// let on = EventSink::enabled(16);
+/// on.emit(SimTime::from_secs(1), SiteId::Server, || Event::ExecStart {
+///     txn: TransactionId::new(ClientId(0), 1),
+/// });
+/// let trace = on.finish().unwrap();
+/// assert_eq!(trace.records.len(), 1);
+/// assert_eq!(trace.report.events, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventSink(Option<Arc<Mutex<SinkInner>>>);
+
+impl EventSink {
+    /// A sink that ignores everything (the zero-overhead default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        EventSink(None)
+    }
+
+    /// A live sink retaining at most `capacity` records (drop-oldest).
+    /// Streaming summaries in the [`ObsReport`] still see every event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "sink capacity must be positive");
+        EventSink(Some(Arc::new(Mutex::new(SinkInner {
+            capacity,
+            next_seq: 0,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            report: ObsReport::new(),
+        }))))
+    }
+
+    /// True if events are being captured.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits an event. The closure only runs when the sink is enabled, so
+    /// callers can build payloads (allocations included) without guarding.
+    #[inline]
+    pub fn emit(&self, time: SimTime, site: SiteId, event: impl FnOnce() -> Event) {
+        if let Some(inner) = &self.0 {
+            let mut g = inner.lock().expect("sink poisoned");
+            let rec = TraceRecord {
+                time,
+                seq: g.next_seq,
+                site,
+                event: event(),
+            };
+            g.next_seq += 1;
+            g.report.observe(&rec);
+            if g.ring.len() == g.capacity {
+                g.ring.pop_front();
+                g.report.dropped += 1;
+            }
+            g.ring.push_back(rec);
+        }
+    }
+
+    /// Drains the sink: returns the buffered records plus the streaming
+    /// report, or `None` if the sink was disabled. The sink is empty (but
+    /// still enabled) afterwards.
+    #[must_use]
+    pub fn finish(&self) -> Option<TraceData> {
+        self.0.as_ref().map(|inner| {
+            let mut g = inner.lock().expect("sink poisoned");
+            TraceData {
+                records: g.ring.drain(..).collect(),
+                report: g.report.clone(),
+            }
+        })
+    }
+}
+
+/// A drained trace: the retained records and the full-run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceData {
+    /// Captured records in emission order (after a merge: sim-time order).
+    pub records: Vec<TraceRecord>,
+    /// Streaming summary covering *every* emitted event, even evicted ones.
+    pub report: ObsReport,
+}
+
+impl TraceData {
+    /// Merges per-site traces into one timeline ordered by
+    /// `(time, site, seq)` — the deterministic shutdown merge the threaded
+    /// cluster runtime uses.
+    #[must_use]
+    pub fn merge(parts: Vec<TraceData>) -> TraceData {
+        let mut records = Vec::with_capacity(parts.iter().map(|p| p.records.len()).sum());
+        let mut report = ObsReport::new();
+        for part in parts {
+            records.extend(part.records);
+            report.merge(&part.report);
+        }
+        records.sort_by_key(|r| (r.time, r.site, r.seq));
+        TraceData { records, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_types::{ClientId, TransactionId};
+
+    fn exec(seq: u64) -> Event {
+        Event::ExecStart {
+            txn: TransactionId::new(ClientId(0), seq),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_never_builds_the_payload() {
+        let sink = EventSink::disabled();
+        sink.emit(SimTime::from_secs(0), SiteId::Server, || {
+            panic!("payload built on disabled path")
+        });
+        assert!(sink.finish().is_none());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_report_sees_all() {
+        let sink = EventSink::enabled(2);
+        for i in 0..5 {
+            sink.emit(SimTime::from_micros(i), SiteId::Server, || exec(i));
+        }
+        let trace = sink.finish().unwrap();
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.records[0].seq, 3);
+        assert_eq!(trace.report.events, 5);
+        assert_eq!(trace.report.dropped, 3);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = EventSink::enabled(8);
+        let b = a.clone();
+        a.emit(SimTime::from_micros(1), SiteId::Server, || exec(0));
+        b.emit(SimTime::from_micros(2), SiteId::Directory, || exec(1));
+        let trace = a.finish().unwrap();
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.records[1].seq, 1);
+    }
+
+    #[test]
+    fn merge_orders_by_time_site_seq() {
+        let a = EventSink::enabled(8);
+        let b = EventSink::enabled(8);
+        a.emit(SimTime::from_micros(5), SiteId::Client(ClientId(1)), || exec(0));
+        b.emit(SimTime::from_micros(2), SiteId::Client(ClientId(2)), || exec(0));
+        b.emit(SimTime::from_micros(5), SiteId::Client(ClientId(0)), || exec(1));
+        let merged = TraceData::merge(vec![a.finish().unwrap(), b.finish().unwrap()]);
+        let times: Vec<u64> = merged.records.iter().map(|r| r.time.as_micros()).collect();
+        assert_eq!(times, vec![2, 5, 5]);
+        assert_eq!(merged.records[1].site, SiteId::Client(ClientId(0)));
+        assert_eq!(merged.report.events, 3);
+    }
+}

@@ -254,6 +254,22 @@ impl Ratio {
         Ratio::default()
     }
 
+    /// Builds a ratio from already-tallied counts, for one-shot percentage
+    /// queries with uniform division-by-zero handling.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use siteselect_sim::Ratio;
+    ///
+    /// assert_eq!(Ratio::of(3, 4).percent(), 75.0);
+    /// assert_eq!(Ratio::of(0, 0).percent(), 0.0); // never NaN
+    /// ```
+    #[must_use]
+    pub fn of(hits: u64, total: u64) -> Self {
+        Ratio { hits, total }
+    }
+
     /// Records an event; `hit` marks it a success.
     pub fn record(&mut self, hit: bool) {
         self.total += 1;

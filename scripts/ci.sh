@@ -13,6 +13,21 @@ cargo test -q --workspace
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> trace determinism (repro trace twice at one seed, byte-diff)"
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+cargo run --release -q -p siteselect-bench --bin repro -- trace --quick --seed 7 --out "$tracedir/a" > "$tracedir/a.out"
+cargo run --release -q -p siteselect-bench --bin repro -- trace --quick --seed 7 --out "$tracedir/b" > "$tracedir/b.out"
+diff "$tracedir/a/trace.jsonl" "$tracedir/b/trace.jsonl"
+diff "$tracedir/a/trace.json" "$tracedir/b/trace.json"
+# The report must match too; only the "wrote <path>" line may differ.
+diff <(grep -v '^wrote ' "$tracedir/a.out") <(grep -v '^wrote ' "$tracedir/b.out")
+
+echo "==> disabled-path guard (untraced repro output is byte-stable)"
+cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick > "$tracedir/f3.a"
+cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick > "$tracedir/f3.b"
+diff "$tracedir/f3.a" "$tracedir/f3.b"
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "==> seed sensitivity (Figure 5 headline point, seeds 1-3)"
   cargo run --release -q -p siteselect-bench --bin seedcheck

@@ -18,6 +18,10 @@
 //!   pattern;
 //! * [`net`] — the shared-Ethernet model, message vocabulary and Table 4
 //!   accounting;
+//! * [`obs`] — deterministic event tracing: the [`obs::EventSink`], the
+//!   structured event taxonomy (H1/H2 decisions, transaction lifecycle,
+//!   faults), streaming log-linear histograms, and JSONL / Chrome-trace
+//!   exporters;
 //! * [`core`] — the three systems (CE-RTDBS, CS-RTDBS, LS-CS-RTDBS), the
 //!   load-sharing algorithm (H1/H2, shipping, decomposition, grouped
 //!   locks), and the experiment sweeps behind every figure and table;
@@ -42,6 +46,7 @@ pub use siteselect_cluster as cluster;
 pub use siteselect_core as core;
 pub use siteselect_locks as locks;
 pub use siteselect_net as net;
+pub use siteselect_obs as obs;
 pub use siteselect_sim as sim;
 pub use siteselect_storage as storage;
 pub use siteselect_types as types;

@@ -396,3 +396,105 @@ fn prng_below_respects_bound() {
         }
     }
 }
+
+// ------------------------------------------------------------------
+// Observability histogram: bucket geometry, merge algebra, quantiles.
+// ------------------------------------------------------------------
+
+fn random_value(rng: &mut Prng) -> u64 {
+    // Span the full bucket range: uniform within a random power-of-two
+    // magnitude, so small and huge values are equally likely.
+    let magnitude = rng.below(64);
+    rng.below(1u64 << magnitude.max(1))
+}
+
+#[test]
+fn histogram_buckets_contain_their_values() {
+    use siteselect::obs::LogHistogram;
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x4157_0000 + case);
+        for _ in 0..64 {
+            let v = random_value(&mut rng);
+            let i = LogHistogram::bucket_index(v);
+            // The value lands at or above its bucket's lower bound and
+            // strictly below the next bucket's.
+            assert!(LogHistogram::bucket_lower_bound(i) <= v, "lower bound above {v}");
+            if i + 1 < siteselect::obs::hist::BUCKETS {
+                assert!(
+                    v < LogHistogram::bucket_lower_bound(i + 1),
+                    "{v} not below next bucket's bound"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_bucket_bounds_are_monotone_and_consistent() {
+    use siteselect::obs::hist::BUCKETS;
+    use siteselect::obs::LogHistogram;
+    for i in 0..BUCKETS {
+        let lo = LogHistogram::bucket_lower_bound(i);
+        // Round-trip: a bucket's lower bound indexes back to the bucket.
+        assert_eq!(LogHistogram::bucket_index(lo), i, "round-trip failed at {i}");
+        if i + 1 < BUCKETS {
+            assert!(lo < LogHistogram::bucket_lower_bound(i + 1), "bounds not increasing at {i}");
+        }
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative_and_matches_bulk_record() {
+    use siteselect::obs::LogHistogram;
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x4157_1000 + case);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..rng.below_usize(40)).map(|_| random_value(&mut rng)).collect())
+            .collect();
+        let hist_of = |values: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let [a, b, c] = [hist_of(&parts[0]), hist_of(&parts[1]), hist_of(&parts[2])];
+        // (a + b) + c == a + (b + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge not associative");
+        // Both equal recording every value into one histogram.
+        let all: Vec<u64> = parts.concat();
+        assert_eq!(left, hist_of(&all), "merge differs from bulk record");
+    }
+}
+
+#[test]
+fn histogram_quantiles_are_monotone_and_bounded() {
+    use siteselect::obs::LogHistogram;
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x4157_2000 + case);
+        let mut h = LogHistogram::new();
+        for _ in 0..1 + rng.below_usize(99) {
+            h.record(random_value(&mut rng));
+        }
+        let mut prev = 0u64;
+        for step in 0..=20 {
+            let q = f64::from(step) / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            assert!(h.min() <= v && v <= h.max(), "quantile outside [min, max] at q={q}");
+            prev = v;
+        }
+        // quantile(1.0) is the max up to bucket quantization: same bucket.
+        assert_eq!(
+            LogHistogram::bucket_index(h.quantile(1.0)),
+            LogHistogram::bucket_index(h.max())
+        );
+    }
+}
