@@ -7,9 +7,16 @@
 //!
 //! Targets: `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
 //! `figure5`, `table2`, `table3`, `table4`, `ablations`, `faults`,
-//! `trace`, `all`.
+//! `trace`, `bench`, `all`.
 //! `--quick` shortens the simulated runs (coarser numbers, same shapes).
 //! `--clients N` overrides the Table 4 (or `faults` / `trace`) cluster size.
+//! `--jobs N` sets the sweep worker-thread count (0 or absent = one per
+//! core); results are merged in cell order, so output is byte-identical at
+//! every job count.
+//! `bench` runs the regression-tracked benchmark suite and writes its
+//! JSON report to `--out FILE` (default `BENCH_sim.json`); with
+//! `--baseline FILE` it additionally compares against a previous report
+//! and fails on a missing benchmark or a >2x regression.
 //! `faults` is not part of `all`: it sweeps the fault-injection subsystem
 //! (crash/loss/slow-disk chaos) rather than a paper figure.
 //! `trace` runs one LS experiment with the event-tracing pipeline attached
@@ -42,12 +49,18 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let clients_override = flag_value(&args, "--clients").and_then(|v| v.parse::<u16>().ok());
     let seed_override = flag_value(&args, "--seed").and_then(|v| v.parse::<u64>().ok());
+    let jobs = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
     let out_dir = flag_value(&args, "--out").unwrap_or("target/trace");
+    let baseline = flag_value(&args, "--baseline");
     // A target is any token that is neither a flag nor a flag's value.
     let value_slots: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| matches!(a.as_str(), "--clients" | "--seed" | "--out"))
+        .filter(|(_, a)| {
+            matches!(a.as_str(), "--clients" | "--seed" | "--out" | "--jobs" | "--baseline")
+        })
         .map(|(i, _)| i + 1)
         .collect();
     let targets: Vec<&str> = args
@@ -57,7 +70,8 @@ fn main() -> ExitCode {
         .map(|(_, a)| a.as_str())
         .collect();
     let target = targets.first().copied().unwrap_or("all");
-    let opts = repro_options(quick);
+    let mut opts = repro_options(quick);
+    opts.jobs = jobs;
 
     let result = match target {
         "table1" => table1(),
@@ -72,11 +86,15 @@ fn main() -> ExitCode {
         "ablations" => ablations(opts),
         "faults" => faults(opts, clients_override.unwrap_or(60)),
         "trace" => trace(opts, clients_override.unwrap_or(20), seed_override, out_dir),
+        "bench" => {
+            let out = flag_value(&args, "--out").unwrap_or("BENCH_sim.json");
+            bench_suite(out, baseline)
+        }
         "all" => all(opts, clients_override.unwrap_or(100)),
         other => {
             eprintln!("unknown target: {other}");
             eprintln!(
-                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace all"
+                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace bench all"
             );
             return ExitCode::FAILURE;
         }
@@ -269,6 +287,23 @@ fn trace(
         metrics.success_percent()
     );
     println!("wrote {jsonl_path} ({} records) and {chrome_path}", trace.records.len());
+    Ok(())
+}
+
+/// Runs the regression-tracked benchmark suite, writes the JSON report,
+/// and optionally enforces a baseline.
+fn bench_suite(out: &str, baseline: Option<&str>) -> Result<(), AnyError> {
+    banner("Bench: hot-path substrates, end-to-end runs, sweep scaling");
+    let report = siteselect_bench::suite::run_suite();
+    let json = report.to_json();
+    std::fs::write(out, &json)?;
+    println!("\nwrote {out} ({} benchmarks, {} cores, {})", report.benchmarks.len(), report.cores, report.rustc);
+    if let Some(path) = baseline {
+        let base = std::fs::read_to_string(path)?;
+        siteselect_bench::suite::compare_against_baseline(&report, &base)
+            .map_err(|e| format!("baseline check failed: {e}"))?;
+        println!("baseline check passed against {path}");
+    }
     Ok(())
 }
 

@@ -24,22 +24,27 @@ pub struct Bencher {
 impl Bencher {
     /// Times `body`, batching it until a batch reaches [`BATCH_TARGET`].
     pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        // Calibrate: grow the batch until one batch is long enough to time
+        // reliably. Calibration batches are never counted as samples —
+        // they run while caches, branch predictors and the allocator are
+        // still warming, so folding the final calibration batch in (as an
+        // earlier version did) skewed the reported figure and made it
+        // depend on how many growth steps calibration happened to take.
         let mut n = 1u64;
-        let mut per_iter;
         loop {
             let start = Instant::now();
             for _ in 0..n {
                 std::hint::black_box(body());
             }
-            let elapsed = start.elapsed();
-            per_iter = elapsed.as_nanos() as f64 / n as f64;
-            if elapsed >= BATCH_TARGET || n >= MAX_BATCH {
+            if start.elapsed() >= BATCH_TARGET || n >= MAX_BATCH {
                 break;
             }
             n = (n * 8).min(MAX_BATCH);
         }
-        let mut best = per_iter;
-        for _ in 1..SAMPLES {
+        // Measure: SAMPLES fresh batches at the calibrated size, reporting
+        // the minimum (robust against scheduler noise).
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
             let start = Instant::now();
             for _ in 0..n {
                 std::hint::black_box(body());
@@ -48,22 +53,41 @@ impl Bencher {
         }
         self.ns_per_iter = best;
     }
+
+    /// The measured nanoseconds per iteration of the last [`iter`] call.
+    ///
+    /// [`iter`]: Bencher::iter
+    #[must_use]
+    pub fn ns_per_iter(&self) -> f64 {
+        self.ns_per_iter
+    }
+}
+
+/// Runs one benchmark body and returns its nanoseconds per iteration.
+pub fn measure(mut body: impl FnMut(&mut Bencher)) -> f64 {
+    let mut b = Bencher::default();
+    body(&mut b);
+    b.ns_per_iter
+}
+
+/// Formats a nanosecond figure with a human-scale unit.
+#[must_use]
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
 }
 
 /// Runs one named benchmark and prints its result.
-pub fn bench(name: &str, mut body: impl FnMut(&mut Bencher)) {
-    let mut b = Bencher::default();
-    body(&mut b);
-    let ns = b.ns_per_iter;
-    if ns >= 1e9 {
-        println!("{name:<55} {:>12.3} s/iter", ns / 1e9);
-    } else if ns >= 1e6 {
-        println!("{name:<55} {:>12.3} ms/iter", ns / 1e6);
-    } else if ns >= 1e3 {
-        println!("{name:<55} {:>12.3} µs/iter", ns / 1e3);
-    } else {
-        println!("{name:<55} {:>12.1} ns/iter", ns);
-    }
+pub fn bench(name: &str, body: impl FnMut(&mut Bencher)) {
+    let ns = measure(body);
+    println!("{name:<55} {:>12}", format_ns(ns));
 }
 
 #[cfg(test)]
@@ -80,5 +104,19 @@ mod tests {
     #[test]
     fn bench_prints_without_panicking() {
         bench("smoke", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn measure_returns_finite_positive_ns() {
+        let ns = measure(|b| b.iter(|| std::hint::black_box(3u64 * 7)));
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(12.0).ends_with("ns/iter"));
+        assert!(format_ns(12_000.0).ends_with("µs/iter"));
+        assert!(format_ns(12_000_000.0).ends_with("ms/iter"));
+        assert!(format_ns(2e9).ends_with("s/iter"));
     }
 }

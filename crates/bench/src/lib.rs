@@ -11,6 +11,7 @@
 //! This library only hosts small helpers shared by those targets.
 
 pub mod harness;
+pub mod suite;
 
 use siteselect_core::experiments::SweepOptions;
 use siteselect_types::SimDuration;

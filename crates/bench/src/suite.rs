@@ -1,0 +1,389 @@
+//! The regression-tracked benchmark suite behind `repro bench`.
+//!
+//! Times the hot substrates (lock table, event queue, dense maps, client
+//! cache), one quick end-to-end run per system with its simulated-events
+//! throughput, and a quick sweep at one and at all cores. Results are
+//! written to a JSON file (`BENCH_sim.json` by default) whose schema is
+//! hand-rolled — the workspace builds offline, so there is no serde — and
+//! a committed baseline can be compared against with `--baseline`, failing
+//! on missing fields or a >2x per-benchmark regression.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use siteselect_core::experiments::{deadline_figure, effective_jobs, SweepOptions};
+use siteselect_core::{run_experiment, run_experiment_traced};
+use siteselect_locks::{Acquire, LockTable, QueueDiscipline};
+use siteselect_sim::EventQueue;
+use siteselect_storage::ClientCache;
+use siteselect_types::{
+    ClientId, ExperimentConfig, LockMode, ObjectId, ObjectMap, SimDuration, SimTime, SystemKind,
+};
+
+use crate::harness::{format_ns, measure};
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable identifier, used to match against the baseline.
+    pub name: String,
+    /// Best-of-samples nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Simulated engine events per wall-clock second, for end-to-end runs.
+    pub events_per_sec: Option<f64>,
+}
+
+/// The full suite result: metadata plus every record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Available cores on the machine that produced the numbers.
+    pub cores: usize,
+    /// `rustc --version` of the toolchain, `"unknown"` if unavailable.
+    pub rustc: String,
+    /// Measurements in execution order.
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+fn bench_cfg(system: SystemKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(system, 6, 0.05);
+    cfg.runtime.duration = SimDuration::from_secs(200);
+    cfg.runtime.warmup = SimDuration::from_secs(40);
+    cfg.runtime.seed = 0x5173_5e1e;
+    cfg
+}
+
+fn lock_table_grant_release() -> f64 {
+    let mut table: LockTable<ClientId> = LockTable::new(QueueDiscipline::Fifo);
+    let mut i = 0u32;
+    measure(|b| {
+        b.iter(|| {
+            let obj = ObjectId(i % 64);
+            let owner = ClientId((i % 7) as u16);
+            i = i.wrapping_add(1);
+            let got = table.request(obj, owner, LockMode::Exclusive, SimTime::from_secs(10));
+            debug_assert!(matches!(got, Acquire::Granted));
+            table.release(obj, owner)
+        });
+    })
+}
+
+fn lock_table_contended_promote() -> f64 {
+    let mut table: LockTable<ClientId> = LockTable::new(QueueDiscipline::Deadline);
+    let (a, b_own) = (ClientId(0), ClientId(1));
+    let mut i = 0u32;
+    measure(|b| {
+        b.iter(|| {
+            let obj = ObjectId(i % 16);
+            i = i.wrapping_add(1);
+            table.request(obj, a, LockMode::Exclusive, SimTime::from_secs(5));
+            // Conflicting request parks b; releasing a promotes it.
+            table.request(obj, b_own, LockMode::Shared, SimTime::from_secs(3));
+            let granted = table.release(obj, a);
+            debug_assert_eq!(granted.len(), 1);
+            table.release(obj, b_own)
+        });
+    })
+}
+
+fn event_queue_churn() -> f64 {
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(128);
+    measure(|b| {
+        b.iter(|| {
+            for k in 0..64u32 {
+                // Reversed times exercise real sift work, not append-pop.
+                q.push(SimTime::from_micros(u64::from(64 - k)), k);
+            }
+            let mut drained = 0u32;
+            while let Some((_, e)) = q.pop_before(SimTime::from_secs(1)) {
+                drained += e;
+            }
+            drained
+        });
+    })
+}
+
+fn object_map_insert_get_remove() -> f64 {
+    let mut map: ObjectMap<u64> = ObjectMap::with_capacity(1024);
+    measure(|b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..256u32 {
+                let id = ObjectId((k * 37) % 1024);
+                map.insert(id, u64::from(k));
+                acc += map.get(id).copied().unwrap_or(0);
+            }
+            for k in 0..256u32 {
+                map.remove(ObjectId((k * 37) % 1024));
+            }
+            acc
+        });
+    })
+}
+
+fn cache_probe_insert() -> f64 {
+    let mut cache = ClientCache::new(50, 200);
+    measure(|b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for k in 0..256u32 {
+                let id = ObjectId(k % 300);
+                if cache.probe(id).is_some() {
+                    hits += 1;
+                } else {
+                    cache.insert(id);
+                }
+            }
+            hits
+        });
+    })
+}
+
+/// Times one full simulation and derives simulated-events/sec from a
+/// traced twin run (tracing is a pure observer, so the event count is the
+/// untraced run's event count too).
+fn sim_run(system: SystemKind) -> (f64, f64) {
+    let cfg = bench_cfg(system);
+    let (_, trace) = run_experiment_traced(&cfg, 16).expect("valid bench config");
+    let events = trace.report.events;
+    let ns = measure(|b| {
+        b.iter(|| run_experiment(&cfg).expect("valid bench config"));
+    });
+    let events_per_sec = events as f64 / (ns / 1e9);
+    (ns, events_per_sec)
+}
+
+/// Wall-clock of one quick deadline sweep at the given job count.
+fn sweep_wall_clock(jobs: usize) -> f64 {
+    let opts = SweepOptions {
+        duration: SimDuration::from_secs(200),
+        warmup: SimDuration::from_secs(40),
+        seed: 0x5173_5e1e,
+        jobs,
+    };
+    let start = Instant::now();
+    deadline_figure(0.05, &[4, 8], opts).expect("valid sweep config");
+    start.elapsed().as_nanos() as f64
+}
+
+/// Runs the whole suite, printing each result as it lands.
+#[must_use]
+pub fn run_suite() -> BenchReport {
+    let cores = effective_jobs(0, usize::MAX);
+    let mut benchmarks = Vec::new();
+    let mut push = |name: &str, ns: f64, events_per_sec: Option<f64>| {
+        match events_per_sec {
+            Some(eps) => println!("{name:<45} {:>14}   {eps:>12.0} ev/s", format_ns(ns)),
+            None => println!("{name:<45} {:>14}", format_ns(ns)),
+        }
+        benchmarks.push(BenchRecord {
+            name: name.to_string(),
+            ns_per_iter: ns,
+            events_per_sec,
+        });
+    };
+
+    push("lock_table/grant_release", lock_table_grant_release(), None);
+    push(
+        "lock_table/contended_promote",
+        lock_table_contended_promote(),
+        None,
+    );
+    push("event_queue/churn_64", event_queue_churn(), None);
+    push(
+        "object_map/insert_get_remove_256",
+        object_map_insert_get_remove(),
+        None,
+    );
+    push("client_cache/probe_insert_256", cache_probe_insert(), None);
+    for (name, system) in [
+        ("sim/centralized_quick", SystemKind::Centralized),
+        ("sim/client_server_quick", SystemKind::ClientServer),
+        ("sim/load_sharing_quick", SystemKind::LoadSharing),
+    ] {
+        let (ns, eps) = sim_run(system);
+        push(name, ns, Some(eps));
+    }
+    push("sweep/deadline_quick_jobs1", sweep_wall_clock(1), None);
+    // "all" = one worker per core; the core count itself is in the meta
+    // block, so the benchmark name is stable across machines.
+    push(
+        "sweep/deadline_quick_jobs_all",
+        sweep_wall_clock(cores),
+        None,
+    );
+
+    BenchReport {
+        cores,
+        rustc: rustc_version(),
+        benchmarks,
+    }
+}
+
+/// JSON float formatting: finite, plain decimal, round-trippable enough
+/// for regression ratios.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report to the committed JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"meta\": {{\"cores\": {}, \"rustc\": \"{}\"}},",
+            self.cores,
+            self.rustc.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            let eps = b
+                .events_per_sec
+                .map_or_else(|| "null".to_string(), jnum);
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"events_per_sec\": {}}}",
+                b.name,
+                jnum(b.ns_per_iter),
+                eps
+            );
+            out.push_str(if i + 1 < self.benchmarks.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Extracts `(name, ns_per_iter)` pairs from a report in our own schema.
+///
+/// This is a scanner for the exact format [`BenchReport::to_json`] writes
+/// (one benchmark object per line), not a general JSON parser; anything it
+/// cannot read reports as a malformed baseline.
+fn parse_report(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let (name, rest) = rest
+            .split_once('"')
+            .ok_or_else(|| format!("unterminated name in: {line}"))?;
+        let ns = rest
+            .strip_prefix(", \"ns_per_iter\": ")
+            .and_then(|r| r.split([',', '}']).next())
+            .ok_or_else(|| format!("missing ns_per_iter in: {line}"))?;
+        let ns: f64 = ns
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad ns_per_iter in {line}: {e}"))?;
+        if !ns.is_finite() || ns <= 0.0 {
+            return Err(format!("non-positive ns_per_iter in: {line}"));
+        }
+        out.push((name.to_string(), ns));
+    }
+    if out.is_empty() {
+        return Err("no benchmarks found in baseline".to_string());
+    }
+    Ok(out)
+}
+
+/// Maximum tolerated slowdown against the baseline.
+pub const REGRESSION_LIMIT: f64 = 2.0;
+
+/// Compares `current` against a committed `baseline` report.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found: a baseline that does
+/// not parse, a baseline benchmark missing from the current run, or a
+/// benchmark slower than [`REGRESSION_LIMIT`] times its baseline.
+/// Machine-speed differences make cross-machine comparison meaningless, so
+/// callers should only compare runs from comparable machines (CI compares
+/// against a fresh same-machine run).
+pub fn compare_against_baseline(current: &BenchReport, baseline: &str) -> Result<(), String> {
+    let baseline = parse_report(baseline)?;
+    for (name, base_ns) in &baseline {
+        let Some(cur) = current.benchmarks.iter().find(|b| &b.name == name) else {
+            return Err(format!("benchmark `{name}` missing from current run"));
+        };
+        let ratio = cur.ns_per_iter / base_ns;
+        if ratio > REGRESSION_LIMIT {
+            return Err(format!(
+                "benchmark `{name}` regressed {ratio:.2}x ({} -> {})",
+                format_ns(*base_ns),
+                format_ns(cur.ns_per_iter)
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(names_ns: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            cores: 4,
+            rustc: "rustc 1.95.0 (test)".to_string(),
+            benchmarks: names_ns
+                .iter()
+                .map(|&(n, ns)| BenchRecord {
+                    name: n.to_string(),
+                    ns_per_iter: ns,
+                    events_per_sec: if n.starts_with("sim/") { Some(1e6) } else { None },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let r = report(&[("lock_table/grant_release", 120.5), ("sim/ls", 3.5e8)]);
+        let parsed = parse_report(&r.to_json()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "lock_table/grant_release");
+        assert!((parsed[0].1 - 120.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_accepts_equal_and_rejects_regression() {
+        let base = report(&[("a", 100.0), ("b", 50.0)]);
+        let same = report(&[("a", 100.0), ("b", 99.0)]);
+        assert!(compare_against_baseline(&same, &base.to_json()).is_ok());
+        let slow = report(&[("a", 100.0), ("b", 101.0)]);
+        let err = compare_against_baseline(&slow, &base.to_json()).unwrap_err();
+        assert!(err.contains("`b` regressed"), "{err}");
+    }
+
+    #[test]
+    fn comparison_flags_missing_benchmark() {
+        let cur = report(&[("a", 100.0)]);
+        let base = report(&[("a", 100.0), ("c", 10.0)]);
+        let err = compare_against_baseline(&cur, &base.to_json()).unwrap_err();
+        assert!(err.contains("`c` missing"), "{err}");
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let cur = report(&[("a", 1.0)]);
+        assert!(compare_against_baseline(&cur, "{}").is_err());
+        assert!(compare_against_baseline(&cur, "not json at all").is_err());
+    }
+}

@@ -202,7 +202,7 @@ impl ClientServerSim {
             let c = &self.clients[ci];
             let covered = c
                 .cached_locks
-                .get(&a.object)
+                .get(a.object)
                 .is_some_and(|m| m.covers(mode));
             let usable = covered && tier.is_some() && !c.revokes.contains_key(&a.object);
             if usable {
@@ -494,12 +494,12 @@ impl ClientServerSim {
     fn resolve_fetch(&mut self, ci: usize, object: ObjectId, mode: LockMode, with_data: bool) {
         let c = &mut self.clients[ci];
         let fetch = c.fetches.remove(&object);
-        let prior = c.cached_locks.get(&object).copied();
+        let prior = c.cached_locks.get(object).copied();
         c.cached_locks
             .insert(object, prior.map_or(mode, |p| p.stronger(mode)));
         if with_data {
             c.cache.insert(object);
-            c.dirty.remove(&object);
+            c.dirty.remove(object);
         }
         let Some(fetch) = fetch else {
             return; // unsolicited (request was cancelled): keep the cache
@@ -526,7 +526,8 @@ impl ClientServerSim {
                     _ => continue,
                 }
             };
-            let granted_mode = self.clients[ci].cached_locks[&object];
+            let granted_mode = self.clients[ci].cached_locks.get(object).copied()
+                .expect("lock installed by this grant");
             if granted_mode.covers(need_mode) && self.clients[ci].cache.contains(object) {
                 let promote =
                     self.clients[ci].cache.peek(object) == Some(CacheTier::Disk);
@@ -977,7 +978,7 @@ impl ClientServerSim {
         forward: Option<ForwardList>,
     ) {
         let c = &mut self.clients[ci];
-        if !c.cached_locks.contains_key(&object) {
+        if !c.cached_locks.contains(object) {
             // We no longer hold it (silently evicted): answer immediately.
             let from = c.id;
             let had_copy = c.cache.contains(object);
@@ -1056,13 +1057,13 @@ impl ClientServerSim {
             .remove(&object)
             .expect("checked above");
         let from = self.clients[ci].id;
-        let held = self.clients[ci].cached_locks.get(&object).copied();
+        let held = self.clients[ci].cached_locks.get(object).copied();
         let has_data = self.clients[ci].cache.contains(object);
 
         if let Some(mut list) = revoke.forward {
             // Grouped-lock hop: ship the object to the next live entry.
             if !has_data {
-                self.clients[ci].cached_locks.remove(&object);
+                self.clients[ci].cached_locks.remove(object);
                 self.send_to_server(
                     from,
                     MessageKind::CallbackAck,
@@ -1076,9 +1077,9 @@ impl ClientServerSim {
                 );
                 return;
             }
-            self.clients[ci].cached_locks.remove(&object);
+            self.clients[ci].cached_locks.remove(object);
             self.clients[ci].cache.invalidate(object);
-            self.clients[ci].dirty.remove(&object);
+            self.clients[ci].dirty.remove(object);
             // Skip entries whose deadline passed and (failure handling)
             // entries whose client is crashed — forwarding to a dead site
             // would strand the object.
@@ -1133,7 +1134,7 @@ impl ClientServerSim {
             self.clients[ci]
                 .cached_locks
                 .insert(object, LockMode::Shared);
-            self.clients[ci].dirty.remove(&object);
+            self.clients[ci].dirty.remove(object);
             self.send_to_server(
                 from,
                 MessageKind::ObjectReturn,
@@ -1147,10 +1148,10 @@ impl ClientServerSim {
             );
             return;
         }
-        self.clients[ci].cached_locks.remove(&object);
+        self.clients[ci].cached_locks.remove(object);
         let send_data = held == Some(LockMode::Exclusive) && has_data;
         self.clients[ci].cache.invalidate(object);
-        self.clients[ci].dirty.remove(&object);
+        self.clients[ci].dirty.remove(object);
         if send_data {
             self.send_to_server(
                 from,
@@ -1198,7 +1199,7 @@ impl ClientServerSim {
             let c = &self.clients[ci];
             let covered = c
                 .cached_locks
-                .get(&object)
+                .get(object)
                 .is_some_and(|m| m.covers(mode));
             if covered && c.cache.contains(object) {
                 let promote = c.cache.peek(object) == Some(CacheTier::Disk);

@@ -32,8 +32,8 @@ use siteselect_obs::EventSink;
 use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::{ClientCache, DiskModel};
 use siteselect_types::{
-    AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime,
-    SystemKind, TransactionSpec,
+    AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, ObjectMap, ObjectSet,
+    SimDuration, SimTime, SystemKind, TransactionSpec,
 };
 use siteselect_workload::Trace;
 
@@ -305,8 +305,8 @@ impl TxnRun {
 pub(crate) struct ClientState {
     pub id: ClientId,
     pub cache: ClientCache,
-    pub cached_locks: HashMap<ObjectId, LockMode>,
-    pub dirty: std::collections::HashSet<ObjectId>,
+    pub cached_locks: ObjectMap<LockMode>,
+    pub dirty: ObjectSet,
     pub local_locks: LockTable<TKey>,
     pub local_wfg: WaitForGraph<TKey>,
     pub cpu: EdfCpu<TKey>,
@@ -353,6 +353,52 @@ pub(crate) struct WantInfo {
     pub txn: TKey,
 }
 
+/// The server's index of lock-table-queued wants, keyed `(object, client)`.
+///
+/// Stored as one small vector per client: a client has at most a handful of
+/// requests queued at once, so a linear scan beats hashing the composite
+/// key, and `refresh_wfg`'s per-client iteration becomes a direct slice
+/// walk instead of a filter over the whole map.
+pub(crate) struct WaitingWants {
+    per_client: Vec<Vec<(ObjectId, WantInfo)>>,
+}
+
+impl WaitingWants {
+    fn new(clients: usize) -> Self {
+        WaitingWants {
+            per_client: vec![Vec::new(); clients],
+        }
+    }
+
+    /// Records (or replaces) the want of `client` on `object`.
+    pub(crate) fn insert(&mut self, object: ObjectId, client: ClientId, info: WantInfo) {
+        let list = &mut self.per_client[client.index()];
+        match list.iter_mut().find(|(o, _)| *o == object) {
+            Some(slot) => slot.1 = info,
+            None => list.push((object, info)),
+        }
+    }
+
+    /// Removes and returns the want of `client` on `object`, if any.
+    pub(crate) fn remove(&mut self, object: ObjectId, client: ClientId) -> Option<WantInfo> {
+        let list = &mut self.per_client[client.index()];
+        let pos = list.iter().position(|(o, _)| *o == object)?;
+        Some(list.remove(pos).1)
+    }
+
+    /// True if `client` has a want queued on `object`.
+    pub(crate) fn contains(&self, object: ObjectId, client: ClientId) -> bool {
+        self.per_client[client.index()]
+            .iter()
+            .any(|(o, _)| *o == object)
+    }
+
+    /// All queued wants of `client`, in insertion order.
+    pub(crate) fn of_client(&self, client: ClientId) -> &[(ObjectId, WantInfo)] {
+        &self.per_client[client.index()]
+    }
+}
+
 /// Server-side state.
 pub(crate) struct ServerState {
     pub locks: LockTable<ClientId>,
@@ -362,9 +408,9 @@ pub(crate) struct ServerState {
     pub buffer: ClientCache,
     pub disk: DiskModel,
     /// Forward lists currently travelling client→client, as shipped.
-    pub routing: HashMap<ObjectId, ForwardList>,
+    pub routing: ObjectMap<ForwardList>,
     /// Lock-table-queued requests awaiting grant: data to ship on grant.
-    pub waiting_wants: HashMap<(ObjectId, ClientId), WantInfo>,
+    pub waiting_wants: WaitingWants,
 }
 
 /// Fault-injection runtime state. `active` is false unless the experiment
@@ -436,8 +482,8 @@ impl ClientServerSim {
                     cfg.client.memory_cache_objects,
                     cfg.client.disk_cache_objects,
                 ),
-                cached_locks: HashMap::new(),
-                dirty: std::collections::HashSet::new(),
+                cached_locks: ObjectMap::new(),
+                dirty: ObjectSet::new(),
                 local_locks: LockTable::new(QueueDiscipline::Deadline),
                 local_wfg: WaitForGraph::new(),
                 cpu: EdfCpu::new(cfg.cpu.client_speed),
@@ -456,8 +502,8 @@ impl ClientServerSim {
             windows: WindowManager::new(cfg.load_sharing.collection_window),
             buffer: ClientCache::new(cfg.server.buffer_objects, 0),
             disk: DiskModel::new(cfg.server.disk.page_service_time),
-            routing: HashMap::new(),
-            waiting_wants: HashMap::new(),
+            routing: ObjectMap::new(),
+            waiting_wants: WaitingWants::new(usize::from(cfg.clients)),
         };
         let warmup_end = SimTime::ZERO + cfg.runtime.warmup;
         let metrics = RunMetrics::new(
@@ -643,7 +689,7 @@ impl ClientServerSim {
             // server's own copy becomes authoritative again and later
             // requests must not keep batching onto the dead route.
             Msg::ObjectForward { object, .. } => {
-                self.server.routing.remove(&object);
+                self.server.routing.remove(object);
             }
             // Everything else is recovered by retries (requests/grants),
             // leases (recalls/acks/returns) or the deadline sweeps

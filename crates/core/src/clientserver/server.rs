@@ -39,7 +39,7 @@ impl ClientServerSim {
             Msg::CancelWants { client, objects } => {
                 for object in objects {
                     let (_, grants) = self.server.locks.cancel_wait(object, client);
-                    self.server.waiting_wants.remove(&(object, client));
+                    self.server.waiting_wants.remove(object, client);
                     self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
                 }
                 self.refresh_wfg(client);
@@ -102,7 +102,7 @@ impl ClientServerSim {
         holders: Vec<(ClientId, LockMode)>,
     ) -> Vec<(ClientId, LockMode)> {
         if holders.is_empty() {
-            if let Some(list) = self.server.routing.get(&object) {
+            if let Some(list) = self.server.routing.get(object) {
                 if let Some(last) = list.last_client() {
                     return vec![(last, LockMode::Exclusive)];
                 }
@@ -142,7 +142,7 @@ impl ClientServerSim {
         // immediately, so grouping never delays the uncontended case.
         let forward_eligible = ls
             && !conflicting.is_empty()
-            && (self.server.routing.contains_key(&w.object)
+            && (self.server.routing.contains(w.object)
                 || self.server.windows.is_open(w.object)
                 || self.server.callbacks.is_recalling(w.object));
         if forward_eligible {
@@ -169,7 +169,7 @@ impl ClientServerSim {
     fn server_want_plain(&mut self, txn: TKey, client: ClientId, w: Want, conflicting: Vec<ClientId>) {
         // Failure handling: a retransmitted request whose original is still
         // queued must not double-queue in the lock table.
-        if self.faults.active && self.server.waiting_wants.contains_key(&(w.object, client)) {
+        if self.faults.active && self.server.waiting_wants.contains(w.object, client) {
             return;
         }
         if self.server.wfg.would_deadlock(client, &conflicting) {
@@ -186,7 +186,8 @@ impl ClientServerSim {
             }
             Acquire::Blocked { conflicts } => {
                 self.server.waiting_wants.insert(
-                    (w.object, client),
+                    w.object,
+                    client,
                     WantInfo {
                         mode: w.mode,
                         needs_data: w.needs_data,
@@ -334,7 +335,7 @@ impl ClientServerSim {
             siteselect_obs::Event::CallbackAcked { object, from }
         });
         // The end of a forward chain: the object is home again.
-        self.server.routing.remove(&object);
+        self.server.routing.remove(object);
         let grants = if downgraded {
             self.server.locks.downgrade(object, from)
         } else {
@@ -353,7 +354,7 @@ impl ClientServerSim {
         if !had_copy {
             // The recalled holder could not serve the forward list that
             // rode on the callback; the server serves it from its own copy.
-            if let Some(list) = self.server.routing.remove(&object) {
+            if let Some(list) = self.server.routing.remove(object) {
                 self.serve_list_from_server(object, list);
             }
         }
@@ -362,7 +363,7 @@ impl ClientServerSim {
     /// Completes grants that cascaded out of a release/downgrade/cancel.
     pub(crate) fn server_apply_grants(&mut self, object: ObjectId, granted: Vec<ClientId>) {
         for client in granted {
-            let Some(info) = self.server.waiting_wants.remove(&(object, client)) else {
+            let Some(info) = self.server.waiting_wants.remove(object, client) else {
                 // No want on file (cancelled or raced): release the lock.
                 let grants = self.server.locks.release(object, client);
                 self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
@@ -389,9 +390,9 @@ impl ClientServerSim {
         let wants: Vec<(ObjectId, LockMode)> = self
             .server
             .waiting_wants
+            .of_client(client)
             .iter()
-            .filter(|((_, c), _)| *c == client)
-            .map(|(&(o, _), info)| (o, info.mode))
+            .map(|&(o, info)| (o, info.mode))
             .collect();
         for (object, mode) in wants {
             let conflicts = self.server.locks.conflicting_holders(object, client, mode);
@@ -407,7 +408,7 @@ impl ClientServerSim {
         let Some(list) = self.server.windows.close_at(object, self.now) else {
             return;
         };
-        let still_busy = self.server.routing.contains_key(&object)
+        let still_busy = self.server.routing.contains(object)
             || self.server.callbacks.is_recalling(object);
         if still_busy {
             // The object is still travelling or being recalled for the
@@ -470,7 +471,7 @@ impl ClientServerSim {
                 if delivery == Delivery::Dropped {
                     // The chain never started: the stale routing entry
                     // would otherwise shadow the object forever.
-                    self.server.routing.remove(&object);
+                    self.server.routing.remove(object);
                 }
                 self.push_delivery(
                     delivery,
@@ -533,7 +534,8 @@ impl ClientServerSim {
                     // Another client claimed the object in the meantime:
                     // fall back to the plain path.
                     self.server.waiting_wants.insert(
-                        (object, entry.client),
+                        object,
+                        entry.client,
                         WantInfo {
                             mode: entry.mode,
                             needs_data: true,
@@ -621,7 +623,7 @@ impl ClientServerSim {
         let (expired, grants) = self.server.locks.cancel_expired(self.now);
         let mut touched: Vec<ClientId> = Vec::new();
         for (object, waiter) in expired {
-            self.server.waiting_wants.remove(&(object, waiter.owner));
+            self.server.waiting_wants.remove(object, waiter.owner);
             if !touched.contains(&waiter.owner) {
                 touched.push(waiter.owner);
             }
@@ -654,9 +656,9 @@ impl ClientServerSim {
             // Fence the presumed-dead holder. If it was merely slow, the
             // invalidation is conservative but safe: it must re-fetch.
             let c = &mut self.clients[holder.index()];
-            c.cached_locks.remove(&object);
+            c.cached_locks.remove(object);
             c.cache.invalidate(object);
-            c.dirty.remove(&object);
+            c.dirty.remove(object);
             c.revokes.remove(&object);
             self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
         }
@@ -720,10 +722,7 @@ mod tests {
         // ...and a conflict report went out alongside the grant.
         let kinds: Vec<&Msg> = Vec::new();
         drop(kinds);
-        assert!(s
-            .server
-            .waiting_wants
-            .contains_key(&(ObjectId(1), ClientId(0))));
+        assert!(s.server.waiting_wants.contains(ObjectId(1), ClientId(0)));
     }
 
     #[test]

@@ -1,9 +1,19 @@
 //! Parameter sweeps that regenerate every figure and table of the paper's
 //! evaluation (§5.2).
+//!
+//! Every sweep cell — one `(clients, system, update-fraction)` run — is an
+//! independent deterministic simulation, so the sweeps build their full
+//! list of [`ExperimentConfig`]s up front and hand it to [`run_many`],
+//! which fans the cells out over [`SweepOptions::jobs`] worker threads and
+//! merges the results back in construction order. Output is byte-identical
+//! at every job count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use siteselect_types::{ConfigError, ExperimentConfig, SimDuration, SystemKind};
 
 use crate::driver::run_experiment;
+use crate::metrics::RunMetrics;
 use crate::report::{fnum, TextTable};
 
 /// Run-length control for sweeps: the paper-scale defaults take minutes;
@@ -16,6 +26,9 @@ pub struct SweepOptions {
     pub warmup: SimDuration,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for sweep cells; `0` means one per available core.
+    /// Results are merged in cell order, so the choice never affects output.
+    pub jobs: usize,
 }
 
 impl SweepOptions {
@@ -26,6 +39,7 @@ impl SweepOptions {
             duration: SimDuration::from_secs(2_000),
             warmup: SimDuration::from_secs(200),
             seed: 0x5173_5e1e,
+            jobs: 0,
         }
     }
 
@@ -36,6 +50,7 @@ impl SweepOptions {
             duration: SimDuration::from_secs(300),
             warmup: SimDuration::from_secs(50),
             seed: 0x5173_5e1e,
+            jobs: 0,
         }
     }
 
@@ -44,6 +59,72 @@ impl SweepOptions {
         cfg.runtime.warmup = self.warmup;
         cfg.runtime.seed = self.seed;
     }
+}
+
+/// Resolves a `jobs` request to an actual worker count: `0` means one per
+/// available core, and there is never a reason to spawn more workers than
+/// cells.
+#[must_use]
+pub fn effective_jobs(jobs: usize, cells: usize) -> usize {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    };
+    jobs.max(1).min(cells.max(1))
+}
+
+/// Runs every configuration in `cfgs` and returns the metrics in the same
+/// order, fanning the runs out over `jobs` scoped worker threads (`0` =
+/// one per available core).
+///
+/// Workers pull cell indices from a shared atomic counter and report
+/// `(index, result)` pairs; the merge writes each result into its slot, so
+/// the output vector is ordered by `cfgs` position no matter which worker
+/// finished first. Combined with each run being a self-contained seeded
+/// simulation, this makes the sweep output byte-identical at every job
+/// count, including `jobs == 1`, which runs inline without spawning.
+///
+/// # Errors
+///
+/// Propagates the first configuration error in `cfgs` order.
+pub fn run_many(
+    jobs: usize,
+    cfgs: &[ExperimentConfig],
+) -> Result<Vec<RunMetrics>, ConfigError> {
+    let workers = effective_jobs(jobs, cfgs.len());
+    if workers <= 1 {
+        return cfgs.iter().map(run_experiment).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<RunMetrics, ConfigError>>> =
+        (0..cfgs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cfgs.len() {
+                            break;
+                        }
+                        done.push((i, run_experiment(&cfgs[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every cell was claimed by a worker"))
+        .collect()
 }
 
 impl Default for SweepOptions {
@@ -115,16 +196,26 @@ pub fn deadline_figure(
     clients: &[u16],
     opts: SweepOptions,
 ) -> Result<DeadlineFigure, ConfigError> {
-    let mut rows = Vec::with_capacity(clients.len());
+    let mut cfgs = Vec::with_capacity(clients.len() * SystemKind::ALL.len());
     for &n in clients {
-        let mut vals = [0.0f64; 3];
-        for (i, system) in SystemKind::ALL.iter().enumerate() {
-            let mut cfg = ExperimentConfig::paper(*system, n, update_fraction);
+        for system in SystemKind::ALL {
+            let mut cfg = ExperimentConfig::paper(system, n, update_fraction);
             opts.apply(&mut cfg);
-            vals[i] = run_experiment(&cfg)?.success_percent();
+            cfgs.push(cfg);
         }
-        rows.push((n, vals));
     }
+    let metrics = run_many(opts.jobs, &cfgs)?;
+    let rows = clients
+        .iter()
+        .zip(metrics.chunks_exact(SystemKind::ALL.len()))
+        .map(|(&n, chunk)| {
+            let mut vals = [0.0f64; 3];
+            for (v, m) in vals.iter_mut().zip(chunk) {
+                *v = m.success_percent();
+            }
+            (n, vals)
+        })
+        .collect();
     Ok(DeadlineFigure {
         update_fraction,
         rows,
@@ -176,20 +267,30 @@ impl CacheTable {
 ///
 /// Propagates configuration errors.
 pub fn cache_table(clients: &[u16], opts: SweepOptions) -> Result<CacheTable, ConfigError> {
-    let mut rows = Vec::new();
+    let mut cfgs = Vec::with_capacity(clients.len() * UPDATE_FRACTIONS.len() * 2);
     for &n in clients {
-        let mut cs = [0.0f64; 3];
-        let mut ls = [0.0f64; 3];
-        for (i, &u) in UPDATE_FRACTIONS.iter().enumerate() {
-            let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, n, u);
-            opts.apply(&mut cfg);
-            cs[i] = run_experiment(&cfg)?.cache.hit_percent();
-            let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, n, u);
-            opts.apply(&mut cfg);
-            ls[i] = run_experiment(&cfg)?.cache.hit_percent();
+        for &u in &UPDATE_FRACTIONS {
+            for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+                let mut cfg = ExperimentConfig::paper(system, n, u);
+                opts.apply(&mut cfg);
+                cfgs.push(cfg);
+            }
         }
-        rows.push((n, cs, ls));
     }
+    let metrics = run_many(opts.jobs, &cfgs)?;
+    let rows = clients
+        .iter()
+        .zip(metrics.chunks_exact(UPDATE_FRACTIONS.len() * 2))
+        .map(|(&n, chunk)| {
+            let mut cs = [0.0f64; 3];
+            let mut ls = [0.0f64; 3];
+            for (i, pair) in chunk.chunks_exact(2).enumerate() {
+                cs[i] = pair[0].cache.hit_percent();
+                ls[i] = pair[1].cache.hit_percent();
+            }
+            (n, cs, ls)
+        })
+        .collect();
     Ok(CacheTable { rows })
 }
 
@@ -234,20 +335,27 @@ impl ResponseTable {
 ///
 /// Propagates configuration errors.
 pub fn response_table(clients: &[u16], opts: SweepOptions) -> Result<ResponseTable, ConfigError> {
-    let mut rows = Vec::new();
+    let mut cfgs = Vec::with_capacity(clients.len() * 2);
     for &n in clients {
-        let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, n, 0.01);
-        opts.apply(&mut cfg);
-        let cs = run_experiment(&cfg)?;
-        let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, n, 0.01);
-        opts.apply(&mut cfg);
-        let ls = run_experiment(&cfg)?;
-        rows.push((
-            n,
-            [cs.response.shared.mean(), cs.response.exclusive.mean()],
-            [ls.response.shared.mean(), ls.response.exclusive.mean()],
-        ));
+        for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+            let mut cfg = ExperimentConfig::paper(system, n, 0.01);
+            opts.apply(&mut cfg);
+            cfgs.push(cfg);
+        }
     }
+    let metrics = run_many(opts.jobs, &cfgs)?;
+    let rows = clients
+        .iter()
+        .zip(metrics.chunks_exact(2))
+        .map(|(&n, pair)| {
+            let (cs, ls) = (&pair[0], &pair[1]);
+            (
+                n,
+                [cs.response.shared.mean(), cs.response.exclusive.mean()],
+                [ls.response.shared.mean(), ls.response.exclusive.mean()],
+            )
+        })
+        .collect();
     Ok(ResponseTable { rows })
 }
 
@@ -285,12 +393,14 @@ impl MessageTable {
 ///
 /// Propagates configuration errors.
 pub fn message_table(clients: u16, opts: SweepOptions) -> Result<MessageTable, ConfigError> {
-    let mut cfg = ExperimentConfig::paper(SystemKind::ClientServer, clients, 0.01);
-    opts.apply(&mut cfg);
-    let cs = run_experiment(&cfg)?;
-    let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, clients, 0.01);
-    opts.apply(&mut cfg);
-    let ls = run_experiment(&cfg)?;
+    let mut cfgs = Vec::with_capacity(2);
+    for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+        let mut cfg = ExperimentConfig::paper(system, clients, 0.01);
+        opts.apply(&mut cfg);
+        cfgs.push(cfg);
+    }
+    let metrics = run_many(opts.jobs, &cfgs)?;
+    let (cs, ls) = (&metrics[0], &metrics[1]);
     let rows = cs
         .messages
         .table4_rows()
@@ -365,25 +475,31 @@ pub fn fault_table(
     opts: SweepOptions,
 ) -> Result<FaultTable, ConfigError> {
     use siteselect_types::FaultConfig;
-    let mut rows = Vec::with_capacity(intensities.len());
+    let mut cfgs = Vec::with_capacity(intensities.len() * 2);
     for &intensity in intensities {
-        let mut success = [0.0f64; 2];
-        let mut drops = [0u64; 2];
-        let mut crashes = [0u64; 2];
-        for (i, system) in [SystemKind::ClientServer, SystemKind::LoadSharing]
-            .iter()
-            .enumerate()
-        {
-            let mut cfg = ExperimentConfig::paper(*system, clients, 0.20);
+        for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+            let mut cfg = ExperimentConfig::paper(system, clients, 0.20);
             opts.apply(&mut cfg);
             cfg.faults = FaultConfig::chaos(intensity);
-            let m = run_experiment(&cfg)?;
-            success[i] = m.success_percent();
-            drops[i] = m.faults.messages_dropped;
-            crashes[i] = m.faults.crashes;
+            cfgs.push(cfg);
         }
-        rows.push((intensity, success, drops, crashes));
     }
+    let metrics = run_many(opts.jobs, &cfgs)?;
+    let rows = intensities
+        .iter()
+        .zip(metrics.chunks_exact(2))
+        .map(|(&intensity, pair)| {
+            let mut success = [0.0f64; 2];
+            let mut drops = [0u64; 2];
+            let mut crashes = [0u64; 2];
+            for (i, m) in pair.iter().enumerate() {
+                success[i] = m.success_percent();
+                drops[i] = m.faults.messages_dropped;
+                crashes[i] = m.faults.crashes;
+            }
+            (intensity, success, drops, crashes)
+        })
+        .collect();
     Ok(FaultTable { clients, rows })
 }
 
@@ -396,7 +512,44 @@ mod tests {
             duration: SimDuration::from_secs(200),
             warmup: SimDuration::from_secs(40),
             seed: 7,
+            jobs: 0,
         }
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto_and_clamps() {
+        assert!(effective_jobs(0, 100) >= 1);
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(2, 100), 2);
+        assert_eq!(effective_jobs(0, 0), 1);
+    }
+
+    #[test]
+    fn run_many_keeps_cell_order_at_any_job_count() {
+        let mut cfgs = Vec::new();
+        for system in SystemKind::ALL {
+            for n in [3u16, 5] {
+                let mut cfg = ExperimentConfig::paper(system, n, 0.05);
+                tiny().apply(&mut cfg);
+                cfgs.push(cfg);
+            }
+        }
+        let sequential = run_many(1, &cfgs).unwrap();
+        let parallel = run_many(4, &cfgs).unwrap();
+        assert_eq!(sequential.len(), cfgs.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(format!("{s:?}"), format!("{p:?}"));
+        }
+    }
+
+    #[test]
+    fn sweeps_are_identical_across_job_counts() {
+        let seq = SweepOptions { jobs: 1, ..tiny() };
+        let par = SweepOptions { jobs: 4, ..tiny() };
+        let a = deadline_figure(0.05, &[4, 8], seq).unwrap();
+        let b = deadline_figure(0.05, &[4, 8], par).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! A strict-2PL lock table with shared/exclusive modes, upgrades, downgrades
 //! and configurable waiter ordering.
+//!
+//! Per-object state is stored in a dense slab indexed by `ObjectId` rather
+//! than a `HashMap`: the paper's database is a flat array of objects
+//! numbered `0..10_000`, so a bounds-checked vector index replaces a SipHash
+//! round plus probe on every request, release and promotion. Slots whose
+//! state empties out are kept allocated and reused the next time the object
+//! is locked. Holder and waiter lists use [`InlineVec`] so the common one-
+//! or two-entry case never touches the heap.
 
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
 use siteselect_types::{LockMode, ObjectId, SimTime};
+
+use crate::inline::InlineVec;
 
 /// Trait alias for lock-owner identifiers (clients at the server's global
 /// table, transactions at a site's local table).
@@ -64,15 +74,15 @@ impl<O> Acquire<O> {
 
 #[derive(Debug)]
 struct ObjectLocks<O> {
-    holders: Vec<(O, LockMode)>,
-    waiters: Vec<Waiter<O>>,
+    holders: InlineVec<(O, LockMode), 2>,
+    waiters: InlineVec<Waiter<O>, 2>,
 }
 
 impl<O> Default for ObjectLocks<O> {
     fn default() -> Self {
         ObjectLocks {
-            holders: Vec::new(),
-            waiters: Vec::new(),
+            holders: InlineVec::new(),
+            waiters: InlineVec::new(),
         }
     }
 }
@@ -83,6 +93,14 @@ impl<O: LockOwner> ObjectLocks<O> {
             .iter()
             .find(|(o, _)| *o == owner)
             .map(|&(_, m)| m)
+    }
+
+    /// Allocation-free conflict probe: the granted fast path only needs to
+    /// know *whether* a conflicting holder exists, not who they are.
+    fn has_conflict(&self, owner: O, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .any(|(o, m)| *o != owner && !m.compatible_with(mode))
     }
 
     fn conflicts_with(&self, owner: O, mode: LockMode) -> Vec<O> {
@@ -110,10 +128,14 @@ pub type UnblockedGrants<O> = Vec<(ObjectId, Vec<Waiter<O>>)>;
 /// every current holder *and* no request is already queued (preventing
 /// starvation of queued writers); otherwise it waits in FIFO or deadline
 /// order. Releases promote the longest prefix of now-grantable waiters.
+///
+/// Object state lives in a dense slab indexed by object id; an emptied slot
+/// stays allocated for reuse, so `objects.len()` tracks the largest id ever
+/// locked, not the live count (see [`active_objects`](Self::active_objects)).
 #[derive(Debug)]
 pub struct LockTable<O> {
     discipline: QueueDiscipline,
-    objects: HashMap<ObjectId, ObjectLocks<O>>,
+    objects: Vec<Option<Box<ObjectLocks<O>>>>,
     held_by: HashMap<O, Vec<ObjectId>>,
     next_seq: u64,
 }
@@ -124,10 +146,26 @@ impl<O: LockOwner> LockTable<O> {
     pub fn new(discipline: QueueDiscipline) -> Self {
         LockTable {
             discipline,
-            objects: HashMap::new(),
+            objects: Vec::new(),
             held_by: HashMap::new(),
             next_seq: 0,
         }
+    }
+
+    /// Immutable entry access; empty slots read as absent state.
+    fn entry(&self, object: ObjectId) -> Option<&ObjectLocks<O>> {
+        self.objects
+            .get(object.index() as usize)
+            .and_then(|s| s.as_deref())
+    }
+
+    /// Mutable entry access, growing the slab and (re)using the slot's box.
+    fn entry_mut(&mut self, object: ObjectId) -> &mut ObjectLocks<O> {
+        let idx = object.index() as usize;
+        if idx >= self.objects.len() {
+            self.objects.resize_with(idx + 1, || None);
+        }
+        self.objects[idx].get_or_insert_with(Box::default)
     }
 
     /// Requests `mode` on `object` for `owner`.
@@ -145,27 +183,28 @@ impl<O: LockOwner> LockTable<O> {
     ) -> Acquire<O> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = self.objects.entry(object).or_default();
+        let discipline = self.discipline;
+        let entry = self.entry_mut(object);
 
         if let Some(held) = entry.holder_mode(owner) {
             if held.covers(mode) {
                 return Acquire::AlreadyHeld;
             }
             // Upgrade SL -> EL: immediate only as the sole holder.
-            let others: Vec<O> = entry
-                .holders
-                .iter()
-                .filter(|(o, _)| *o != owner)
-                .map(|&(o, _)| o)
-                .collect();
-            if others.is_empty() {
-                for h in &mut entry.holders {
+            if entry.holders.iter().all(|(o, _)| *o == owner) {
+                for h in entry.holders.iter_mut() {
                     if h.0 == owner {
                         h.1 = LockMode::Exclusive;
                     }
                 }
                 return Acquire::Upgraded;
             }
+            let others: Vec<O> = entry
+                .holders
+                .iter()
+                .filter(|(o, _)| *o != owner)
+                .map(|&(o, _)| o)
+                .collect();
             let waiter = Waiter {
                 owner,
                 mode,
@@ -174,16 +213,16 @@ impl<O: LockOwner> LockTable<O> {
             };
             // Upgrades go to the front of their discipline class so the
             // upgrading holder cannot deadlock behind newcomers it blocks.
-            Self::insert_waiter(&mut entry.waiters, waiter, self.discipline, true);
+            Self::insert_waiter(&mut entry.waiters, waiter, discipline, true);
             return Acquire::Blocked { conflicts: others };
         }
 
-        let conflicts = entry.conflicts_with(owner, mode);
-        if conflicts.is_empty() && entry.waiters.is_empty() {
+        if !entry.has_conflict(owner, mode) && entry.waiters.is_empty() {
             entry.holders.push((owner, mode));
             self.held_by.entry(owner).or_default().push(object);
             return Acquire::Granted;
         }
+        let conflicts = entry.conflicts_with(owner, mode);
         let blockers = if conflicts.is_empty() {
             // Blocked behind queued waiters rather than holders.
             entry.waiters.iter().map(|w| w.owner).collect()
@@ -196,12 +235,12 @@ impl<O: LockOwner> LockTable<O> {
             deadline,
             seq,
         };
-        Self::insert_waiter(&mut entry.waiters, waiter, self.discipline, false);
+        Self::insert_waiter(&mut entry.waiters, waiter, discipline, false);
         Acquire::Blocked { conflicts: blockers }
     }
 
     fn insert_waiter(
-        waiters: &mut Vec<Waiter<O>>,
+        waiters: &mut InlineVec<Waiter<O>, 2>,
         w: Waiter<O>,
         discipline: QueueDiscipline,
         upgrade_priority: bool,
@@ -228,14 +267,14 @@ impl<O: LockOwner> LockTable<O> {
     /// queued compatible readers. Returns `false` (taking no lock) when a
     /// conflicting holder exists.
     pub fn try_grant_bypass(&mut self, object: ObjectId, owner: O, mode: LockMode) -> bool {
-        let entry = self.objects.entry(object).or_default();
+        let entry = self.entry_mut(object);
         if let Some(held) = entry.holder_mode(owner) {
             if held.covers(mode) {
                 return true;
             }
             let sole = entry.holders.iter().all(|(o, _)| *o == owner);
             if sole {
-                for h in &mut entry.holders {
+                for h in entry.holders.iter_mut() {
                     if h.0 == owner {
                         h.1 = LockMode::Exclusive;
                     }
@@ -244,10 +283,7 @@ impl<O: LockOwner> LockTable<O> {
             }
             return false;
         }
-        if !entry.conflicts_with(owner, mode).is_empty() {
-            if entry.is_unused() {
-                self.objects.remove(&object);
-            }
+        if entry.has_conflict(owner, mode) {
             return false;
         }
         entry.holders.push((owner, mode));
@@ -259,7 +295,8 @@ impl<O: LockOwner> LockTable<O> {
     /// by the same owner). Returns the waiters granted as a result, in grant
     /// order.
     pub fn release(&mut self, object: ObjectId, owner: O) -> Vec<Waiter<O>> {
-        let Some(entry) = self.objects.get_mut(&object) else {
+        let idx = object.index() as usize;
+        let Some(entry) = self.objects.get_mut(idx).and_then(|s| s.as_deref_mut()) else {
             return Vec::new();
         };
         let before = entry.holders.len();
@@ -279,17 +316,27 @@ impl<O: LockOwner> LockTable<O> {
         let mut held = self.held_by.remove(&owner).unwrap_or_default();
         held.sort_unstable();
         held.dedup();
-        // Also drop queued requests on objects the owner never held.
-        let mut queued: Vec<ObjectId> = self
+        // Also drop queued requests on objects the owner never held. The
+        // slab scan yields ascending id order without a sort.
+        let queued: Vec<ObjectId> = self
             .objects
             .iter()
-            .filter(|(_, e)| e.waiters.iter().any(|w| w.owner == owner))
-            .map(|(&o, _)| o)
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let e = s.as_deref()?;
+                e.waiters
+                    .iter()
+                    .any(|w| w.owner == owner)
+                    .then_some(ObjectId(i as u32))
+            })
             .collect();
-        queued.sort_unstable();
         let mut out = Vec::new();
         for obj in held.into_iter().chain(queued) {
-            if let Some(entry) = self.objects.get_mut(&obj) {
+            if let Some(entry) = self
+                .objects
+                .get_mut(obj.index() as usize)
+                .and_then(|s| s.as_deref_mut())
+            {
                 entry.holders.retain(|(o, _)| *o != owner);
                 entry.waiters.retain(|w| w.owner != owner);
             }
@@ -305,11 +352,12 @@ impl<O: LockOwner> LockTable<O> {
     /// callback optimization of §2). Returns newly granted waiters. No-op
     /// if the owner does not hold an EL.
     pub fn downgrade(&mut self, object: ObjectId, owner: O) -> Vec<Waiter<O>> {
-        let Some(entry) = self.objects.get_mut(&object) else {
+        let idx = object.index() as usize;
+        let Some(entry) = self.objects.get_mut(idx).and_then(|s| s.as_deref_mut()) else {
             return Vec::new();
         };
         let mut changed = false;
-        for h in &mut entry.holders {
+        for h in entry.holders.iter_mut() {
             if h.0 == owner && h.1 == LockMode::Exclusive {
                 h.1 = LockMode::Shared;
                 changed = true;
@@ -325,7 +373,8 @@ impl<O: LockOwner> LockTable<O> {
     /// Removes a queued (not yet granted) request. Returns `true` if one was
     /// removed; promotes followers that may now be grantable.
     pub fn cancel_wait(&mut self, object: ObjectId, owner: O) -> (bool, Vec<Waiter<O>>) {
-        let Some(entry) = self.objects.get_mut(&object) else {
+        let idx = object.index() as usize;
+        let Some(entry) = self.objects.get_mut(idx).and_then(|s| s.as_deref_mut()) else {
             return (false, Vec::new());
         };
         let before = entry.waiters.len();
@@ -339,22 +388,25 @@ impl<O: LockOwner> LockTable<O> {
     /// cancelled waiters and any grants unblocked by the pruning.
     pub fn cancel_expired(&mut self, now: SimTime) -> (ExpiredWaiters<O>, UnblockedGrants<O>) {
         let mut expired = Vec::new();
-        let mut objs: Vec<ObjectId> = self.objects.keys().copied().collect();
-        objs.sort_unstable();
-        for obj in &objs {
-            let entry = self.objects.get_mut(obj).expect("key just listed");
-            let mut kept = Vec::with_capacity(entry.waiters.len());
-            for w in entry.waiters.drain(..) {
+        let mut touched = Vec::new();
+        for (i, slot) in self.objects.iter_mut().enumerate() {
+            let Some(entry) = slot.as_deref_mut() else {
+                continue;
+            };
+            if entry.is_unused() {
+                continue;
+            }
+            let obj = ObjectId(i as u32);
+            touched.push(obj);
+            for w in entry.waiters.iter() {
                 if w.deadline < now {
-                    expired.push((*obj, w));
-                } else {
-                    kept.push(w);
+                    expired.push((obj, *w));
                 }
             }
-            entry.waiters = kept;
+            entry.waiters.retain(|w| w.deadline >= now);
         }
         let mut grants = Vec::new();
-        for obj in objs {
+        for obj in touched {
             let g = self.promote(obj);
             if !g.is_empty() {
                 grants.push((obj, g));
@@ -365,7 +417,8 @@ impl<O: LockOwner> LockTable<O> {
 
     /// Promotes the longest grantable prefix of the wait queue.
     fn promote(&mut self, object: ObjectId) -> Vec<Waiter<O>> {
-        let Some(entry) = self.objects.get_mut(&object) else {
+        let idx = object.index() as usize;
+        let Some(entry) = self.objects.get_mut(idx).and_then(|s| s.as_deref_mut()) else {
             return Vec::new();
         };
         let mut granted = Vec::new();
@@ -374,7 +427,7 @@ impl<O: LockOwner> LockTable<O> {
             if let Some(held) = entry.holder_mode(head.owner) {
                 let sole = entry.holders.iter().all(|(o, _)| *o == head.owner);
                 if sole && held == LockMode::Shared && head.mode == LockMode::Exclusive {
-                    for h in &mut entry.holders {
+                    for h in entry.holders.iter_mut() {
                         if h.0 == head.owner {
                             h.1 = LockMode::Exclusive;
                         }
@@ -385,7 +438,7 @@ impl<O: LockOwner> LockTable<O> {
                 }
                 break;
             }
-            if entry.conflicts_with(head.owner, head.mode).is_empty() {
+            if !entry.has_conflict(head.owner, head.mode) {
                 entry.holders.push((head.owner, head.mode));
                 self.held_by.entry(head.owner).or_default().push(object);
                 entry.waiters.remove(0);
@@ -394,33 +447,28 @@ impl<O: LockOwner> LockTable<O> {
                 break;
             }
         }
-        if entry.is_unused() {
-            self.objects.remove(&object);
-        }
         granted
     }
 
     /// Current holders of `object` with their modes.
     #[must_use]
     pub fn holders(&self, object: ObjectId) -> Vec<(O, LockMode)> {
-        self.objects
-            .get(&object)
-            .map(|e| e.holders.clone())
+        self.entry(object)
+            .map(|e| e.holders.to_vec())
             .unwrap_or_default()
     }
 
     /// The mode `owner` holds on `object`, if any.
     #[must_use]
     pub fn held_mode(&self, object: ObjectId, owner: O) -> Option<LockMode> {
-        self.objects.get(&object).and_then(|e| e.holder_mode(owner))
+        self.entry(object).and_then(|e| e.holder_mode(owner))
     }
 
     /// Holders whose locks conflict with a hypothetical request — the input
     /// to the paper's H2 site-selection heuristic.
     #[must_use]
     pub fn conflicting_holders(&self, object: ObjectId, owner: O, mode: LockMode) -> Vec<O> {
-        self.objects
-            .get(&object)
+        self.entry(object)
             .map(|e| e.conflicts_with(owner, mode))
             .unwrap_or_default()
     }
@@ -428,9 +476,8 @@ impl<O: LockOwner> LockTable<O> {
     /// Queued waiters on `object`, in service order.
     #[must_use]
     pub fn waiters(&self, object: ObjectId) -> Vec<Waiter<O>> {
-        self.objects
-            .get(&object)
-            .map(|e| e.waiters.clone())
+        self.entry(object)
+            .map(|e| e.waiters.to_vec())
             .unwrap_or_default()
     }
 
@@ -446,17 +493,26 @@ impl<O: LockOwner> LockTable<O> {
     /// Number of objects with any lock state.
     #[must_use]
     pub fn active_objects(&self) -> usize {
-        self.objects.len()
+        self.objects
+            .iter()
+            .filter_map(|s| s.as_deref())
+            .filter(|e| !e.is_unused())
+            .count()
     }
 
     /// Internal consistency check (tests / debug builds): no conflicting
     /// holders coexist and the reverse index matches.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (obj, e) in &self.objects {
-            for i in 0..e.holders.len() {
-                for j in (i + 1)..e.holders.len() {
-                    let (a, ma) = e.holders[i];
-                    let (b, mb) = e.holders[j];
+        for (i, slot) in self.objects.iter().enumerate() {
+            let Some(e) = slot.as_deref() else {
+                continue;
+            };
+            let obj = ObjectId(i as u32);
+            let holders: Vec<(O, LockMode)> = e.holders.to_vec();
+            for i in 0..holders.len() {
+                for j in (i + 1)..holders.len() {
+                    let (a, ma) = holders[i];
+                    let (b, mb) = holders[j];
                     if a == b {
                         return Err(format!("{obj}: duplicate holder {a:?}"));
                     }
@@ -467,11 +523,8 @@ impl<O: LockOwner> LockTable<O> {
                     }
                 }
             }
-            for (o, _) in &e.holders {
-                let listed = self
-                    .held_by
-                    .get(o)
-                    .is_some_and(|v| v.contains(obj));
+            for (o, _) in &holders {
+                let listed = self.held_by.get(o).is_some_and(|v| v.contains(&obj));
                 if !listed {
                     return Err(format!("{obj}: holder {o:?} missing from reverse index"));
                 }
@@ -596,7 +649,10 @@ mod tests {
         lt.request(OBJ, A, Shared, t(10));
         lt.request(OBJ, B, Exclusive, t(10)); // queued
         let r = lt.request(OBJ, C, Shared, t(10));
-        assert!(matches!(r, Acquire::Blocked { .. }), "reader must queue behind writer");
+        assert!(
+            matches!(r, Acquire::Blocked { .. }),
+            "reader must queue behind writer"
+        );
         let g = lt.release(OBJ, A);
         assert_eq!(g[0].owner, B);
         let g = lt.release(OBJ, B);

@@ -105,6 +105,30 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Removes and returns the earliest event if it is due at or before
+    /// `deadline`; leaves the queue untouched otherwise.
+    ///
+    /// This is the bounded-drain primitive: callers that would otherwise
+    /// write `if q.peek_time() <= Some(t) { q.pop() }` get the check and
+    /// the removal in one call, with the entry moved out of the heap only
+    /// when it actually fires.
+    ///
+    /// ```
+    /// use siteselect_sim::EventQueue;
+    /// use siteselect_types::SimTime;
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(SimTime::from_secs(5), 'x');
+    /// assert_eq!(q.pop_before(SimTime::from_secs(4)), None);
+    /// assert_eq!(q.pop_before(SimTime::from_secs(5)), Some((SimTime::from_secs(5), 'x')));
+    /// ```
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(e) if e.at <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Number of queued events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -211,6 +235,25 @@ mod tests {
         q.push(SimTime::from_secs(7), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_and_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), 'b');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(9), 'z');
+        let mut drained = Vec::new();
+        while let Some((_, e)) = q.pop_before(SimTime::from_secs(5)) {
+            drained.push(e);
+        }
+        assert_eq!(drained, vec!['a', 'b']);
+        assert_eq!(q.len(), 1);
+        // The deadline is inclusive.
+        assert_eq!(q.pop_before(SimTime::from_secs(9)).unwrap().1, 'z');
+        // Empty queue: no event, no panic.
+        assert_eq!(q.pop_before(SimTime::from_secs(100)), None);
+        assert_eq!(q.total_popped(), 3);
     }
 
     #[test]

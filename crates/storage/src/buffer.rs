@@ -1,11 +1,10 @@
 //! The PF-layer buffer manager: pinned frames with LRU or Clock replacement
 //! and dirty write-back, as in the MiniRel system the paper builds on.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use siteselect_types::ObjectId;
+use siteselect_types::{ObjectId, ObjectMap};
 
 use crate::disk::DiskFile;
 use crate::page::Page;
@@ -88,7 +87,7 @@ struct Frame {
 ///
 /// ```
 /// use siteselect_storage::{BufferManager, DiskFile, Replacement};
-/// use siteselect_types::ObjectId;
+/// use siteselect_types::{ObjectId, ObjectMap};
 ///
 /// let mut disk = DiskFile::with_patterned_pages(100);
 /// let mut buf = BufferManager::new(4, Replacement::Lru);
@@ -101,7 +100,7 @@ pub struct BufferManager {
     capacity: usize,
     policy: Replacement,
     frames: Vec<Option<Frame>>,
-    map: HashMap<ObjectId, usize>,
+    map: ObjectMap<usize>,
     tick: u64,
     clock_hand: usize,
     stats: BufferStats,
@@ -120,7 +119,7 @@ impl BufferManager {
             capacity,
             policy,
             frames: (0..capacity).map(|_| None).collect(),
-            map: HashMap::new(),
+            map: ObjectMap::new(),
             tick: 0,
             clock_hand: 0,
             stats: BufferStats::default(),
@@ -148,7 +147,7 @@ impl BufferManager {
     /// True if the page is currently buffered.
     #[must_use]
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.map.contains_key(&id)
+        self.map.contains(id)
     }
 
     /// Cumulative statistics.
@@ -166,7 +165,7 @@ impl BufferManager {
     /// [`BufferError::AllFramesPinned`] if no victim frame is available.
     pub fn fetch(&mut self, id: ObjectId, disk: &mut DiskFile) -> Result<usize, BufferError> {
         self.tick += 1;
-        if let Some(&idx) = self.map.get(&id) {
+        if let Some(&idx) = self.map.get(id) {
             let frame = self.frames[idx].as_mut().expect("mapped frame occupied");
             frame.pin_count += 1;
             frame.last_used = self.tick;
@@ -211,7 +210,7 @@ impl BufferManager {
         };
         let idx = victim.ok_or(BufferError::AllFramesPinned)?;
         let frame = self.frames[idx].take().expect("victim occupied");
-        self.map.remove(&frame.page.id());
+        self.map.remove(frame.page.id());
         self.stats.evictions += 1;
         if frame.dirty {
             disk.write(&frame.page);

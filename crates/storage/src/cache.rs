@@ -7,9 +7,9 @@
 //! LRU victim leaves the cache entirely. A reference to a disk-tier object
 //! promotes it back to memory (costing a local disk access in the simulator).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use siteselect_types::ObjectId;
+use siteselect_types::{ObjectId, ObjectMap};
 
 /// Which tier a probe found the object in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,7 +55,7 @@ impl ClientCacheStats {
 struct LruSet {
     capacity: usize,
     stamp: u64,
-    by_id: HashMap<ObjectId, u64>,
+    by_id: ObjectMap<u64>,
     by_stamp: BTreeMap<u64, ObjectId>,
 }
 
@@ -64,7 +64,7 @@ impl LruSet {
         LruSet {
             capacity,
             stamp: 0,
-            by_id: HashMap::new(),
+            by_id: ObjectMap::new(),
             by_stamp: BTreeMap::new(),
         }
     }
@@ -74,11 +74,11 @@ impl LruSet {
     }
 
     fn contains(&self, id: ObjectId) -> bool {
-        self.by_id.contains_key(&id)
+        self.by_id.contains(id)
     }
 
     fn touch(&mut self, id: ObjectId) -> bool {
-        match self.by_id.get_mut(&id) {
+        match self.by_id.get_mut(id) {
             Some(s) => {
                 self.by_stamp.remove(s);
                 self.stamp += 1;
@@ -102,7 +102,7 @@ impl LruSet {
         let victim = if self.by_id.len() >= self.capacity {
             let (&s, &v) = self.by_stamp.iter().next().expect("full set non-empty");
             self.by_stamp.remove(&s);
-            self.by_id.remove(&v);
+            self.by_id.remove(v);
             Some(v)
         } else {
             None
@@ -114,7 +114,7 @@ impl LruSet {
     }
 
     fn remove(&mut self, id: ObjectId) -> bool {
-        match self.by_id.remove(&id) {
+        match self.by_id.remove(id) {
             Some(s) => {
                 self.by_stamp.remove(&s);
                 true

@@ -1,0 +1,331 @@
+//! Dense, object-indexed containers for simulator hot paths.
+//!
+//! The paper's database is a flat array of objects numbered `0..10_000`
+//! (Table 1), so per-object state in the engines is keyed by small dense
+//! integers. Hashing those ids through a `HashMap` costs a SipHash round
+//! plus a probe per access; these containers index a `Vec` directly
+//! instead, growing on demand to the largest id touched. Iteration order
+//! is always ascending id order, which keeps every consumer deterministic
+//! without the sort-the-keys dance `HashMap` forces.
+
+use crate::ids::ObjectId;
+
+/// A map from [`ObjectId`] to `V`, stored as a dense slot vector.
+///
+/// Lookups are a bounds check and an index. Memory is proportional to the
+/// largest id inserted, not to the number of live entries — the intended
+/// use is per-object simulator state over a fixed-size database, where the
+/// id space is saturated anyway.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_types::{ObjectId, ObjectMap};
+///
+/// let mut m: ObjectMap<&str> = ObjectMap::new();
+/// m.insert(ObjectId(3), "three");
+/// assert_eq!(m.get(ObjectId(3)), Some(&"three"));
+/// assert_eq!(m.get(ObjectId(4)), None);
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMap<V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> ObjectMap<V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty map with slots pre-allocated for ids `0..capacity`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(capacity, || None);
+        ObjectMap { slots, len: 0 }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entry is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot(&self, id: ObjectId) -> Option<&Option<V>> {
+        self.slots.get(id.index() as usize)
+    }
+
+    fn grow_to(&mut self, id: ObjectId) -> &mut Option<V> {
+        let idx = id.index() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        &mut self.slots[idx]
+    }
+
+    /// Inserts `value` at `id`, returning the previous value if any.
+    pub fn insert(&mut self, id: ObjectId, value: V) -> Option<V> {
+        let slot = self.grow_to(id);
+        let old = slot.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry at `id`.
+    pub fn remove(&mut self, id: ObjectId) -> Option<V> {
+        let old = self
+            .slots
+            .get_mut(id.index() as usize)
+            .and_then(Option::take);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// The entry at `id`, if live.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> Option<&V> {
+        self.slot(id).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry at `id`, if live.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut V> {
+        self.slots
+            .get_mut(id.index() as usize)
+            .and_then(Option::as_mut)
+    }
+
+    /// Mutable access to the entry at `id`, inserting `V::default()` first
+    /// if the slot is empty (the `entry(..).or_default()` idiom).
+    pub fn get_or_default(&mut self, id: ObjectId) -> &mut V
+    where
+        V: Default,
+    {
+        let idx = id.index() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].is_none() {
+            self.slots[idx] = Some(V::default());
+            self.len += 1;
+        }
+        self.slots[idx].as_mut().expect("slot just filled")
+    }
+
+    /// True if `id` has a live entry.
+    #[must_use]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterates live entries in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (ObjectId(i as u32), v)))
+    }
+
+    /// Live ids in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+
+    /// Keeps only the entries for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(ObjectId, &mut V) -> bool) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = slot {
+                if !keep(ObjectId(i as u32), v) {
+                    *slot = None;
+                    self.len -= 1;
+                }
+            }
+        }
+    }
+
+    /// Drops every entry (slot storage is kept for reuse).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+}
+
+impl<V> Default for ObjectMap<V> {
+    fn default() -> Self {
+        ObjectMap::new()
+    }
+}
+
+/// A set of [`ObjectId`]s, stored as a dense bit-per-object vector.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_types::{ObjectId, ObjectSet};
+///
+/// let mut s = ObjectSet::new();
+/// assert!(s.insert(ObjectId(7)));
+/// assert!(!s.insert(ObjectId(7)));
+/// assert!(s.contains(ObjectId(7)));
+/// assert!(s.remove(ObjectId(7)));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObjectSet {
+    bits: Vec<bool>,
+    len: usize,
+}
+
+impl ObjectSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectSet::default()
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `id` is a member.
+    #[must_use]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.bits.get(id.index() as usize).copied().unwrap_or(false)
+    }
+
+    /// Adds `id`; returns true if it was newly inserted.
+    pub fn insert(&mut self, id: ObjectId) -> bool {
+        let idx = id.index() as usize;
+        if idx >= self.bits.len() {
+            self.bits.resize(idx + 1, false);
+        }
+        let fresh = !self.bits[idx];
+        self.bits[idx] = true;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `id`; returns true if it was a member.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        match self.bits.get_mut(id.index() as usize) {
+            Some(b) if *b => {
+                *b = false;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(ObjectId(i as u32)))
+    }
+
+    /// Removes every member (bit storage is kept for reuse).
+    pub fn clear(&mut self) {
+        self.bits.fill(false);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_remove_roundtrip() {
+        let mut m = ObjectMap::new();
+        assert_eq!(m.insert(ObjectId(5), 50), None);
+        assert_eq!(m.insert(ObjectId(5), 55), Some(50));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(ObjectId(5)), Some(&55));
+        assert_eq!(m.remove(ObjectId(5)), Some(55));
+        assert_eq!(m.remove(ObjectId(5)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_out_of_range_reads_are_safe() {
+        let m: ObjectMap<u8> = ObjectMap::with_capacity(4);
+        assert_eq!(m.get(ObjectId(1_000_000)), None);
+        assert!(!m.contains(ObjectId(9)));
+    }
+
+    #[test]
+    fn map_iterates_in_id_order() {
+        let mut m = ObjectMap::new();
+        for id in [9, 2, 7, 0] {
+            m.insert(ObjectId(id), id);
+        }
+        let keys: Vec<u32> = m.keys().map(|k| k.0).collect();
+        assert_eq!(keys, vec![0, 2, 7, 9]);
+    }
+
+    #[test]
+    fn map_get_or_default_inserts_once() {
+        let mut m: ObjectMap<Vec<u8>> = ObjectMap::new();
+        m.get_or_default(ObjectId(3)).push(1);
+        m.get_or_default(ObjectId(3)).push(2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(ObjectId(3)), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn map_retain_and_clear_track_len() {
+        let mut m = ObjectMap::new();
+        for id in 0..6u32 {
+            m.insert(ObjectId(id), id);
+        }
+        m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.keys().count(), 3);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s = ObjectSet::new();
+        assert!(s.insert(ObjectId(3)));
+        assert!(s.insert(ObjectId(1)));
+        assert!(!s.insert(ObjectId(3)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![ObjectId(1), ObjectId(3)]);
+        assert!(s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(99)));
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod config;
+pub mod dense;
 pub mod error;
 pub mod ids;
 pub mod lock;
@@ -33,6 +34,7 @@ pub use config::{
     ExperimentConfig, FaultConfig, LanKind, LoadSharingConfig, NetworkConfig, RuntimeConfig,
     ServerConfig, SystemKind, WorkloadConfig,
 };
+pub use dense::{ObjectMap, ObjectSet};
 pub use error::ConfigError;
 pub use ids::{ClientId, ObjectId, SiteId, SubtaskId, TransactionId};
 pub use lock::LockMode;

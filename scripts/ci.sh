@@ -28,6 +28,32 @@ cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick > "$tr
 cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick > "$tracedir/f3.b"
 diff "$tracedir/f3.a" "$tracedir/f3.b"
 
+echo "==> parallel-sweep determinism (jobs 1 vs 8, byte-diff)"
+cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick --jobs 1 > "$tracedir/f3.j1"
+cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick --jobs 8 > "$tracedir/f3.j8"
+diff "$tracedir/f3.j1" "$tracedir/f3.j8"
+
+echo "==> bench smoke (suite runs, report parses, no >2x regression vs fresh rerun)"
+cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench.json" > "$tracedir/bench.out"
+for field in '"meta"' '"cores"' '"rustc"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"'; do
+  grep -q "$field" "$tracedir/bench.json" || { echo "bench.json missing $field"; exit 1; }
+done
+# Same-machine regression gate: a second run must stay within the 2x limit
+# of the first (the committed results/BENCH_sim.json baseline documents a
+# reference machine and is not comparable across hardware).
+cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench2.json" --baseline "$tracedir/bench.json" > "$tracedir/bench2.out"
+
+if [[ "$(nproc)" -ge 2 ]]; then
+  echo "==> parallel-sweep speedup (quick sweep, jobs=nproc vs jobs=1)"
+  t1=$( { time -p cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick --jobs 1 >/dev/null; } 2>&1 | awk '/^real/{print $2}')
+  tn=$( { time -p cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick --jobs "$(nproc)" >/dev/null; } 2>&1 | awk '/^real/{print $2}')
+  echo "jobs=1: ${t1}s  jobs=$(nproc): ${tn}s"
+  awk -v a="$t1" -v b="$tn" 'BEGIN { exit !(a >= 2.0 * b) }' \
+    || { echo "parallel sweep not >=2x faster (${t1}s vs ${tn}s)"; exit 1; }
+else
+  echo "==> parallel-sweep speedup skipped (single-core runner)"
+fi
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "==> seed sensitivity (Figure 5 headline point, seeds 1-3)"
   cargo run --release -q -p siteselect-bench --bin seedcheck

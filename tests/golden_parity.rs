@@ -1,0 +1,67 @@
+//! Seed-parity golden tests: the exact `RunMetrics` of each system at two
+//! fixed seeds, captured (as `Debug` strings, which round-trip every f64
+//! field) before the dense data-structure overhaul. Any behavioural drift
+//! in the engines -- a different grant order, a changed cache decision, one
+//! extra message -- changes at least one field and fails the comparison.
+//!
+//! Regenerate the literals with the same configuration loop below if an
+//! intentional behaviour change lands (document it in CHANGES.md).
+
+use siteselect::core::run_experiment;
+use siteselect::types::{ExperimentConfig, SimDuration, SystemKind};
+
+fn run(system: SystemKind, seed: u64) -> String {
+    let mut cfg = ExperimentConfig::paper(system, 6, 0.20);
+    cfg.runtime.duration = SimDuration::from_secs(300);
+    cfg.runtime.warmup = SimDuration::from_secs(50);
+    cfg.runtime.seed = seed;
+    format!("{:?}", run_experiment(&cfg).unwrap())
+}
+
+#[test]
+fn centralized_seed_11_matches_pre_optimization_metrics() {
+    assert_eq!(
+        run(SystemKind::Centralized, 11),
+        r#"RunMetrics { system: Centralized, clients: 6, update_fraction: 0.2, seed: 11, measured: 136, in_time: 134, failures: FailureBreakdown { expired: 0, deadlock: 0, subtask: 0, late: 2, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 0, disk_hits: 0, misses: 0 }, response: ResponseReport { shared: OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: 0.0, max: 0.0 }, exclusive: OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: 0.0, max: 0.0 } }, messages: MessageStats { by_kind: [171, 171, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], bytes_by_kind: [21888, 21888, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], transmissions: 342, total_bytes: 43776 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 136, mean: 0.4101725808823529, m2: 23.526898983291108, min: 0.055017, max: 2.593879 }, blocking: OnlineStats { count: 136, mean: 0.0006636323529411767, m2: 0.00808588904161765, min: 0.0, max: 0.090254 }, client_cpu_utilization: 0.0, server_cpu_utilization: 0.15372835785953176, server_buffer: Ratio { hits: 273, total: 1361 } }"#
+    );
+}
+
+#[test]
+fn centralized_seed_12_matches_pre_optimization_metrics() {
+    assert_eq!(
+        run(SystemKind::Centralized, 12),
+        r#"RunMetrics { system: Centralized, clients: 6, update_fraction: 0.2, seed: 12, measured: 163, in_time: 162, failures: FailureBreakdown { expired: 0, deadlock: 0, subtask: 0, late: 1, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 0, disk_hits: 0, misses: 0 }, response: ResponseReport { shared: OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: 0.0, max: 0.0 }, exclusive: OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: 0.0, max: 0.0 } }, messages: MessageStats { by_kind: [190, 190, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], bytes_by_kind: [24320, 24320, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], transmissions: 380, total_bytes: 48640 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 163, mean: 0.3691418895705522, m2: 16.495338327928014, min: 0.037466, max: 2.083028 }, blocking: OnlineStats { count: 163, mean: 0.0, m2: 0.0, min: 0.0, max: 0.0 }, client_cpu_utilization: 0.0, server_cpu_utilization: 0.1521050304054054, server_buffer: Ratio { hits: 327, total: 1662 } }"#
+    );
+}
+
+#[test]
+fn client_server_seed_11_matches_pre_optimization_metrics() {
+    assert_eq!(
+        run(SystemKind::ClientServer, 11),
+        r#"RunMetrics { system: ClientServer, clients: 6, update_fraction: 0.2, seed: 11, measured: 136, in_time: 132, failures: FailureBreakdown { expired: 4, deadlock: 0, subtask: 0, late: 0, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 180, disk_hits: 0, misses: 1181 }, response: ResponseReport { shared: OnlineStats { count: 925, mean: 0.04246507783783783, m2: 0.760201225410396, min: 0.0, max: 0.163916 }, exclusive: OnlineStats { count: 290, mean: 0.03952314482758624, m2: 0.6490870288219169, min: 0.0, max: 0.647576 } }, messages: MessageStats { by_kind: [0, 0, 1215, 1181, 34, 70, 22, 48, 0, 0, 0, 0, 0, 0, 0, 0], bytes_by_kind: [0, 0, 51936, 2645440, 4352, 8960, 49280, 6144, 0, 0, 0, 0, 0, 0, 0, 0], transmissions: 1491, total_bytes: 2766112 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 132, mean: 1.1733377121212114, m2: 174.39338023411713, min: 0.067307, max: 6.065508 }, blocking: OnlineStats { count: 136, mean: 0.09069605882352937, m2: 5.03229629442553, min: 0.026946, max: 2.222168 }, client_cpu_utilization: 0.0977104595791805, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 91, total: 1181 } }"#
+    );
+}
+
+#[test]
+fn client_server_seed_12_matches_pre_optimization_metrics() {
+    assert_eq!(
+        run(SystemKind::ClientServer, 12),
+        r#"RunMetrics { system: ClientServer, clients: 6, update_fraction: 0.2, seed: 12, measured: 163, in_time: 159, failures: FailureBreakdown { expired: 3, deadlock: 0, subtask: 0, late: 1, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 199, disk_hits: 0, misses: 1463 }, response: ResponseReport { shared: OnlineStats { count: 1169, mean: 0.042745070145423454, m2: 0.9428619472262478, min: 0.0, max: 0.169923 }, exclusive: OnlineStats { count: 324, mean: 0.039528530864197546, m2: 0.2889916933666918, min: 0.0, max: 0.14819 } }, messages: MessageStats { by_kind: [0, 0, 1493, 1462, 31, 84, 37, 47, 0, 0, 0, 0, 0, 0, 0, 0], bytes_by_kind: [0, 0, 63424, 3274880, 3968, 10752, 82880, 6016, 0, 0, 0, 0, 0, 0, 0, 0], transmissions: 1824, total_bytes: 3441920 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 159, mean: 1.172619257861636, m2: 192.44375443028832, min: 0.078217, max: 4.923769 }, blocking: OnlineStats { count: 163, mean: 0.07314549079754605, m2: 0.22190128391473612, min: 0.011355, max: 0.403225 }, client_cpu_utilization: 0.10010585585585587, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 121, total: 1462 } }"#
+    );
+}
+
+#[test]
+fn load_sharing_seed_11_matches_pre_optimization_metrics() {
+    assert_eq!(
+        run(SystemKind::LoadSharing, 11),
+        r#"RunMetrics { system: LoadSharing, clients: 6, update_fraction: 0.2, seed: 11, measured: 136, in_time: 132, failures: FailureBreakdown { expired: 4, deadlock: 0, subtask: 0, late: 0, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 184, disk_hits: 0, misses: 1177 }, response: ResponseReport { shared: OnlineStats { count: 922, mean: 0.042620219088937074, m2: 0.7563482742597452, min: 0.0, max: 0.163916 }, exclusive: OnlineStats { count: 289, mean: 0.03743162629757787, m2: 0.27827083813764025, min: 0.0, max: 0.267 } }, messages: MessageStats { by_kind: [0, 0, 1211, 1177, 34, 66, 18, 48, 37, 0, 0, 0, 3, 3, 17, 17], bytes_by_kind: [0, 0, 51808, 2636480, 4352, 8448, 40320, 6144, 9472, 0, 0, 0, 3072, 768, 2176, 4352], transmissions: 1562, total_bytes: 2767392 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 3, subtasks: 6, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 132, mean: 1.1661884545454548, m2: 172.24920985396275, min: 0.067307, max: 6.065508 }, blocking: OnlineStats { count: 139, mean: 0.08464797841726618, m2: 4.741941533186938, min: 0.0, max: 2.222168 }, client_cpu_utilization: 0.09770973477297897, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 87, total: 1177 } }"#
+    );
+}
+
+#[test]
+fn load_sharing_seed_12_matches_pre_optimization_metrics() {
+    assert_eq!(
+        run(SystemKind::LoadSharing, 12),
+        r#"RunMetrics { system: LoadSharing, clients: 6, update_fraction: 0.2, seed: 12, measured: 163, in_time: 159, failures: FailureBreakdown { expired: 3, deadlock: 0, subtask: 0, late: 1, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 199, disk_hits: 0, misses: 1463 }, response: ResponseReport { shared: OnlineStats { count: 1169, mean: 0.0427464379811805, m2: 0.9422388201277545, min: 0.0, max: 0.169923 }, exclusive: OnlineStats { count: 324, mean: 0.03952741049382717, m2: 0.28873161886440424, min: 0.0, max: 0.14819 } }, messages: MessageStats { by_kind: [0, 0, 1493, 1462, 31, 84, 37, 47, 51, 0, 0, 0, 0, 0, 15, 15], bytes_by_kind: [0, 0, 63424, 3274880, 3968, 10752, 82880, 6016, 13056, 0, 0, 0, 0, 0, 1920, 3840], transmissions: 1905, total_bytes: 3460736 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 159, mean: 1.1727286981132077, m2: 192.4428240838814, min: 0.078217, max: 4.923769 }, blocking: OnlineStats { count: 163, mean: 0.07313998773006135, m2: 0.22174177574197534, min: 0.01156, max: 0.403225 }, client_cpu_utilization: 0.10010511993243244, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 121, total: 1462 } }"#
+    );
+}
