@@ -317,6 +317,8 @@ impl Cluster {
 /// realistic per-client event volume (a few events per transaction).
 const TRACE_CAPACITY_PER_SITE: usize = 1 << 16;
 
+// Worker threads are wired up once, at spawn; a config struct would only
+// repackage these nine values for a single call site.
 #[allow(clippy::too_many_arguments)]
 fn worker_main(
     cfg: &ClusterConfig,

@@ -445,7 +445,7 @@ impl CentralizedSim {
         // processed at all", §2) — this is what keeps the overloaded
         // centralized server doing useful work for feasible transactions.
         let mut dead: Vec<Key> = self
-            .txns
+            .txns // detlint: allow(D2) — keys are collected and sorted below
             .iter()
             .filter(|(_, t)| t.spec.is_expired(self.now))
             .map(|(&k, _)| k)

@@ -671,8 +671,7 @@ impl ClientServerSim {
             .into_iter()
             .map(|c| (Self::h2_score(c, accesses, locations), load_of(c), c.0, c))
             .min()
-            .map(|(_, _, _, c)| c)
-            .unwrap_or(origin);
+            .map_or(origin, |(_, _, _, c)| c);
         // Ship only for a strict improvement in conflicting locks.
         if Self::h2_score(best, accesses, locations) < origin_score {
             best
@@ -939,6 +938,7 @@ impl ClientServerSim {
         // Outstanding fetches.
         let mut cancelled: Vec<ObjectId> = Vec::new();
         let c = &mut self.clients[ci];
+        // detlint: allow(D2) — visit order only fills `cancelled`, sorted below
         c.fetches.retain(|&object, f| {
             f.waiters.retain(|&w| w != key);
             if f.waiters.is_empty() {
@@ -1493,6 +1493,7 @@ impl ClientServerSim {
             }
         });
         self.fabric.set_site_down(SiteId::Client(id));
+        // detlint: allow(D2) — keys are collected and sorted before the cascade
         let mut keys: Vec<TKey> = self.clients[ci].txns.keys().copied().collect();
         keys.sort_unstable(); // hash order is process-random; kills cascade
         for key in keys {
@@ -1679,7 +1680,7 @@ impl ClientServerSim {
     pub(crate) fn sweep_expired_txns(&mut self) {
         for ci in 0..self.clients.len() {
             let mut expired: Vec<TKey> = self.clients[ci]
-                .txns
+                .txns // detlint: allow(D2) — collected then sorted below
                 .iter()
                 .filter(|(_, r)| r.spec.is_expired(self.now))
                 .map(|(&k, _)| k)

@@ -1,0 +1,125 @@
+//! `detlint` — CLI for the determinism & safety analyzer.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/io error.
+
+use siteselect_lint::{check_paths, check_workspace, load_config, RuleId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+detlint — determinism & safety analyzer for the siteselect workspace
+
+USAGE:
+    detlint check --workspace [--root <dir>]
+    detlint check [--root <dir>] <file.rs>...
+    detlint rules
+
+Violations print as `file:line: detlint[Dn]: message`. Deliberate ones
+are suppressed in place with `// detlint: allow(Dn) — <reason>` on the
+offending line or the line above; the reason is mandatory. Per-module
+allowlists live in detlint.toml at the workspace root.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("detlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            print_rules();
+            Ok(true)
+        }
+        Some("check") => check(&args[1..]),
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn print_rules() {
+    println!("{:<4} {:<20} summary", "id", "name");
+    for rule in RuleId::ALL {
+        println!("{:<4} {:<20} {}", rule.id(), rule.name(), rule.summary());
+    }
+}
+
+fn check(args: &[String]) -> Result<bool, String> {
+    let mut root = default_root();
+    let mut whole_workspace = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => whole_workspace = true,
+            "--root" => {
+                root = PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n\n{USAGE}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !whole_workspace && files.is_empty() {
+        return Err(format!("nothing to check\n\n{USAGE}"));
+    }
+    let cfg = load_config(&root)?;
+    let report = if whole_workspace {
+        check_workspace(&root, &cfg).map_err(|e| e.to_string())?
+    } else {
+        check_paths(&root, &files, &cfg).map_err(|e| e.to_string())?
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.is_clean() {
+        println!(
+            "detlint: clean ({} files, {} suppression{})",
+            report.files_checked,
+            report.suppressions,
+            if report.suppressions == 1 { "" } else { "s" }
+        );
+        Ok(true)
+    } else {
+        println!(
+            "detlint: {} violation{} in {} files",
+            report.violations.len(),
+            if report.violations.len() == 1 { "" } else { "s" },
+            report.files_checked
+        );
+        Ok(false)
+    }
+}
+
+/// The workspace root: walk up from the current directory to the first
+/// one containing `detlint.toml` (so the tool works from any subdir),
+/// falling back to the current directory.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("detlint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Workspace traversal: file discovery, crate grouping, the two-pass
+//! D2 symbol collection, and the top-level [`check_workspace`] entry
+//! point the CLI and tests share.
+
+use crate::config::Config;
+use crate::lexer::lex;
+use crate::rules::{
+    check_file, collect_symbols, CrateSymbols, FileContext, RuleId, Violation,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_checked: usize,
+    pub suppressions: u32,
+}
+
+impl Report {
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The crate a workspace-relative path belongs to for symbol-table
+/// purposes: `crates/<name>/…` → `<name>`, everything else (`src/`,
+/// `tests/`, `examples/`) → `root`.
+#[must_use]
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// A file is "library code" for D6 when it compiles into a `lib` target:
+/// under some `src/` but not `src/bin/`, not `main.rs`, and not under
+/// `tests/`, `examples/` or `benches/`.
+#[must_use]
+pub fn is_library_path(path: &str) -> bool {
+    let in_src = path.starts_with("src/") || path.contains("/src/");
+    in_src
+        && !path.contains("/bin/")
+        && !path.ends_with("/main.rs")
+        && !path.starts_with("tests/")
+        && !path.starts_with("examples/")
+        && !path.contains("/tests/")
+        && !path.contains("/examples/")
+        && !path.contains("/benches/")
+}
+
+/// Recursively lists `.rs` files under `root`, skipping excluded paths.
+/// Returned paths are workspace-relative with `/` separators, sorted so
+/// diagnostics come out in a stable order on every platform.
+pub fn discover_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = relative(&path, root);
+            if cfg.is_excluded(&rel) || rel.starts_with('.') {
+                continue;
+            }
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                stack.push(path);
+            } else if rel.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize to `/` so configs match on every platform.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints the given workspace-relative files (two passes: symbols, then
+/// rules). `check --workspace` passes every discovered file; targeted
+/// invocations still get crate-wide D2 resolution for the files given.
+pub fn check_paths(
+    root: &Path,
+    files: &[String],
+    cfg: &Config,
+) -> std::io::Result<Report> {
+    // Pass 1: per-crate symbol tables for D2.
+    let mut crates: BTreeMap<String, CrateSymbols> = BTreeMap::new();
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let table = collect_symbols(&lex(&src));
+        crates
+            .entry(crate_of(rel))
+            .or_default()
+            .per_file
+            .insert(rel.clone(), table);
+        sources.insert(rel.clone(), src);
+    }
+    let crate_maps: BTreeMap<String, BTreeSet<String>> = crates
+        .iter()
+        .map(|(name, syms)| (name.clone(), syms.crate_wide_map_names()))
+        .collect();
+
+    // Pass 2: rules.
+    let empty = BTreeSet::new();
+    let mut report = Report::default();
+    for rel in files {
+        let src = &sources[rel];
+        let ctx = FileContext {
+            path: rel,
+            allow_wall_clock: cfg.is_allowed(RuleId::D1, rel),
+            allow_rng: cfg.is_allowed(RuleId::D3, rel),
+            deterministic: cfg.is_deterministic_path(rel)
+                && !cfg.is_allowed(RuleId::D2, rel),
+            library: is_library_path(rel),
+            allow_print: cfg.is_allowed(RuleId::D6, rel),
+            crate_map_names: crate_maps.get(&crate_of(rel)).unwrap_or(&empty),
+        };
+        let file_report = check_file(src, &ctx);
+        report.files_checked += 1;
+        report.suppressions += file_report.suppressions;
+        report.violations.extend(file_report.violations);
+    }
+    Ok(report)
+}
+
+/// Discovers and lints every `.rs` file under `root`.
+pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let files = discover_files(root, cfg)?;
+    check_paths(root, &files, cfg)
+}
+
+/// Loads `detlint.toml` from `root`, falling back to defaults when the
+/// file does not exist.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path: PathBuf = root.join("detlint.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_grouping() {
+        assert_eq!(crate_of("crates/sim/src/rng.rs"), "sim");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+        assert_eq!(crate_of("tests/property_tests.rs"), "root");
+    }
+
+    #[test]
+    fn library_classification() {
+        assert!(is_library_path("crates/sim/src/rng.rs"));
+        assert!(is_library_path("src/lib.rs"));
+        assert!(!is_library_path("crates/bench/src/bin/repro.rs"));
+        assert!(!is_library_path("crates/lint/src/main.rs"));
+        assert!(!is_library_path("tests/property_tests.rs"));
+        assert!(!is_library_path("examples/quickstart.rs"));
+        assert!(!is_library_path("crates/bench/benches/cluster.rs"));
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end tests for the `detlint` engine: one positive and one
+//! negative fixture per rule, the allowlist/annotation escape hatches,
+//! and — the gate this crate exists for — a check that the repository
+//! itself is clean.
+
+use siteselect_lint::{check_paths, check_workspace, load_config, Config, RuleId};
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// The contract the fixture mini-workspace runs under: everything is
+/// deterministic, and one module is allowlisted for wall-clock reads.
+fn fixture_cfg() -> Config {
+    Config::parse(
+        r#"
+[deterministic]
+crates = ["root"]
+
+[rules.D1]
+allow = ["src/allowed_clock.rs"]
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+/// Lints one fixture and returns the rules that fired, in file order.
+fn lint_fixture(name: &str) -> Vec<RuleId> {
+    let report = check_paths(
+        &fixtures_root(),
+        &[format!("src/{name}")],
+        &fixture_cfg(),
+    )
+    .expect("fixture readable");
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule() {
+    assert_eq!(lint_fixture("d1_bad.rs"), vec![RuleId::D1, RuleId::D1]);
+    assert_eq!(
+        lint_fixture("d2_bad.rs"),
+        vec![RuleId::D2, RuleId::D2, RuleId::D2]
+    );
+    assert_eq!(
+        lint_fixture("d3_bad.rs"),
+        vec![RuleId::D3, RuleId::D3, RuleId::D3]
+    );
+    assert_eq!(lint_fixture("d4_bad.rs"), vec![RuleId::D4]);
+    assert_eq!(lint_fixture("d5_bad.rs"), vec![RuleId::D5]);
+    assert_eq!(lint_fixture("d6_bad.rs"), vec![RuleId::D6, RuleId::D6]);
+}
+
+#[test]
+fn negative_fixtures_are_clean() {
+    for name in [
+        "d1_good.rs",
+        "d2_good.rs",
+        "d3_good.rs",
+        "d4_good.rs",
+        "d5_good.rs",
+        "d6_good.rs",
+    ] {
+        assert_eq!(lint_fixture(name), Vec::new(), "{name} should be clean");
+    }
+}
+
+#[test]
+fn config_allowlist_exempts_a_module() {
+    assert_eq!(lint_fixture("allowed_clock.rs"), Vec::new());
+    // The same file without the allowlist is a violation.
+    let strict = Config::parse("[deterministic]\ncrates = [\"root\"]").expect("parses");
+    let report = check_paths(
+        &fixtures_root(),
+        &["src/allowed_clock.rs".to_string()],
+        &strict,
+    )
+    .expect("readable");
+    assert_eq!(
+        report.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+        vec![RuleId::D1]
+    );
+}
+
+#[test]
+fn inline_annotations_suppress_and_are_counted() {
+    let report = check_paths(
+        &fixtures_root(),
+        &["src/annotated.rs".to_string()],
+        &fixture_cfg(),
+    )
+    .expect("readable");
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.suppressions, 2);
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_rule() {
+    let report = check_paths(
+        &fixtures_root(),
+        &["src/d1_bad.rs".to_string()],
+        &fixture_cfg(),
+    )
+    .expect("readable");
+    let first = &report.violations[0];
+    assert_eq!(first.file, "src/d1_bad.rs");
+    assert_eq!(first.line, 5);
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("src/d1_bad.rs:5: detlint[D1]:"),
+        "unexpected diagnostic shape: {rendered}"
+    );
+}
+
+#[test]
+fn whole_fixture_tree_discovery_finds_every_bad_file() {
+    let report =
+        check_workspace(&fixtures_root(), &fixture_cfg()).expect("fixture tree scans");
+    // 6 bad fixtures with 2+3+3+1+1+2 = 12 violations; good/annotated/
+    // allowlisted files contribute none.
+    assert_eq!(report.violations.len(), 12);
+    assert_eq!(report.files_checked, 14);
+}
+
+/// The acceptance gate: the real repository, under its real
+/// `detlint.toml`, has zero violations.
+#[test]
+fn repository_is_clean_under_its_own_contract() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("detlint.toml parses");
+    assert!(
+        !cfg.deterministic_crates.is_empty(),
+        "repo config must name the deterministic crates"
+    );
+    let report = check_workspace(&root, &cfg).expect("workspace scans");
+    let rendered: Vec<String> =
+        report.violations.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "repository violates its determinism contract:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_checked > 80, "scan looks truncated");
+}
+
+/// `detlint check --workspace` — the exact CI invocation — exits 0.
+#[test]
+fn cli_check_workspace_exits_zero_on_the_repo() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(["check", "--workspace", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("detlint binary runs");
+    assert!(
+        out.status.success(),
+        "detlint check --workspace failed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// Seeding fresh D1/D2 violations into a deterministic crate must flip
+/// the CLI to a non-zero exit with `file:line` diagnostics.
+#[test]
+fn cli_flags_seeded_violations_with_file_line() {
+    let dir = std::env::temp_dir().join(format!(
+        "detlint_seed_{}",
+        std::process::id()
+    ));
+    let src_dir = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src_dir).expect("temp tree");
+    std::fs::write(
+        dir.join("detlint.toml"),
+        "[deterministic]\ncrates = [\"sim\"]\n",
+    )
+    .expect("write config");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "use std::collections::HashMap;\n\
+         fn f() {\n\
+             let _t = std::time::Instant::now();\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             for _ in &m {}\n\
+         }\n",
+    )
+    .expect("write seeded violation");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(["check", "--workspace", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("detlint binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(1), "seeded violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/sim/src/bad.rs:3: detlint[D1]"), "{stdout}");
+    assert!(stdout.contains("crates/sim/src/bad.rs:5: detlint[D2]"), "{stdout}");
+}

@@ -1,0 +1,8 @@
+//! D1 allowlist case: this module is exempted by configuration
+//! (`[rules.D1] allow = ["src/allowed_clock.rs"]`), so the read below
+//! is fine without an inline annotation.
+use std::time::Instant;
+
+fn harness_timestamp() -> std::time::Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//! D1 positive: wall-clock reads in deterministic code.
+use std::time::{Instant, SystemTime};
+
+fn elapsed_wall() -> u128 {
+    let start = Instant::now(); // violation
+    let _epoch = SystemTime::now(); // violation
+    start.elapsed().as_nanos()
+}

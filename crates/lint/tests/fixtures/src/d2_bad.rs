@@ -1,0 +1,19 @@
+//! D2 positive: hash-ordered iteration in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    txns: HashMap<u64, u32>,
+}
+
+impl State {
+    fn sweep(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (k, _v) in &self.txns {
+            out.push(*k); // violation: order is process-random
+        }
+        let live: HashSet<u64> = HashSet::new();
+        let _count = live.iter().count(); // violation
+        self.txns.retain(|_, v| *v > 0); // violation (closure sees hash order)
+        out
+    }
+}

@@ -1,0 +1,18 @@
+//! D2 negative: ordered structures iterate freely; hash maps are only
+//! probed point-wise.
+use std::collections::{BTreeMap, HashMap};
+
+struct State {
+    by_time: BTreeMap<u64, u32>,
+    index: HashMap<u64, u32>,
+}
+
+impl State {
+    fn scan(&self) -> (u32, Option<u32>) {
+        let mut total = 0;
+        for (_k, v) in &self.by_time {
+            total += *v; // BTreeMap: deterministic order
+        }
+        (total, self.index.get(&7).copied())
+    }
+}

@@ -1,0 +1,8 @@
+//! D3 positive: ambient randomness sources.
+use std::collections::hash_map::DefaultHasher; // violation
+use std::hash::RandomState; // violation
+
+fn roll() -> u64 {
+    let _hasher = DefaultHasher::new(); // violation
+    42
+}

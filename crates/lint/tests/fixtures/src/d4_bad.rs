@@ -1,0 +1,4 @@
+//! D4 positive: undocumented `unsafe`.
+fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // violation: no SAFETY comment
+}

@@ -1,0 +1,4 @@
+//! D5 positive: a bare `#[allow]`.
+
+#[allow(dead_code)]
+fn helper() {}

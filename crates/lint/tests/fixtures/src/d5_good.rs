@@ -1,0 +1,10 @@
+//! D5 negative: the suppression explains itself.
+
+// Kept for the follow-up PR that wires the CLI flag through.
+#[allow(dead_code)]
+fn helper() {}
+
+#[allow(clippy::cast_possible_truncation)] // bucket count fits in u8 by construction
+fn bucket(x: u64) -> u8 {
+    (x % 251) as u8
+}

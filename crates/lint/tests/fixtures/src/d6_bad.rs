@@ -1,0 +1,5 @@
+//! D6 positive: printing from library code.
+fn report(hits: u64) {
+    println!("hits = {hits}"); // violation
+    eprintln!("warn"); // violation
+}

@@ -209,7 +209,7 @@ impl<O: LockOwner> RefLockTable<O> {
         held.sort_unstable();
         held.dedup();
         let mut queued: Vec<ObjectId> = self
-            .objects
+            .objects // detlint: allow(D2) — ids are collected and sorted below
             .iter()
             .filter(|(_, e)| e.waiters.iter().any(|w| w.owner == owner))
             .map(|(&o, _)| o)
@@ -258,6 +258,8 @@ impl<O: LockOwner> RefLockTable<O> {
         (removed, granted)
     }
 
+    // The nested tuple return mirrors `LockTable::cancel_expired` so the
+    // property tests can diff the two implementations verbatim.
     #[allow(clippy::type_complexity)]
     pub fn cancel_expired(
         &mut self,
@@ -267,6 +269,7 @@ impl<O: LockOwner> RefLockTable<O> {
         Vec<(ObjectId, Vec<RefWaiter<O>>)>,
     ) {
         let mut expired = Vec::new();
+        // detlint: allow(D2) — keys are collected and sorted before the scan
         let mut objs: Vec<ObjectId> = self.objects.keys().copied().collect();
         objs.sort_unstable();
         for obj in &objs {

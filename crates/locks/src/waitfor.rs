@@ -95,6 +95,7 @@ impl<N: Copy + Eq + Hash + Debug> WaitForGraph<N> {
     /// at it (the owner released everything).
     pub fn remove_node(&mut self, node: N) {
         self.edges.remove(&node);
+        // detlint: allow(D2) — per-entry removal; result independent of visit order
         self.edges.retain(|_, set| {
             set.remove(&node);
             !set.is_empty()
@@ -110,13 +111,14 @@ impl<N: Copy + Eq + Hash + Debug> WaitForGraph<N> {
     /// Total number of wait edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(HashSet::len).sum()
+        self.edges.values().map(HashSet::len).sum() // detlint: allow(D2) — order-free sum
     }
 
     /// Exhaustive cycle check (O(V·E)); used by tests to validate that the
     /// incremental `would_deadlock` gate keeps the graph acyclic.
     #[must_use]
     pub fn has_cycle(&self) -> bool {
+        // detlint: allow(D2) — existential check; result independent of visit order
         self.edges.keys().any(|&n| self.reaches_via_edges(n))
     }
 

@@ -131,6 +131,7 @@ impl ObsReport {
     /// Renders the report as aligned plain text (deterministic).
     #[must_use]
     pub fn render(&self) -> String {
+        const SHOWN: usize = 12;
         let mut out = String::new();
         let _ = writeln!(out, "events emitted      {:>10}", self.events);
         let _ = writeln!(out, "evicted from ring   {:>10}", self.dropped);
@@ -162,7 +163,6 @@ impl ObsReport {
             "per site ({} active):            events   commits    aborts   last_us",
             self.per_site.len()
         );
-        const SHOWN: usize = 12;
         for (site, s) in self.per_site.iter().take(SHOWN) {
             let _ = writeln!(
                 out,

@@ -104,7 +104,7 @@ impl Page {
     #[must_use]
     pub fn checksum(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &b in self.data.iter() {
+        for &b in &self.data {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }

@@ -10,8 +10,11 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> cargo clippy (warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> detlint (determinism & safety contract, see detlint.toml)"
+cargo run --release -q -p siteselect-lint --bin detlint -- check --workspace
+
+echo "==> cargo clippy (warnings are errors via [workspace.lints])"
+cargo clippy --workspace --all-targets
 
 echo "==> trace determinism (repro trace twice at one seed, byte-diff)"
 tracedir="$(mktemp -d)"
