@@ -7,34 +7,47 @@
 //!
 //! Targets: `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
 //! `figure5`, `table2`, `table3`, `table4`, `ablations`, `faults`,
-//! `trace`, `bench`, `all`.
+//! `trace`, `check`, `bench`, `all`.
 //! `--quick` shortens the simulated runs (coarser numbers, same shapes).
-//! `--clients N` overrides the Table 4 (or `faults` / `trace`) cluster size.
-//! `--jobs N` sets the sweep worker-thread count (0 or absent = one per
-//! core); results are merged in cell order, so output is byte-identical at
-//! every job count.
+//! `--clients N` overrides the Table 4 (or `faults` / `trace` / `check`)
+//! cluster size.
+//! `--jobs N` sets the sweep worker-thread count (absent = one per core;
+//! must be at least 1 when given); results are merged in cell order, so
+//! output is byte-identical at every job count.
 //! `bench` runs the regression-tracked benchmark suite and writes its
 //! JSON report to `--out FILE` (default `BENCH_sim.json`); with
 //! `--baseline FILE` it additionally compares against a previous report
 //! and fails on a missing benchmark or a >2x regression.
 //! `faults` is not part of `all`: it sweeps the fault-injection subsystem
 //! (crash/loss/slow-disk chaos) rather than a paper figure.
-//! `trace` runs one LS experiment with the event-tracing pipeline attached
-//! and writes `trace.jsonl` (one event per line) plus `trace.json` (Chrome
+//! `trace` runs one experiment with the event-tracing pipeline attached,
+//! judges the captured stream with the `siteselect-check` oracles, and
+//! writes `trace.jsonl` (one event per line) plus `trace.json` (Chrome
 //! `trace_event` format, loadable in chrome://tracing or Perfetto) to
-//! `--out DIR` (default `target/trace`); `--seed S` overrides the seed.
+//! `--out DIR` (default `target/trace`). `--system ce|cs|ls`,
+//! `--update F`, `--chaos F`, `--duration SECS`, `--warmup SECS` and
+//! `--seed S` select the run — the knobs a simcheck replay command passes.
 //! The files are byte-identical across runs at the same seed and options.
+//! `check` is the simcheck explorer: `--seeds N` randomized cases fanned
+//! across CE/CS/LS × update-rate × fault-profile cells, every run judged
+//! by the serializability, coherence and deadline-accounting oracles; a
+//! failing case is shrunk to a minimal reproducer. `--inject-violation
+//! serializability|coherence|deadline` instead feeds a known-bad synthetic
+//! history to the matching oracle and exits non-zero when (and only when)
+//! it fires — the self-test that proves the oracles are alive.
 
 use std::process::ExitCode;
 
 use siteselect_bench::repro_options;
+use siteselect_check::explore::{parse_system, ExploreOptions};
+use siteselect_check::synthetic::InjectKind;
 use siteselect_core::experiments::{
     cache_table, deadline_figure, fault_table, message_table, response_table, SweepOptions,
     FAULT_INTENSITIES, FIGURE_CLIENTS, TABLE_CLIENTS,
 };
 use siteselect_core::{run_experiment, run_experiment_traced};
 use siteselect_locks::protocol_costs;
-use siteselect_types::{ExperimentConfig, SystemKind};
+use siteselect_types::{ExperimentConfig, FaultConfig, SimDuration, SystemKind};
 
 /// Returns the value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -44,14 +57,115 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Strictly parses the value of `flag`: present-and-garbled (or missing
+/// its value) is an error, never a silent fallback.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(pos + 1) else {
+        return Err(format!("{flag} needs a value"));
+    };
+    raw.parse::<T>()
+        .map(Some)
+        .map_err(|e| format!("invalid value for {flag}: {raw:?} ({e})"))
+}
+
+/// Flags the oracle-judged runs (`trace`, `check`) accept on top of the
+/// shared `--clients` / `--seed` / `--jobs` ones.
+struct CheckFlags {
+    system: Option<SystemKind>,
+    update: Option<f64>,
+    chaos: Option<f64>,
+    duration: Option<u64>,
+    warmup: Option<u64>,
+    seeds: Option<u64>,
+    inject: Option<InjectKind>,
+}
+
+fn parse_check_flags(args: &[String]) -> Result<CheckFlags, String> {
+    let system = match flag_value(args, "--system") {
+        None => None,
+        Some(raw) => Some(
+            parse_system(raw).ok_or_else(|| format!("invalid value for --system: {raw:?} (expected ce, cs or ls)"))?,
+        ),
+    };
+    let update = parsed_flag::<f64>(args, "--update")?;
+    if let Some(u) = update {
+        if !(0.0..=1.0).contains(&u) {
+            return Err(format!("--update must be a fraction in [0, 1], got {u}"));
+        }
+    }
+    let chaos = parsed_flag::<f64>(args, "--chaos")?;
+    if let Some(c) = chaos {
+        if !(0.0..=16.0).contains(&c) {
+            return Err(format!("--chaos must be a non-negative intensity, got {c}"));
+        }
+    }
+    let duration = parsed_flag::<u64>(args, "--duration")?;
+    if duration == Some(0) {
+        return Err("--duration must be at least 1 second".into());
+    }
+    let warmup = parsed_flag::<u64>(args, "--warmup")?;
+    if let (Some(d), Some(w)) = (duration, warmup) {
+        if w >= d {
+            return Err(format!("--warmup ({w}s) must be shorter than --duration ({d}s)"));
+        }
+    }
+    let seeds = parsed_flag::<u64>(args, "--seeds")?;
+    if seeds == Some(0) {
+        return Err("--seeds must be at least 1".into());
+    }
+    let inject = match flag_value(args, "--inject-violation") {
+        None => None,
+        Some(raw) => Some(InjectKind::parse(raw).ok_or_else(|| {
+            format!("invalid value for --inject-violation: {raw:?} (expected serializability, coherence or deadline)")
+        })?),
+    };
+    Ok(CheckFlags {
+        system,
+        update,
+        chaos,
+        duration,
+        warmup,
+        seeds,
+        inject,
+    })
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("repro: {message}");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let clients_override = flag_value(&args, "--clients").and_then(|v| v.parse::<u16>().ok());
-    let seed_override = flag_value(&args, "--seed").and_then(|v| v.parse::<u64>().ok());
-    let jobs = flag_value(&args, "--jobs")
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(0);
+    let clients_override = match parsed_flag::<u16>(&args, "--clients") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if clients_override == Some(0) {
+        return usage_error("--clients must be at least 1");
+    }
+    let seed_override = match parsed_flag::<u64>(&args, "--seed") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let jobs = match parsed_flag::<usize>(&args, "--jobs") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if jobs == Some(0) {
+        return usage_error("--jobs must be at least 1; omit the flag to use one worker per core");
+    }
+    let check_flags = match parse_check_flags(&args) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
     let out_dir = flag_value(&args, "--out").unwrap_or("target/trace");
     let baseline = flag_value(&args, "--baseline");
     // A target is any token that is neither a flag nor a flag's value.
@@ -59,7 +173,21 @@ fn main() -> ExitCode {
         .iter()
         .enumerate()
         .filter(|(_, a)| {
-            matches!(a.as_str(), "--clients" | "--seed" | "--out" | "--jobs" | "--baseline")
+            matches!(
+                a.as_str(),
+                "--clients"
+                    | "--seed"
+                    | "--out"
+                    | "--jobs"
+                    | "--baseline"
+                    | "--system"
+                    | "--update"
+                    | "--chaos"
+                    | "--duration"
+                    | "--warmup"
+                    | "--seeds"
+                    | "--inject-violation"
+            )
         })
         .map(|(i, _)| i + 1)
         .collect();
@@ -71,7 +199,7 @@ fn main() -> ExitCode {
         .collect();
     let target = targets.first().copied().unwrap_or("all");
     let mut opts = repro_options(quick);
-    opts.jobs = jobs;
+    opts.jobs = jobs.unwrap_or(0);
 
     let result = match target {
         "table1" => table1(),
@@ -85,7 +213,14 @@ fn main() -> ExitCode {
         "table4" => table4(opts, clients_override.unwrap_or(100)),
         "ablations" => ablations(opts),
         "faults" => faults(opts, clients_override.unwrap_or(60)),
-        "trace" => trace(opts, clients_override.unwrap_or(20), seed_override, out_dir),
+        "trace" => trace(
+            opts,
+            clients_override.unwrap_or(20),
+            seed_override,
+            out_dir,
+            &check_flags,
+        ),
+        "check" => check(opts, clients_override, seed_override, &check_flags),
         "bench" => {
             let out = flag_value(&args, "--out").unwrap_or("BENCH_sim.json");
             bench_suite(out, baseline)
@@ -94,7 +229,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!("unknown target: {other}");
             eprintln!(
-                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace bench all"
+                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace check bench all"
             );
             return ExitCode::FAILURE;
         }
@@ -265,24 +400,36 @@ fn faults(opts: SweepOptions, clients: u16) -> Result<(), AnyError> {
     Ok(())
 }
 
-/// One traced LS run: emits the full event stream as JSONL and Chrome
-/// `trace_event` JSON, and prints the streaming observability report.
+/// One traced run: emits the full event stream as JSONL and Chrome
+/// `trace_event` JSON, prints the streaming observability report, and
+/// judges the captured stream with the `siteselect-check` oracles — so the
+/// replay command simcheck prints reproduces the violation it found.
 /// Deterministic: same seed and options give byte-identical files.
 fn trace(
     opts: SweepOptions,
     clients: u16,
     seed: Option<u64>,
     out_dir: &str,
+    flags: &CheckFlags,
 ) -> Result<(), AnyError> {
     let seed = seed.unwrap_or(opts.seed);
+    let system = flags.system.unwrap_or(SystemKind::LoadSharing);
+    let update = flags.update.unwrap_or(0.20);
+    let chaos = flags.chaos.unwrap_or(0.0);
     banner(&format!(
-        "Trace: LS-CS-RTDBS lifecycle trace ({clients} clients, 20% updates, seed {seed})"
+        "Trace: {system} lifecycle trace ({clients} clients, {}% updates, chaos {chaos}, seed {seed})",
+        update * 100.0
     ));
-    let mut cfg = ExperimentConfig::paper(SystemKind::LoadSharing, clients, 0.20);
-    cfg.runtime.duration = opts.duration;
-    cfg.runtime.warmup = opts.warmup;
+    let mut cfg = ExperimentConfig::paper(system, clients, update);
+    cfg.runtime.duration = flags
+        .duration
+        .map_or(opts.duration, SimDuration::from_secs);
+    cfg.runtime.warmup = flags.warmup.map_or(opts.warmup, SimDuration::from_secs);
     cfg.runtime.seed = seed;
-    let (metrics, trace) = run_experiment_traced(&cfg, 1 << 20)?;
+    if chaos > 0.0 {
+        cfg.faults = FaultConfig::chaos(chaos);
+    }
+    let (metrics, trace) = run_experiment_traced(&cfg, siteselect_check::TRACE_CAPACITY)?;
     std::fs::create_dir_all(out_dir)?;
     let jsonl_path = format!("{out_dir}/trace.jsonl");
     let chrome_path = format!("{out_dir}/trace.json");
@@ -296,7 +443,58 @@ fn trace(
         metrics.success_percent()
     );
     println!("wrote {jsonl_path} ({} records) and {chrome_path}", trace.records.len());
-    Ok(())
+    let warmup_end = siteselect_types::SimTime::ZERO + cfg.runtime.warmup;
+    match siteselect_check::check_trace(&trace, &metrics, warmup_end) {
+        Ok(()) => {
+            println!("oracles: serializability, coherence and deadline accounting all passed");
+            Ok(())
+        }
+        Err(v) => Err(v.to_string().into()),
+    }
+}
+
+/// The simcheck explorer (`repro check`): randomized schedule exploration
+/// across CE/CS/LS × update-rate × fault-profile cells, every run judged
+/// by all three oracles, failures shrunk to a minimal reproducer. With
+/// `--inject-violation`, instead feeds a known-bad synthetic history to
+/// the matching oracle and fails when it fires (proving it can).
+fn check(
+    opts: SweepOptions,
+    clients: Option<u16>,
+    base_seed: Option<u64>,
+    flags: &CheckFlags,
+) -> Result<(), AnyError> {
+    if let Some(kind) = flags.inject {
+        banner(&format!("Simcheck self-test: injected {} violation", kind.label()));
+        let v = siteselect_check::synthetic::prove_oracle_fires(kind)?.with_replay(format!(
+            "cargo run -p siteselect-bench --release --bin repro -- check --inject-violation {}",
+            kind.label()
+        ));
+        println!("oracle fired as it must on the known-bad history:");
+        return Err(v.to_string().into());
+    }
+    let defaults = ExploreOptions::default();
+    let explore_opts = ExploreOptions {
+        seeds: flags.seeds.unwrap_or(defaults.seeds),
+        jobs: opts.jobs,
+        base_seed: base_seed.unwrap_or(defaults.base_seed),
+        clients: clients.unwrap_or(defaults.clients),
+        duration: flags
+            .duration
+            .map_or(defaults.duration, SimDuration::from_secs),
+        warmup: flags.warmup.map_or(defaults.warmup, SimDuration::from_secs),
+    };
+    banner(&format!(
+        "Simcheck: {} randomized cases ({} clients each) under all three oracles",
+        explore_opts.seeds, explore_opts.clients
+    ));
+    let report = siteselect_check::explore::explore(&explore_opts);
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("simcheck found an oracle violation".into())
+    }
 }
 
 /// Runs the regression-tracked benchmark suite, writes the JSON report,

@@ -1,0 +1,245 @@
+//! Deadline-accounting oracle.
+//!
+//! Recounts the trace against the reported [`RunMetrics`]: every measured
+//! admission (`TxnSubmit` at or after `warmup_end`) must reach exactly one
+//! terminal disposition (`Outcome`), warm-up admissions must reach none,
+//! and the per-bucket recount — in-deadline commits, late commits, expiry,
+//! deadlock, subtask failure, shutdown, site crash — must equal the
+//! percentages the run reported. The one tolerated asymmetry: a site-crash
+//! outcome may lack a submit record, because arrivals at a crashed site and
+//! shipments lost to a crash are scored without ever being admitted.
+
+use std::collections::BTreeMap;
+
+use siteselect_core::RunMetrics;
+use siteselect_obs::{outcome_str, Event, TraceData};
+use siteselect_types::{AbortReason, SimTime, TransactionId, TxnOutcome};
+
+use crate::Violation;
+
+/// Recounts submit/outcome pairs and compares them with the reported
+/// metrics.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] for a transaction scored twice, a measured
+/// admission never scored, a warm-up admission scored, a non-crash outcome
+/// without an admission, or any recount/report bucket mismatch.
+pub fn check(
+    trace: &TraceData,
+    metrics: &RunMetrics,
+    warmup_end: SimTime,
+) -> Result<(), Violation> {
+    let mut submits: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut outcomes: BTreeMap<u64, TxnOutcome> = BTreeMap::new();
+    for rec in &trace.records {
+        match rec.event {
+            Event::TxnSubmit { txn, .. } => {
+                if let Some(first) = submits.insert(txn.as_u64(), rec.time) {
+                    fail!(
+                        "deadline",
+                        "{txn} was submitted twice (first at t={}us, again at t={}us)",
+                        first.as_micros(),
+                        rec.time.as_micros()
+                    );
+                }
+            }
+            Event::Outcome { txn, outcome } => {
+                if let Some(previous) = outcomes.insert(txn.as_u64(), outcome) {
+                    fail!(
+                        "deadline",
+                        "{txn} was scored twice: {} and then {} at t={}us — every \
+                         admitted transaction must end in exactly one bucket",
+                        outcome_str(previous),
+                        outcome_str(outcome),
+                        rec.time.as_micros()
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (&raw, &outcome) in &outcomes {
+        let txn = TransactionId::from_raw(raw);
+        match submits.get(&raw) {
+            Some(&at) if at >= warmup_end => {}
+            Some(&at) => fail!(
+                "deadline",
+                "warm-up transaction {txn} (submitted at t={}us, measurement opens \
+                 at t={}us) was scored {} — warm-up traffic must not be counted",
+                at.as_micros(),
+                warmup_end.as_micros(),
+                outcome_str(outcome)
+            ),
+            None => {
+                if outcome != TxnOutcome::Aborted(AbortReason::SiteCrash) {
+                    fail!(
+                        "deadline",
+                        "{txn} was scored {} but never submitted — only site-crash \
+                         losses may be scored without an admission record",
+                        outcome_str(outcome)
+                    );
+                }
+            }
+        }
+    }
+
+    for (&raw, &at) in &submits {
+        if at >= warmup_end && !outcomes.contains_key(&raw) {
+            fail!(
+                "deadline",
+                "measured transaction {} (submitted at t={}us) never reached a \
+                 terminal accounting state",
+                TransactionId::from_raw(raw),
+                at.as_micros()
+            );
+        }
+    }
+
+    let mut recount = RunMetrics::new(
+        metrics.system,
+        metrics.clients,
+        metrics.update_fraction,
+        metrics.seed,
+    );
+    for &outcome in outcomes.values() {
+        recount.record_outcome(outcome);
+    }
+    let buckets = [
+        ("measured", recount.measured, metrics.measured),
+        ("in-deadline commits", recount.in_time, metrics.in_time),
+        ("late commits", recount.failures.late, metrics.failures.late),
+        ("expired", recount.failures.expired, metrics.failures.expired),
+        ("deadlock", recount.failures.deadlock, metrics.failures.deadlock),
+        ("subtask", recount.failures.subtask, metrics.failures.subtask),
+        ("shutdown", recount.failures.shutdown, metrics.failures.shutdown),
+        (
+            "site-crash",
+            recount.failures.site_crash,
+            metrics.failures.site_crash,
+        ),
+    ];
+    for (label, counted, reported) in buckets {
+        if counted != reported {
+            fail!(
+                "deadline",
+                "recount mismatch in the {label} bucket: the trace accounts for \
+                 {counted} but the run reported {reported} (reported success \
+                 {:.2}% vs recounted {:.2}%)",
+                metrics.success_percent(),
+                recount.success_percent()
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_obs::EventSink;
+    use siteselect_types::{ClientId, SiteId, SystemKind};
+
+    const WARMUP: SimTime = SimTime::from_micros(100);
+
+    fn txn(seq: u64) -> TransactionId {
+        TransactionId::new(ClientId(0), seq)
+    }
+
+    fn emit(sink: &EventSink, at: u64, event: Event) {
+        sink.emit(SimTime::from_micros(at), SiteId::Server, move || event);
+    }
+
+    fn submit(id: TransactionId) -> Event {
+        Event::TxnSubmit {
+            txn: id,
+            deadline: SimTime::from_micros(10_000),
+            accesses: 1,
+        }
+    }
+
+    fn outcome(id: TransactionId, outcome: TxnOutcome) -> Event {
+        Event::Outcome { txn: id, outcome }
+    }
+
+    fn metrics_with(outcomes: &[TxnOutcome]) -> RunMetrics {
+        let mut m = RunMetrics::new(SystemKind::ClientServer, 2, 0.2, 0);
+        for &o in outcomes {
+            m.record_outcome(o);
+        }
+        m
+    }
+
+    #[test]
+    fn a_balanced_history_passes() {
+        let sink = EventSink::enabled(64);
+        emit(&sink, 50, submit(txn(1))); // warm-up: submitted, never scored
+        emit(&sink, 150, submit(txn(2)));
+        emit(&sink, 300, outcome(txn(2), TxnOutcome::Committed));
+        emit(&sink, 200, submit(txn(3)));
+        emit(&sink, 900, outcome(txn(3), TxnOutcome::CommittedLate));
+        let m = metrics_with(&[TxnOutcome::Committed, TxnOutcome::CommittedLate]);
+        assert!(check(&sink.finish().unwrap(), &m, WARMUP).is_ok());
+    }
+
+    #[test]
+    fn a_lost_measured_transaction_is_flagged() {
+        let sink = EventSink::enabled(64);
+        emit(&sink, 150, submit(txn(2)));
+        let m = metrics_with(&[]);
+        let v = check(&sink.finish().unwrap(), &m, WARMUP).unwrap_err();
+        assert_eq!(v.oracle, "deadline");
+        assert!(v.detail.contains("never reached a terminal"), "{v}");
+    }
+
+    #[test]
+    fn double_scoring_is_flagged() {
+        let sink = EventSink::enabled(64);
+        emit(&sink, 150, submit(txn(2)));
+        emit(&sink, 300, outcome(txn(2), TxnOutcome::Committed));
+        emit(&sink, 310, outcome(txn(2), TxnOutcome::CommittedLate));
+        let m = metrics_with(&[TxnOutcome::Committed, TxnOutcome::CommittedLate]);
+        let v = check(&sink.finish().unwrap(), &m, WARMUP).unwrap_err();
+        assert!(v.detail.contains("scored twice"), "{v}");
+    }
+
+    #[test]
+    fn scoring_warmup_traffic_is_flagged() {
+        let sink = EventSink::enabled(64);
+        emit(&sink, 50, submit(txn(1)));
+        emit(&sink, 300, outcome(txn(1), TxnOutcome::Committed));
+        let m = metrics_with(&[TxnOutcome::Committed]);
+        let v = check(&sink.finish().unwrap(), &m, WARMUP).unwrap_err();
+        assert!(v.detail.contains("warm-up"), "{v}");
+    }
+
+    #[test]
+    fn phantom_outcomes_are_flagged_unless_site_crash() {
+        let sink = EventSink::enabled(64);
+        emit(&sink, 300, outcome(txn(9), TxnOutcome::Committed));
+        let m = metrics_with(&[TxnOutcome::Committed]);
+        let v = check(&sink.finish().unwrap(), &m, WARMUP).unwrap_err();
+        assert!(v.detail.contains("never submitted"), "{v}");
+
+        let sink = EventSink::enabled(64);
+        emit(
+            &sink,
+            300,
+            outcome(txn(9), TxnOutcome::Aborted(AbortReason::SiteCrash)),
+        );
+        let m = metrics_with(&[TxnOutcome::Aborted(AbortReason::SiteCrash)]);
+        assert!(check(&sink.finish().unwrap(), &m, WARMUP).is_ok());
+    }
+
+    #[test]
+    fn a_cooked_report_is_caught_by_the_recount() {
+        let sink = EventSink::enabled(64);
+        emit(&sink, 150, submit(txn(2)));
+        emit(&sink, 900, outcome(txn(2), TxnOutcome::CommittedLate));
+        // The report claims the late commit was in time.
+        let m = metrics_with(&[TxnOutcome::Committed]);
+        let v = check(&sink.finish().unwrap(), &m, WARMUP).unwrap_err();
+        assert!(v.detail.contains("recount mismatch"), "{v}");
+    }
+}

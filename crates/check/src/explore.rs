@@ -1,0 +1,425 @@
+//! `simcheck`: randomized schedule exploration with shrinking.
+//!
+//! The explorer fans seeds across a fixed cell matrix — system (CE / CS /
+//! LS) × update rate × fault profile — runs every case under all three
+//! oracles, and on the first failure (lowest case index, so the outcome is
+//! identical at every `--jobs` count) greedily shrinks the case to the
+//! smallest client count, run length, and fault profile that still fails.
+//! Everything is deterministic: the same seeds produce the same report
+//! byte-for-byte regardless of worker count, and every reported failure
+//! carries a replayable `repro trace` command.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use siteselect_core::experiments::effective_jobs;
+use siteselect_core::RunMetrics;
+use siteselect_types::{ExperimentConfig, FaultConfig, SimDuration, SystemKind};
+
+use crate::{check_config, Violation};
+
+/// Default base seed for the explorer (`simcheck` in leetspeak-adjacent
+/// hex); case `i` runs at `base_seed + i`.
+pub const DEFAULT_BASE_SEED: u64 = 0x51AC_0C43;
+
+/// One cell of the exploration matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// System under test.
+    pub system: SystemKind,
+    /// Per-access update probability.
+    pub update_fraction: f64,
+    /// `FaultConfig::chaos` intensity; `0.0` means faults off.
+    pub chaos_intensity: f64,
+}
+
+/// The fixed exploration matrix: 3 systems × 2 update rates × 3 fault
+/// profiles = 18 cells. Case `i` lands in cell `i % 18`.
+#[must_use]
+pub fn matrix() -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(18);
+    for &system in &SystemKind::ALL {
+        for &update_fraction in &[0.05, 0.20] {
+            for &chaos_intensity in &[0.0, 0.5, 1.0] {
+                cells.push(Cell {
+                    system,
+                    update_fraction,
+                    chaos_intensity,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Everything needed to rebuild one explored run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseSpec {
+    /// The matrix cell.
+    pub cell: Cell,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Cluster size.
+    pub clients: u16,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Warm-up cut before measurement opens.
+    pub warmup: SimDuration,
+}
+
+impl CaseSpec {
+    /// The experiment configuration this case runs.
+    #[must_use]
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg =
+            ExperimentConfig::paper(self.cell.system, self.clients, self.cell.update_fraction);
+        cfg.runtime.duration = self.duration;
+        cfg.runtime.warmup = self.warmup;
+        cfg.runtime.seed = self.seed;
+        if self.cell.chaos_intensity > 0.0 {
+            cfg.faults = FaultConfig::chaos(self.cell.chaos_intensity);
+        }
+        cfg
+    }
+
+    /// A shell command that replays this exact run with tracing attached
+    /// and the oracles re-judging it.
+    #[must_use]
+    pub fn replay_command(&self) -> String {
+        let mut cmd = format!(
+            "cargo run -p siteselect-bench --release --bin repro -- trace \
+             --system {} --clients {} --update {} --seed {} --duration {} --warmup {}",
+            system_flag(self.cell.system),
+            self.clients,
+            self.cell.update_fraction,
+            self.seed,
+            self.duration.as_micros() / 1_000_000,
+            self.warmup.as_micros() / 1_000_000,
+        );
+        if self.cell.chaos_intensity > 0.0 {
+            cmd.push_str(&format!(" --chaos {}", self.cell.chaos_intensity));
+        }
+        cmd
+    }
+
+    /// Runs the case under all three oracles, attaching the replay command
+    /// to any violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] an oracle detects.
+    pub fn run(&self) -> Result<RunMetrics, Violation> {
+        check_config(&self.config()).map_err(|v| v.with_replay(self.replay_command()))
+    }
+}
+
+/// Short CLI label for a system (`ce` / `cs` / `ls`).
+#[must_use]
+pub fn system_flag(system: SystemKind) -> &'static str {
+    match system {
+        SystemKind::Centralized => "ce",
+        SystemKind::ClientServer => "cs",
+        SystemKind::LoadSharing => "ls",
+    }
+}
+
+/// Parses a CLI system label (`ce` / `cs` / `ls`, case-insensitive).
+#[must_use]
+pub fn parse_system(label: &str) -> Option<SystemKind> {
+    match label.to_ascii_lowercase().as_str() {
+        "ce" | "centralized" => Some(SystemKind::Centralized),
+        "cs" | "clientserver" | "client-server" => Some(SystemKind::ClientServer),
+        "ls" | "loadsharing" | "load-sharing" => Some(SystemKind::LoadSharing),
+        _ => None,
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Number of (cell, seed) cases to run.
+    pub seeds: u64,
+    /// Worker threads; `0` means one per core.
+    pub jobs: usize,
+    /// Seed of case 0; case `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Cluster size of every explored case.
+    pub clients: u16,
+    /// Run length of every explored case.
+    pub duration: SimDuration,
+    /// Warm-up of every explored case.
+    pub warmup: SimDuration,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            seeds: 54,
+            jobs: 0,
+            base_seed: DEFAULT_BASE_SEED,
+            clients: 8,
+            duration: SimDuration::from_secs(150),
+            warmup: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// A minimized failure: the original failing case and its shrunk form.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The case the explorer first caught.
+    pub original: CaseSpec,
+    /// The smallest case the shrinker still saw fail.
+    pub shrunk: CaseSpec,
+    /// The violation the shrunk case produces.
+    pub violation: Violation,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: u32,
+}
+
+/// The explorer's result.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Cases run before stopping (all of them when everything passed).
+    pub cases_run: u64,
+    /// Transactions measured across all passing cases.
+    pub measured_total: u64,
+    /// The minimized failure, if any case failed.
+    pub failure: Option<Failure>,
+}
+
+impl ExploreReport {
+    /// True when every explored case passed every oracle.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Renders the report (the `repro check` output body).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match &self.failure {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "simcheck: {} cases passed serializability, coherence and \
+                     deadline-accounting oracles ({} measured transactions recounted)",
+                    self.cases_run, self.measured_total
+                );
+            }
+            Some(f) => {
+                let _ = writeln!(out, "simcheck: FAILED after {} cases", self.cases_run);
+                let _ = writeln!(
+                    out,
+                    "  original: {} {} clients seed {} update {} chaos {} duration {}s",
+                    system_flag(f.original.cell.system),
+                    f.original.clients,
+                    f.original.seed,
+                    f.original.cell.update_fraction,
+                    f.original.cell.chaos_intensity,
+                    f.original.duration.as_micros() / 1_000_000,
+                );
+                let _ = writeln!(
+                    out,
+                    "  shrunk ({} steps): {} {} clients seed {} update {} chaos {} duration {}s",
+                    f.shrink_steps,
+                    system_flag(f.shrunk.cell.system),
+                    f.shrunk.clients,
+                    f.shrunk.seed,
+                    f.shrunk.cell.update_fraction,
+                    f.shrunk.cell.chaos_intensity,
+                    f.shrunk.duration.as_micros() / 1_000_000,
+                );
+                let _ = writeln!(out, "  {}", f.violation);
+            }
+        }
+        out
+    }
+}
+
+/// Runs the explorer: `opts.seeds` cases across the matrix, in parallel,
+/// then shrinks the lowest-index failure (if any).
+#[must_use]
+pub fn explore(opts: &ExploreOptions) -> ExploreReport {
+    let cells = matrix();
+    let cases: Vec<CaseSpec> = (0..opts.seeds)
+        .map(|i| CaseSpec {
+            cell: cells[usize::try_from(i).unwrap_or(usize::MAX) % cells.len()],
+            seed: opts.base_seed.wrapping_add(i),
+            clients: opts.clients,
+            duration: opts.duration,
+            warmup: opts.warmup,
+        })
+        .collect();
+
+    // The parallel map mirrors `experiments::run_many`: workers pull case
+    // indices from a shared counter and results are merged into
+    // index-ordered slots, so the outcome is identical at every job count.
+    let jobs = effective_jobs(opts.jobs, cases.len());
+    let mut slots: Vec<Option<Result<RunMetrics, Violation>>> = Vec::new();
+    if jobs <= 1 {
+        slots.extend(cases.iter().map(|case| Some(case.run())));
+    } else {
+        slots.resize(cases.len(), None);
+        let next = AtomicUsize::new(0);
+        let merged: Mutex<Vec<(usize, Result<RunMetrics, Violation>)>> =
+            Mutex::new(Vec::with_capacity(cases.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cases.len() {
+                            break;
+                        }
+                        local.push((i, cases[i].run()));
+                    }
+                    merged.lock().expect("worker panicked").extend(local);
+                });
+            }
+        });
+        for (i, result) in merged.into_inner().expect("worker panicked") {
+            slots[i] = Some(result);
+        }
+    }
+
+    let mut measured_total = 0;
+    for (i, slot) in slots.iter().enumerate() {
+        match slot.as_ref().expect("every case ran") {
+            Ok(metrics) => measured_total += metrics.measured,
+            Err(violation) => {
+                let original = cases[i];
+                let (shrunk, violation, shrink_steps) = shrink(original, violation.clone());
+                return ExploreReport {
+                    cases_run: opts.seeds,
+                    measured_total,
+                    failure: Some(Failure {
+                        original,
+                        shrunk,
+                        violation,
+                        shrink_steps,
+                    }),
+                };
+            }
+        }
+    }
+    ExploreReport {
+        cases_run: opts.seeds,
+        measured_total,
+        failure: None,
+    }
+}
+
+/// Greedy deterministic shrinker: repeatedly tries, in a fixed order,
+/// halving the client count, dropping one client, halving the run length,
+/// and weakening the fault profile — keeping any reduction that still
+/// fails — until no step applies. Sequential, so its result is independent
+/// of the explorer's `--jobs`.
+fn shrink(case: CaseSpec, violation: Violation) -> (CaseSpec, Violation, u32) {
+    let mut best = case;
+    let mut last = violation;
+    let mut steps = 0;
+    loop {
+        let mut candidates: Vec<CaseSpec> = Vec::new();
+        if best.clients > 1 {
+            let mut c = best;
+            c.clients = (best.clients / 2).max(1);
+            candidates.push(c);
+            let mut c = best;
+            c.clients = best.clients - 1;
+            candidates.push(c);
+        }
+        let half = SimDuration::from_micros(best.duration.as_micros() / 2);
+        if half.as_micros() >= best.warmup.as_micros() * 2 {
+            let mut c = best;
+            c.duration = half;
+            candidates.push(c);
+        }
+        if best.cell.chaos_intensity > 0.0 {
+            let mut c = best;
+            c.cell.chaos_intensity = if best.cell.chaos_intensity > 0.5 { 0.5 } else { 0.0 };
+            candidates.push(c);
+        }
+        let mut reduced = false;
+        for candidate in candidates {
+            if let Err(v) = candidate.run() {
+                best = candidate;
+                last = v;
+                steps += 1;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return (best, last, steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_matrix_covers_all_systems_and_profiles() {
+        let cells = matrix();
+        assert_eq!(cells.len(), 18);
+        for &system in &SystemKind::ALL {
+            assert!(cells
+                .iter()
+                .any(|c| c.system == system && c.chaos_intensity > 0.0));
+            assert!(cells
+                .iter()
+                .any(|c| c.system == system && c.chaos_intensity == 0.0));
+        }
+    }
+
+    #[test]
+    fn system_flags_round_trip() {
+        for &system in &SystemKind::ALL {
+            assert_eq!(parse_system(system_flag(system)), Some(system));
+        }
+        assert_eq!(parse_system("bogus"), None);
+    }
+
+    #[test]
+    fn replay_commands_name_every_knob() {
+        let case = CaseSpec {
+            cell: Cell {
+                system: SystemKind::LoadSharing,
+                update_fraction: 0.20,
+                chaos_intensity: 0.5,
+            },
+            seed: 42,
+            clients: 6,
+            duration: SimDuration::from_secs(150),
+            warmup: SimDuration::from_secs(30),
+        };
+        let cmd = case.replay_command();
+        assert!(cmd.contains("--system ls"), "{cmd}");
+        assert!(cmd.contains("--clients 6"), "{cmd}");
+        assert!(cmd.contains("--seed 42"), "{cmd}");
+        assert!(cmd.contains("--chaos 0.5"), "{cmd}");
+        assert!(cmd.contains("--duration 150"), "{cmd}");
+    }
+
+    #[test]
+    fn a_small_exploration_passes_and_is_jobs_invariant() {
+        let opts = ExploreOptions {
+            seeds: 6,
+            jobs: 1,
+            clients: 4,
+            duration: SimDuration::from_secs(120),
+            warmup: SimDuration::from_secs(30),
+            ..ExploreOptions::default()
+        };
+        let sequential = explore(&opts);
+        assert!(sequential.passed(), "{}", sequential.render());
+        let parallel = explore(&ExploreOptions { jobs: 3, ..opts });
+        assert_eq!(sequential.render(), parallel.render());
+        assert_eq!(sequential.measured_total, parallel.measured_total);
+    }
+}

@@ -1,0 +1,313 @@
+//! Conflict-graph serializability oracle.
+//!
+//! Replays `LockHeld` / `UnitEnd` events into per-unit *lock episodes*: the
+//! interval from a unit's first grant on an object to its terminal event
+//! (strict 2PL releases everything at the end). Committed episodes are then
+//! pairwise compared per object:
+//!
+//! * Disjoint conflicting episodes yield a precedence edge from the earlier
+//!   unit to the later one (commit order is the serialization order under
+//!   2PL).
+//! * *Overlapping* conflicting episodes — two units simultaneously holding
+//!   incompatible locks on one object — yield edges in both directions,
+//!   because neither order serializes them. That immediately forms a
+//!   2-cycle, which is exactly how a locking bug surfaces here.
+//!
+//! A shared hold that is later upgraded keeps two timestamps: shared-since
+//! and exclusive-since. Only the exclusive portion `[x_since, end]`
+//! conflicts with other readers, so a legal `S …upgrade… X` sequence is not
+//! misread as a write overlapping earlier readers.
+
+use std::collections::BTreeMap;
+
+use siteselect_obs::{Event, TraceData};
+use siteselect_types::{ObjectId, SimTime, TransactionId};
+
+use crate::Violation;
+
+/// One unit's hold on one object.
+#[derive(Debug, Clone, Copy)]
+struct Hold {
+    /// First grant (shared or exclusive) on the object.
+    since: SimTime,
+    /// First exclusive grant, if the unit ever wrote the object.
+    x_since: Option<SimTime>,
+}
+
+/// A committed execution unit: its lock episode snapshot at commit.
+#[derive(Debug)]
+struct Unit {
+    id: TransactionId,
+    end: SimTime,
+    holds: Vec<(ObjectId, Hold)>,
+}
+
+/// Checks that committed lock episodes form an acyclic conflict graph.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the cycle (and a witness object for its
+/// first edge) when the committed history is not conflict-serializable.
+pub fn check(trace: &TraceData) -> Result<(), Violation> {
+    let mut current: BTreeMap<u64, BTreeMap<ObjectId, Hold>> = BTreeMap::new();
+    let mut committed: Vec<Unit> = Vec::new();
+    for rec in &trace.records {
+        match rec.event {
+            Event::LockHeld {
+                txn,
+                object,
+                exclusive,
+            } => {
+                let episode = current.entry(txn.as_u64()).or_default();
+                let hold = episode.entry(object).or_insert(Hold {
+                    since: rec.time,
+                    x_since: None,
+                });
+                if exclusive && hold.x_since.is_none() {
+                    hold.x_since = Some(rec.time);
+                }
+            }
+            Event::UnitEnd { txn, committed: ok } => {
+                // An aborted or shipped-away episode releases its locks and
+                // leaves no committed trace; the same unit id may open a
+                // fresh episode later (remote re-execution after a ship).
+                if let Some(episode) = current.remove(&txn.as_u64()) {
+                    if ok {
+                        committed.push(Unit {
+                            id: txn,
+                            end: rec.time,
+                            holds: episode.into_iter().collect(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Per-object instance lists drive the pairwise conflict scan.
+    let mut per_object: BTreeMap<ObjectId, Vec<(usize, Hold)>> = BTreeMap::new();
+    for (idx, unit) in committed.iter().enumerate() {
+        for &(object, hold) in &unit.holds {
+            per_object.entry(object).or_default().push((idx, hold));
+        }
+    }
+
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); committed.len()];
+    for (&object, instances) in &per_object {
+        for i in 0..instances.len() {
+            for j in (i + 1)..instances.len() {
+                let (a_idx, a) = instances[i];
+                let (b_idx, b) = instances[j];
+                if a.x_since.is_none() && b.x_since.is_none() {
+                    continue; // read-read: no conflict
+                }
+                let (end_a, end_b) = (committed[a_idx].end, committed[b_idx].end);
+                // The conflicting portion of a writer is [x_since, end]; it
+                // clashes with the whole episode [since, end] of the other.
+                let overlap = a.x_since.is_some_and(|x| x < end_b && b.since < end_a)
+                    || b.x_since.is_some_and(|x| x < end_a && a.since < end_b);
+                if overlap {
+                    let _ = object;
+                    adj[a_idx].push(b_idx);
+                    adj[b_idx].push(a_idx);
+                } else if (end_a, committed[a_idx].id.as_u64())
+                    < (end_b, committed[b_idx].id.as_u64())
+                {
+                    adj[a_idx].push(b_idx);
+                } else {
+                    adj[b_idx].push(a_idx);
+                }
+            }
+        }
+    }
+    for edges in &mut adj {
+        edges.sort_unstable();
+        edges.dedup();
+    }
+
+    if let Some(cycle) = find_cycle(&adj) {
+        let names: Vec<String> = cycle.iter().map(|&i| committed[i].id.to_string()).collect();
+        let witness = witness_object(&per_object, cycle[0], cycle[1]);
+        fail!(
+            "serializability",
+            "committed units form a conflict cycle {} -> {} (object {witness}: \
+             conflicting lock episodes cannot be serialized in either order)",
+            names.join(" -> "),
+            names[0]
+        );
+    }
+    Ok(())
+}
+
+/// An object on which two units of the cycle actually conflict, for the
+/// diagnostic. Falls back to `ObjectId(0)`'s display if the pair shares no
+/// object (cannot happen for adjacent cycle members).
+fn witness_object(
+    per_object: &BTreeMap<ObjectId, Vec<(usize, Hold)>>,
+    a: usize,
+    b: usize,
+) -> ObjectId {
+    for (&object, instances) in per_object {
+        let hold = |idx: usize| instances.iter().find(|&&(i, _)| i == idx).map(|&(_, h)| h);
+        if let (Some(ha), Some(hb)) = (hold(a), hold(b)) {
+            if ha.x_since.is_some() || hb.x_since.is_some() {
+                return object;
+            }
+        }
+    }
+    ObjectId(0)
+}
+
+/// Iterative three-color DFS; returns the node sequence of the first cycle
+/// found, in deterministic (index) order.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; adj.len()];
+    for start in 0..adj.len() {
+        if color[start] != WHITE {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < adj[node].len() {
+                let succ = adj[node][*next];
+                *next += 1;
+                match color[succ] {
+                    WHITE => {
+                        color[succ] = GRAY;
+                        stack.push((succ, 0));
+                    }
+                    GRAY => {
+                        let pos = stack
+                            .iter()
+                            .position(|&(n, _)| n == succ)
+                            .expect("gray node is on the DFS path");
+                        return Some(stack[pos..].iter().map(|&(n, _)| n).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siteselect_obs::EventSink;
+    use siteselect_types::{ClientId, SimTime, SiteId};
+
+    fn unit(client: u16, seq: u64) -> TransactionId {
+        TransactionId::new(ClientId(client), seq)
+    }
+
+    fn emit(sink: &EventSink, at: u64, event: Event) {
+        sink.emit(SimTime::from_micros(at), SiteId::Server, move || event);
+    }
+
+    fn held(txn: TransactionId, object: u32, exclusive: bool) -> Event {
+        Event::LockHeld {
+            txn,
+            object: ObjectId(object),
+            exclusive,
+        }
+    }
+
+    fn end(txn: TransactionId, committed: bool) -> Event {
+        Event::UnitEnd { txn, committed }
+    }
+
+    #[test]
+    fn disjoint_conflicting_episodes_pass() {
+        let sink = EventSink::enabled(64);
+        let (a, b) = (unit(0, 1), unit(1, 1));
+        emit(&sink, 10, held(a, 7, true));
+        emit(&sink, 20, end(a, true));
+        emit(&sink, 20, held(b, 7, true));
+        emit(&sink, 30, end(b, true));
+        assert!(check(&sink.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn overlapping_exclusive_episodes_form_a_cycle() {
+        let sink = EventSink::enabled(64);
+        let (a, b) = (unit(0, 1), unit(1, 1));
+        emit(&sink, 10, held(a, 7, true));
+        emit(&sink, 15, held(b, 7, true));
+        emit(&sink, 20, end(a, true));
+        emit(&sink, 25, end(b, true));
+        let v = check(&sink.finish().unwrap()).unwrap_err();
+        assert_eq!(v.oracle, "serializability");
+        assert!(v.detail.contains("conflict cycle"), "{v}");
+    }
+
+    #[test]
+    fn overlapping_shared_episodes_are_fine() {
+        let sink = EventSink::enabled(64);
+        let (a, b) = (unit(0, 1), unit(1, 1));
+        emit(&sink, 10, held(a, 7, false));
+        emit(&sink, 15, held(b, 7, false));
+        emit(&sink, 20, end(a, true));
+        emit(&sink, 25, end(b, true));
+        assert!(check(&sink.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn upgrade_after_reader_commits_is_not_backdated() {
+        // a reads from t=10; b reads [12, 20]; a upgrades to X at t=25 once
+        // b is gone. The X interval must start at 25, not at 10 — otherwise
+        // this legal schedule would be flagged as a write/read overlap.
+        let sink = EventSink::enabled(64);
+        let (a, b) = (unit(0, 1), unit(1, 1));
+        emit(&sink, 10, held(a, 7, false));
+        emit(&sink, 12, held(b, 7, false));
+        emit(&sink, 20, end(b, true));
+        emit(&sink, 25, held(a, 7, true));
+        emit(&sink, 30, end(a, true));
+        assert!(check(&sink.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn upgrade_overlapping_a_reader_is_flagged() {
+        let sink = EventSink::enabled(64);
+        let (a, b) = (unit(0, 1), unit(1, 1));
+        emit(&sink, 10, held(a, 7, false));
+        emit(&sink, 12, held(b, 7, false));
+        emit(&sink, 15, held(a, 7, true)); // upgrade while b still reads
+        emit(&sink, 20, end(b, true));
+        emit(&sink, 25, end(a, true));
+        assert!(check(&sink.finish().unwrap()).is_err());
+    }
+
+    #[test]
+    fn aborted_episodes_never_conflict() {
+        let sink = EventSink::enabled(64);
+        let (a, b) = (unit(0, 1), unit(1, 1));
+        emit(&sink, 10, held(a, 7, true));
+        emit(&sink, 15, held(b, 7, true));
+        emit(&sink, 20, end(a, false)); // aborted: discarded
+        emit(&sink, 25, end(b, true));
+        assert!(check(&sink.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn a_shipped_unit_may_reexecute_under_the_same_id() {
+        // Origin episode ends uncommitted (ship), the remote re-execution
+        // opens a fresh episode for the same unit id and commits.
+        let sink = EventSink::enabled(64);
+        let a = unit(0, 1);
+        emit(&sink, 10, held(a, 7, true));
+        emit(&sink, 12, end(a, false)); // shipped away
+        emit(&sink, 14, held(a, 9, true));
+        emit(&sink, 20, end(a, true));
+        assert!(check(&sink.finish().unwrap()).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Known-bad synthetic histories: one per oracle, used by unit tests and
+//! by `repro check --inject-violation` to prove each oracle actually fires
+//! (a checker that never fails checks nothing).
+
+use siteselect_core::RunMetrics;
+use siteselect_obs::{Event, EventSink, TraceData};
+use siteselect_types::{
+    ClientId, ObjectId, SimTime, SiteId, SystemKind, TransactionId, TxnOutcome,
+};
+
+use crate::{check_trace, Violation};
+
+/// Which oracle to feed a known-bad history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Two committed units with overlapping exclusive lock episodes.
+    Serializability,
+    /// Conflicting cached locks installed at two clients at once.
+    Coherence,
+    /// A measured admission that never reaches a terminal state.
+    Deadline,
+}
+
+impl InjectKind {
+    /// Every injectable kind, in CLI order.
+    pub const ALL: [InjectKind; 3] = [
+        InjectKind::Serializability,
+        InjectKind::Coherence,
+        InjectKind::Deadline,
+    ];
+
+    /// The CLI label (`serializability` / `coherence` / `deadline`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectKind::Serializability => "serializability",
+            InjectKind::Coherence => "coherence",
+            InjectKind::Deadline => "deadline",
+        }
+    }
+
+    /// Parses a CLI label.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<InjectKind> {
+        InjectKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label.to_ascii_lowercase())
+    }
+}
+
+fn emit(sink: &EventSink, at: u64, event: Event) {
+    sink.emit(SimTime::from_micros(at), SiteId::Server, move || event);
+}
+
+/// Builds the known-bad history for `kind` and returns it together with
+/// the metrics the run would (falsely) report and the warm-up cut.
+#[must_use]
+pub fn bad_history(kind: InjectKind) -> (TraceData, RunMetrics, SimTime) {
+    let sink = EventSink::enabled(64);
+    let mut metrics = RunMetrics::new(SystemKind::ClientServer, 2, 0.20, 0);
+    let warmup_end = SimTime::from_micros(100);
+    let a = TransactionId::new(ClientId(0), 1);
+    let b = TransactionId::new(ClientId(1), 1);
+    match kind {
+        InjectKind::Serializability => {
+            // a and b both hold the exclusive lock on obj#7 at t in
+            // [150, 200): neither commit order serializes them.
+            emit(&sink, 140, Event::LockHeld { txn: a, object: ObjectId(7), exclusive: true });
+            emit(&sink, 150, Event::LockHeld { txn: b, object: ObjectId(7), exclusive: true });
+            emit(&sink, 200, Event::UnitEnd { txn: a, committed: true });
+            emit(&sink, 210, Event::UnitEnd { txn: b, committed: true });
+        }
+        InjectKind::Coherence => {
+            // Client 1 is handed a shared copy while client 0 still holds
+            // an exclusive cached lock — a lost callback.
+            emit(
+                &sink,
+                140,
+                Event::CacheInstall { client: ClientId(0), object: ObjectId(7), exclusive: true },
+            );
+            emit(
+                &sink,
+                150,
+                Event::CacheInstall { client: ClientId(1), object: ObjectId(7), exclusive: false },
+            );
+        }
+        InjectKind::Deadline => {
+            // a is admitted inside the measurement window and the ledger
+            // claims one in-deadline commit — but the trace shows a never
+            // reached a terminal state.
+            emit(
+                &sink,
+                150,
+                Event::TxnSubmit { txn: a, deadline: SimTime::from_micros(900), accesses: 1 },
+            );
+            metrics.record_outcome(TxnOutcome::Committed);
+        }
+    }
+    (sink.finish().expect("sink enabled"), metrics, warmup_end)
+}
+
+/// Feeds the known-bad history for `kind` through [`check_trace`] and
+/// returns the violation the oracle must produce.
+///
+/// # Errors
+///
+/// Returns an error string if the oracle fails to fire (the self-test
+/// failing its own self-test).
+pub fn prove_oracle_fires(kind: InjectKind) -> Result<Violation, String> {
+    let (trace, metrics, warmup_end) = bad_history(kind);
+    match check_trace(&trace, &metrics, warmup_end) {
+        Err(v) if v.oracle == kind.label() => Ok(v),
+        Err(v) => Err(format!(
+            "injected a {} violation but the {} oracle fired instead: {v}",
+            kind.label(),
+            v.oracle
+        )),
+        Ok(()) => Err(format!(
+            "injected a {} violation but every oracle passed — the oracle is dead",
+            kind.label()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_oracle_fires_on_its_injected_violation() {
+        for kind in InjectKind::ALL {
+            let v = prove_oracle_fires(kind).expect("oracle must fire");
+            assert_eq!(v.oracle, kind.label());
+            assert!(
+                v.at.contains(".rs:"),
+                "diagnostic should carry file:line, got {}",
+                v.at
+            );
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in InjectKind::ALL {
+            assert_eq!(InjectKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(InjectKind::parse("nonsense"), None);
+    }
+}

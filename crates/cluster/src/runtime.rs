@@ -456,6 +456,39 @@ mod tests {
     }
 
     #[test]
+    fn chaos_outcome_counts_are_pinned() {
+        // Golden parity for the fault path (same idea as
+        // tests/golden_parity.rs): the termination draws and per-client
+        // quotas derive purely from the seed, so the submission counts of
+        // a chaotic run are exact. Wall-clock-dependent outcomes (in_time,
+        // late) are deliberately not pinned. Regenerate the literals here
+        // if the seed-derivation scheme changes intentionally.
+        let mut cfg = ClusterConfig {
+            clients: 6,
+            db_objects: 8,
+            server_buffer: 8,
+            client_cache: 8,
+            txns_per_client: 25,
+            chaos: ClusterChaos {
+                max_callback_delay: std::time::Duration::from_millis(1),
+                termination_probability: 0.5,
+            },
+            ..ClusterConfig::default()
+        };
+        cfg.workload.access_pattern.hot_region_objects = 8;
+        cfg.workload.update_fraction = 0.8;
+        cfg.workload.mean_objects_per_txn = 3.0;
+        cfg.workload.mean_interarrival = SimDuration::from_secs(1);
+        let report = Cluster::run(cfg).unwrap();
+        assert_eq!(report.terminated_clients, PINNED_TERMINATED);
+        assert_eq!(report.generated, PINNED_GENERATED);
+        assert!(report.is_balanced());
+    }
+
+    const PINNED_TERMINATED: u64 = 3;
+    const PINNED_GENERATED: u64 = 77;
+
+    #[test]
     fn traced_cluster_captures_merged_lifecycles() {
         let report = Cluster::run(ClusterConfig {
             clients: 3,

@@ -18,7 +18,7 @@ use siteselect_storage::DiskModel;
 use siteselect_locks::{Acquire, LockTable, QueueDiscipline, WaitForGraph};
 use siteselect_types::{
     AbortReason, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime, SiteId,
-    TransactionSpec, TxnOutcome,
+    TransactionId, TransactionSpec, TxnOutcome,
 };
 use siteselect_workload::Trace;
 
@@ -40,6 +40,7 @@ enum Ev {
     /// Commit result reaches the originating client; carries what is needed
     /// to score the transaction at delivery time.
     Result {
+        txn: TransactionId,
         measured: bool,
         deadline: SimTime,
         arrival: SimTime,
@@ -185,10 +186,11 @@ impl CentralizedSim {
             Ev::IoDone(key) => self.on_io_done(key),
             Ev::CpuTick(generation) => self.on_cpu_tick(generation),
             Ev::Result {
+                txn,
                 measured,
                 deadline,
                 arrival,
-            } => self.on_result(measured, deadline, arrival),
+            } => self.on_result(txn, measured, deadline, arrival),
             Ev::Sweep => self.on_sweep(),
         }
     }
@@ -217,7 +219,15 @@ impl CentralizedSim {
                 break;
             }
             match self.locks.request(access.object, key, mode, spec.deadline) {
-                Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {}
+                Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
+                    let (id, object, exclusive) =
+                        (spec.id, access.object, mode == LockMode::Exclusive);
+                    self.sink.emit(self.now, SiteId::Server, || Event::LockHeld {
+                        txn: id,
+                        object,
+                        exclusive,
+                    });
+                }
                 Acquire::Blocked { conflicts } => {
                     let (id, object) = (spec.id, access.object);
                     self.sink.emit(self.now, SiteId::Server, || Event::LockWait {
@@ -245,11 +255,19 @@ impl CentralizedSim {
         let id = txn.spec.id;
         self.sink
             .emit(self.now, SiteId::Server, || Event::Abort { txn: id, reason });
+        self.sink.emit(self.now, SiteId::Server, || Event::UnitEnd {
+            txn: id,
+            committed: false,
+        });
         self.release_locks(key);
         self.wfg.remove_node(key);
         self.inflight -= 1;
         self.send_result(key, &txn.spec, false);
         if self.measured(&txn.spec) {
+            self.sink.emit(self.now, SiteId::Server, || Event::Outcome {
+                txn: id,
+                outcome: TxnOutcome::Aborted(reason),
+            });
             self.metrics.record_outcome(TxnOutcome::Aborted(reason));
             self.metrics.blocking.push_duration(txn.blocked_total);
         }
@@ -287,6 +305,13 @@ impl CentralizedSim {
             return;
         };
         txn.blocked.retain(|&o| o != object);
+        let id = txn.spec.id;
+        let exclusive = txn.spec.required_mode(object) == Some(LockMode::Exclusive);
+        self.sink.emit(self.now, SiteId::Server, || Event::LockHeld {
+            txn: id,
+            object,
+            exclusive,
+        });
         // Refresh this waiter's wait-for edges against current holders.
         self.wfg.clear_waits(key);
         let still_blocked = txn.blocked.clone();
@@ -386,6 +411,10 @@ impl CentralizedSim {
             latency_us,
             slack_us,
         });
+        self.sink.emit(self.now, SiteId::Server, || Event::UnitEnd {
+            txn: id,
+            committed: true,
+        });
         self.release_locks(key);
         self.inflight -= 1;
         let spec = txn.spec.clone();
@@ -407,6 +436,7 @@ impl CentralizedSim {
             self.queue.push(
                 delivery,
                 Ev::Result {
+                    txn: spec.id,
                     measured: self.measured(spec),
                     deadline: spec.deadline,
                     arrival: spec.arrival,
@@ -415,7 +445,7 @@ impl CentralizedSim {
         }
     }
 
-    fn on_result(&mut self, measured: bool, deadline: SimTime, arrival: SimTime) {
+    fn on_result(&mut self, txn: TransactionId, measured: bool, deadline: SimTime, arrival: SimTime) {
         // Only commits route through here; aborts are recorded at abort
         // time. The deadline test uses the instant the user-facing client
         // learns the result.
@@ -425,6 +455,11 @@ impl CentralizedSim {
             } else {
                 TxnOutcome::CommittedLate
             };
+            self.sink
+                .emit(self.now, SiteId::Client(txn.origin()), || Event::Outcome {
+                    txn,
+                    outcome,
+                });
             self.metrics.record_outcome(outcome);
             self.metrics
                 .latency
@@ -435,6 +470,9 @@ impl CentralizedSim {
     fn finish(&mut self, spec: TransactionSpec, outcome: TxnOutcome) {
         self.send_result(spec.id.as_u64(), &spec, false);
         if self.measured(&spec) {
+            let id = spec.id;
+            self.sink
+                .emit(self.now, SiteId::Server, || Event::Outcome { txn: id, outcome });
             self.metrics.record_outcome(outcome);
         }
     }

@@ -6,7 +6,8 @@ use siteselect_locks::{Acquire, ForwardList};
 use siteselect_net::MessageKind;
 use siteselect_storage::CacheTier;
 use siteselect_types::{
-    AbortReason, AccessSpec, ClientId, LockMode, ObjectId, SimTime, SiteId, TxnOutcome,
+    AbortReason, AccessSpec, ClientId, LockMode, ObjectId, SimTime, SiteId, TransactionId,
+    TxnOutcome,
 };
 
 use super::{
@@ -72,8 +73,11 @@ impl ClientServerSim {
             // The originating workstation is crashed: the transaction is
             // lost with it (a dead site submits nothing).
             if self.measured_arrival(spec.arrival) {
-                self.metrics
-                    .record_outcome(TxnOutcome::Aborted(AbortReason::SiteCrash));
+                self.record_outcome_at(
+                    SiteId::Client(spec.origin),
+                    spec.id,
+                    TxnOutcome::Aborted(AbortReason::SiteCrash),
+                );
             }
             return;
         }
@@ -327,6 +331,15 @@ impl ClientServerSim {
         }
         match c.local_locks.request(object, key, mode, deadline) {
             Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
+                let unit = TransactionId::from_raw(key);
+                let (holder, exclusive) = (c.id, mode == LockMode::Exclusive);
+                self.sink.emit(self.now, SiteId::Client(holder), || {
+                    siteselect_obs::Event::LockHeld {
+                        txn: unit,
+                        object,
+                        exclusive,
+                    }
+                });
                 if promote {
                     let done = c.disk.schedule_io(self.now);
                     if let Some(run) = c.txns.get_mut(&key) {
@@ -430,6 +443,7 @@ impl ClientServerSim {
                 self.admit(ci, key, run);
             }
             Msg::TxnShipResult {
+                txn,
                 committed,
                 deadline,
                 arrival,
@@ -445,7 +459,7 @@ impl ClientServerSim {
                     } else {
                         TxnOutcome::Aborted(AbortReason::Expired)
                     };
-                    self.metrics.record_outcome(outcome);
+                    self.record_outcome_at(SiteId::Client(to), txn, outcome);
                     if outcome == TxnOutcome::Committed {
                         self.metrics
                             .latency
@@ -495,8 +509,17 @@ impl ClientServerSim {
         let c = &mut self.clients[ci];
         let fetch = c.fetches.remove(&object);
         let prior = c.cached_locks.get(object).copied();
-        c.cached_locks
-            .insert(object, prior.map_or(mode, |p| p.stronger(mode)));
+        let installed = prior.map_or(mode, |p| p.stronger(mode));
+        c.cached_locks.insert(object, installed);
+        let holder = c.id;
+        self.sink.emit(self.now, SiteId::Client(holder), || {
+            siteselect_obs::Event::CacheInstall {
+                client: holder,
+                object,
+                exclusive: installed.is_exclusive(),
+            }
+        });
+        let c = &mut self.clients[ci];
         if with_data {
             c.cache.insert(object);
             c.dirty.remove(object);
@@ -910,6 +933,16 @@ impl ClientServerSim {
                     to: SiteId::Client(dest),
                 }
             });
+        // The origin-side episode ends without committing anything: local
+        // locks are released here and the unit re-executes (as a fresh
+        // lock episode) at the destination.
+        self.sink
+            .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                siteselect_obs::Event::UnitEnd {
+                    txn,
+                    committed: false,
+                }
+            });
         self.detach_txn(ci, key, &run);
         let from = self.clients[ci].id;
         self.send_to_client(
@@ -1064,6 +1097,9 @@ impl ClientServerSim {
             // Grouped-lock hop: ship the object to the next live entry.
             if !has_data {
                 self.clients[ci].cached_locks.remove(object);
+                self.sink.emit(self.now, SiteId::Client(from), || {
+                    siteselect_obs::Event::CacheDrop { client: from, object }
+                });
                 self.send_to_server(
                     from,
                     MessageKind::CallbackAck,
@@ -1080,6 +1116,9 @@ impl ClientServerSim {
             self.clients[ci].cached_locks.remove(object);
             self.clients[ci].cache.invalidate(object);
             self.clients[ci].dirty.remove(object);
+            self.sink.emit(self.now, SiteId::Client(from), || {
+                siteselect_obs::Event::CacheDrop { client: from, object }
+            });
             // Skip entries whose deadline passed and (failure handling)
             // entries whose client is crashed — forwarding to a dead site
             // would strand the object.
@@ -1135,6 +1174,9 @@ impl ClientServerSim {
                 .cached_locks
                 .insert(object, LockMode::Shared);
             self.clients[ci].dirty.remove(object);
+            self.sink.emit(self.now, SiteId::Client(from), || {
+                siteselect_obs::Event::CacheDowngrade { client: from, object }
+            });
             self.send_to_server(
                 from,
                 MessageKind::ObjectReturn,
@@ -1149,6 +1191,9 @@ impl ClientServerSim {
             return;
         }
         self.clients[ci].cached_locks.remove(object);
+        self.sink.emit(self.now, SiteId::Client(from), || {
+            siteselect_obs::Event::CacheDrop { client: from, object }
+        });
         let send_data = held == Some(LockMode::Exclusive) && has_data;
         self.clients[ci].cache.invalidate(object);
         self.clients[ci].dirty.remove(object);
@@ -1203,6 +1248,15 @@ impl ClientServerSim {
                 .is_some_and(|m| m.covers(mode));
             if covered && c.cache.contains(object) {
                 let promote = c.cache.peek(object) == Some(CacheTier::Disk);
+                let unit = TransactionId::from_raw(key);
+                let (holder, exclusive) = (c.id, mode == LockMode::Exclusive);
+                self.sink.emit(self.now, SiteId::Client(holder), || {
+                    siteselect_obs::Event::LockHeld {
+                        txn: unit,
+                        object,
+                        exclusive,
+                    }
+                });
                 if promote {
                     let done = self.clients[ci].disk.schedule_io(self.now);
                     if let Some(run) = self.clients[ci].txns.get_mut(&key) {
@@ -1327,6 +1381,14 @@ impl ClientServerSim {
                 }
             }
         }
+        let unit = TransactionId::from_raw(key);
+        self.sink
+            .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                siteselect_obs::Event::UnitEnd {
+                    txn: unit,
+                    committed: true,
+                }
+            });
         self.detach_txn(ci, key, &run);
         // ATL bookkeeping for H1: the paper's "average execution time for
         // all completed transactions" — the CPU-resident span.
@@ -1358,7 +1420,11 @@ impl ClientServerSim {
                     } else {
                         TxnOutcome::CommittedLate
                     };
-                    self.metrics.record_outcome(outcome);
+                    self.record_outcome_at(
+                        SiteId::Client(self.clients[ci].id),
+                        run.spec.id,
+                        outcome,
+                    );
                     if committed {
                         self.metrics
                             .latency
@@ -1374,6 +1440,7 @@ impl ClientServerSim {
                     MessageKind::TxnShipResult,
                     0,
                     Msg::TxnShipResult {
+                        txn: run.spec.id,
                         committed,
                         deadline: run.spec.deadline,
                         arrival: run.spec.arrival,
@@ -1426,11 +1493,23 @@ impl ClientServerSim {
             .emit(self.now, SiteId::Client(self.clients[ci].id), || {
                 siteselect_obs::Event::Abort { txn, reason }
             });
+        let unit = TransactionId::from_raw(key);
+        self.sink
+            .emit(self.now, SiteId::Client(self.clients[ci].id), || {
+                siteselect_obs::Event::UnitEnd {
+                    txn: unit,
+                    committed: false,
+                }
+            });
         match run.kind {
             RunKind::Normal => {
                 self.inflight -= 1;
                 if measured {
-                    self.metrics.record_outcome(TxnOutcome::Aborted(reason));
+                    self.record_outcome_at(
+                        SiteId::Client(self.clients[ci].id),
+                        run.spec.id,
+                        TxnOutcome::Aborted(reason),
+                    );
                 }
             }
             RunKind::Shipped { origin } => {
@@ -1441,6 +1520,7 @@ impl ClientServerSim {
                     MessageKind::TxnShipResult,
                     0,
                     Msg::TxnShipResult {
+                        txn: run.spec.id,
                         committed: false,
                         deadline: run.spec.deadline,
                         arrival: run.spec.arrival,
@@ -1499,6 +1579,9 @@ impl ClientServerSim {
         for key in keys {
             self.kill_run_on_crash(ci, key);
         }
+        self.sink.emit(self.now, SiteId::Client(id), || {
+            siteselect_obs::Event::CacheWipe { client: id }
+        });
         let cfg = self.cfg.client;
         let c = &mut self.clients[ci];
         c.cached_locks.clear();
@@ -1533,12 +1616,23 @@ impl ClientServerSim {
                 );
             }
         }
+        let unit = TransactionId::from_raw(key);
+        let site = self.clients[ci].id;
+        self.sink.emit(self.now, SiteId::Client(site), || {
+            siteselect_obs::Event::UnitEnd {
+                txn: unit,
+                committed: false,
+            }
+        });
         match run.kind {
             RunKind::Normal => {
                 self.inflight -= 1;
                 if self.measured_arrival(run.spec.arrival) {
-                    self.metrics
-                        .record_outcome(TxnOutcome::Aborted(AbortReason::SiteCrash));
+                    self.record_outcome_at(
+                        SiteId::Client(site),
+                        run.spec.id,
+                        TxnOutcome::Aborted(AbortReason::SiteCrash),
+                    );
                 }
             }
             // The origin is still waiting; model its failure detector as a
@@ -1551,6 +1645,7 @@ impl ClientServerSim {
                     Ev::Deliver {
                         to: SiteDest::Client(origin),
                         msg: Msg::TxnShipResult {
+                            txn: run.spec.id,
                             committed: false,
                             deadline: run.spec.deadline,
                             arrival: run.spec.arrival,

@@ -32,8 +32,9 @@ use siteselect_obs::EventSink;
 use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::{ClientCache, DiskModel};
 use siteselect_types::{
-    AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, ObjectMap, ObjectSet,
-    SimDuration, SimTime, SystemKind, TransactionSpec,
+    AbortReason, AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, ObjectMap,
+    ObjectSet, SimDuration, SimTime, SiteId, SystemKind, TransactionId, TransactionSpec,
+    TxnOutcome,
 };
 use siteselect_workload::Trace;
 
@@ -138,6 +139,7 @@ pub(crate) enum Msg {
     /// Client → client (via directory): outcome of a shipped transaction,
     /// with what the origin needs to score it at delivery time.
     TxnShipResult {
+        txn: TransactionId,
         committed: bool,
         deadline: SimTime,
         arrival: SimTime,
@@ -668,21 +670,23 @@ impl ClientServerSim {
             Msg::TxnShip { spec } => {
                 self.inflight -= 1;
                 if self.measured_arrival(spec.arrival) {
-                    self.metrics
-                        .record_outcome(siteselect_types::TxnOutcome::Aborted(
-                            siteselect_types::AbortReason::SiteCrash,
-                        ));
+                    self.record_outcome_at(
+                        SiteId::Client(spec.origin),
+                        spec.id,
+                        TxnOutcome::Aborted(AbortReason::SiteCrash),
+                    );
                 }
             }
             // The origin can no longer learn the outcome (it crashed, or
             // the result was lost): settle the shipped transaction now.
-            Msg::TxnShipResult { arrival, .. } => {
+            Msg::TxnShipResult { txn, arrival, .. } => {
                 self.inflight -= 1;
                 if self.measured_arrival(arrival) {
-                    self.metrics
-                        .record_outcome(siteselect_types::TxnOutcome::Aborted(
-                            siteselect_types::AbortReason::SiteCrash,
-                        ));
+                    self.record_outcome_at(
+                        SiteId::Client(txn.origin()),
+                        txn,
+                        TxnOutcome::Aborted(AbortReason::SiteCrash),
+                    );
                 }
             }
             // The object died in transit: the chain is broken, so the
@@ -738,6 +742,20 @@ impl ClientServerSim {
 
     pub(crate) fn measured_arrival(&self, arrival: SimTime) -> bool {
         arrival >= self.warmup_end
+    }
+
+    /// Records a measured transaction outcome in the metrics and stamps a
+    /// matching `Outcome` record on the trace, so the deadline-accounting
+    /// oracle can recount the report from the event stream alone.
+    pub(crate) fn record_outcome_at(
+        &mut self,
+        site: SiteId,
+        txn: TransactionId,
+        outcome: TxnOutcome,
+    ) {
+        self.sink
+            .emit(self.now, site, || siteselect_obs::Event::Outcome { txn, outcome });
+        self.metrics.record_outcome(outcome);
     }
 
     /// Partitions a decomposable transaction's accesses by their current

@@ -3,9 +3,9 @@
 //! rounds, collection windows / forward lists, location & load queries, and
 //! the buffer/disk path that ships object payloads.
 
-use siteselect_locks::{Acquire, ForwardEntry, ForwardList, WindowOffer};
+use siteselect_locks::{Acquire, ForwardEntry, ForwardList, Waiter, WindowOffer};
 use siteselect_net::{Delivery, MessageKind};
-use siteselect_types::{ClientId, LockMode, ObjectId, SiteId, TransactionId};
+use siteselect_types::{AbortReason, ClientId, LockMode, ObjectId, SiteId, TransactionId};
 
 use super::{ClientServerSim, Ev, Msg, SiteDest, TKey, Want, WantInfo};
 
@@ -40,7 +40,7 @@ impl ClientServerSim {
                 for object in objects {
                     let (_, grants) = self.server.locks.cancel_wait(object, client);
                     self.server.waiting_wants.remove(object, client);
-                    self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+                    self.server_apply_grants(object, grants);
                 }
                 self.refresh_wfg(client);
             }
@@ -128,7 +128,10 @@ impl ClientServerSim {
                 return;
             }
         }
-        let holders = self.server.locks.holders(w.object);
+        // A travelling forward list leaves the lock table empty; the chain
+        // tail stands in as the holder so the request batches behind the
+        // chain instead of being granted against the in-flight copies.
+        let holders = self.with_routing_holders(w.object, self.server.locks.holders(w.object));
         let conflicting: Vec<ClientId> = holders
             .iter()
             .filter(|&&(h, m)| h != client && !m.compatible_with(w.mode))
@@ -140,11 +143,15 @@ impl ClientServerSim {
         // travelling forward list) are *batched* instead of queued — the
         // first conflicting request always goes through the plain callback
         // immediately, so grouping never delays the uncontended case.
+        // A routed object always batches: the server's copy is stale while
+        // the chain travels (a chain client may write), so nothing may be
+        // granted from it — not even to the chain's own tail, for whom
+        // `conflicting` filters to empty.
         let forward_eligible = ls
-            && !conflicting.is_empty()
             && (self.server.routing.contains(w.object)
-                || self.server.windows.is_open(w.object)
-                || self.server.callbacks.is_recalling(w.object));
+                || (!conflicting.is_empty()
+                    && (self.server.windows.is_open(w.object)
+                        || self.server.callbacks.is_recalling(w.object))));
         if forward_eligible {
             let entry = ForwardEntry {
                 client,
@@ -341,7 +348,7 @@ impl ClientServerSim {
         } else {
             self.server.locks.release(object, from)
         };
-        self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+        self.server_apply_grants(object, grants);
     }
 
     fn server_on_ack(&mut self, object: ObjectId, from: ClientId, had_copy: bool) {
@@ -350,7 +357,7 @@ impl ClientServerSim {
             siteselect_obs::Event::CallbackAcked { object, from }
         });
         let grants = self.server.locks.release(object, from);
-        self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+        self.server_apply_grants(object, grants);
         if !had_copy {
             // The recalled holder could not serve the forward list that
             // rode on the callback; the server serves it from its own copy.
@@ -361,12 +368,13 @@ impl ClientServerSim {
     }
 
     /// Completes grants that cascaded out of a release/downgrade/cancel.
-    pub(crate) fn server_apply_grants(&mut self, object: ObjectId, granted: Vec<ClientId>) {
-        for client in granted {
+    pub(crate) fn server_apply_grants(&mut self, object: ObjectId, granted: Vec<Waiter<ClientId>>) {
+        for w in granted {
+            let client = w.owner;
             let Some(info) = self.server.waiting_wants.remove(object, client) else {
-                // No want on file (cancelled or raced): release the lock.
-                let grants = self.server.locks.release(object, client);
-                self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+                // No want on file (cancelled or raced): undo the grant.
+                let grants = self.server_undo_grant(object, client, w.upgrade);
+                self.server_apply_grants(object, grants);
                 continue;
             };
             self.refresh_wfg(client);
@@ -375,12 +383,29 @@ impl ClientServerSim {
                 && info.deadline < self.now
             {
                 // §3.3: do not ship to a transaction that already missed.
-                let grants = self.server.locks.release(object, client);
+                let grants = self.server_undo_grant(object, client, w.upgrade);
                 self.server_reject(client, info.txn, true);
-                self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+                self.server_apply_grants(object, grants);
                 continue;
             }
             self.server_ship(client, vec![(object, info.mode, info.needs_data)]);
+        }
+    }
+
+    /// Takes back a cascaded grant that will never ship. An upgrade grant
+    /// converted the client's held shared lock in place, and the client
+    /// still caches that shared copy — so it reverts to shared; anything
+    /// else is released outright.
+    fn server_undo_grant(
+        &mut self,
+        object: ObjectId,
+        client: ClientId,
+        upgrade: bool,
+    ) -> Vec<Waiter<ClientId>> {
+        if upgrade {
+            self.server.locks.downgrade(object, client)
+        } else {
+            self.server.locks.release(object, client)
         }
     }
 
@@ -413,17 +438,7 @@ impl ClientServerSim {
         if still_busy {
             // The object is still travelling or being recalled for the
             // plain-path waiter: keep collecting until it comes home.
-            let mut reopen_close = None;
-            for e in list.entries().iter().copied() {
-                if let WindowOffer::Opened { closes_at } =
-                    self.server.windows.offer(object, e, self.now)
-                {
-                    reopen_close = Some(closes_at);
-                }
-            }
-            if let Some(at) = reopen_close {
-                self.queue.push(at, Ev::WindowClose { object });
-            }
+            self.server_reoffer_window(object, list);
             return;
         }
         if list.len() == 1 {
@@ -458,9 +473,6 @@ impl ClientServerSim {
                 // One recall carries the whole forward list; the holder
                 // ships the object down the chain and the last client
                 // returns it (2n+1 messages, §3.4).
-                self.server.routing.insert(object, list.clone());
-                let grants = self.server.locks.release(object, holder);
-                debug_assert!(grants.is_empty(), "no queue behind a routed object");
                 let delivery = self.fabric.try_send(
                     self.now,
                     SiteId::Server,
@@ -469,10 +481,20 @@ impl ClientServerSim {
                     0,
                 );
                 if delivery == Delivery::Dropped {
-                    // The chain never started: the stale routing entry
-                    // would otherwise shadow the object forever.
-                    self.server.routing.remove(object);
+                    // The chain never started, so the holder keeps its
+                    // lock — the table entry is what fences its cached
+                    // exclusive from later grants. A callback lease makes
+                    // the loss recoverable (a dead holder is reclaimed at
+                    // expiry); until then the batch keeps collecting.
+                    self.server
+                        .callbacks
+                        .begin_at(object, [holder], LockMode::Exclusive, self.now);
+                    self.server_reoffer_window(object, list);
+                    return;
                 }
+                self.server.routing.insert(object, list.clone());
+                let grants = self.server.locks.release(object, holder);
+                debug_assert!(grants.is_empty(), "no queue behind a routed object");
                 self.push_delivery(
                     delivery,
                     SiteDest::Client(holder),
@@ -486,23 +508,68 @@ impl ClientServerSim {
             Some(_) => {
                 // A holder remains but plain-path waiters are queued: let
                 // the callback complete and collect a little longer.
-                let mut reopen_close = None;
-                for e in list.entries().iter().copied() {
-                    if let WindowOffer::Opened { closes_at } =
-                        self.server.windows.offer(object, e, self.now)
-                    {
-                        reopen_close = Some(closes_at);
-                    }
-                }
-                if let Some(at) = reopen_close {
-                    self.queue.push(at, Ev::WindowClose { object });
-                }
+                self.server_reoffer_window(object, list);
             }
-            None => {
+            None if holders.is_empty() => {
                 // The object is home: serve the batch from the server's own
                 // copy as a client-to-client chain.
                 self.serve_list_from_server(object, list);
             }
+            None => {
+                // Shared cached copies remain. A batch of shared requests
+                // can be served alongside them, but an exclusive entry
+                // needs the cached copies called back first.
+                if list
+                    .entries()
+                    .iter()
+                    .all(|e| e.mode == LockMode::Shared)
+                {
+                    self.serve_list_from_server(object, list);
+                    return;
+                }
+                let targets = self.server.callbacks.begin_at(
+                    object,
+                    holders.iter().map(|&(h, _)| h),
+                    LockMode::Exclusive,
+                    self.now,
+                );
+                for t in targets {
+                    let delivery = self.fabric.try_send(
+                        self.now,
+                        SiteId::Server,
+                        SiteId::Client(t),
+                        MessageKind::Recall,
+                        0,
+                    );
+                    // A lost recall is recovered by the callback lease.
+                    self.push_delivery(
+                        delivery,
+                        SiteDest::Client(t),
+                        Msg::Recall {
+                            object,
+                            desired: LockMode::Exclusive,
+                            forward: None,
+                        },
+                    );
+                }
+                self.server_reoffer_window(object, list);
+            }
+        }
+    }
+
+    /// Puts a closed window's entries back into a fresh collection window
+    /// (the object is not yet servable) and schedules its close.
+    fn server_reoffer_window(&mut self, object: ObjectId, list: ForwardList) {
+        let mut reopen_close = None;
+        for e in list.entries().iter().copied() {
+            if let WindowOffer::Opened { closes_at } =
+                self.server.windows.offer(object, e, self.now)
+            {
+                reopen_close = Some(closes_at);
+            }
+        }
+        if let Some(at) = reopen_close {
+            self.queue.push(at, Ev::WindowClose { object });
         }
     }
 
@@ -632,7 +699,7 @@ impl ClientServerSim {
             self.refresh_wfg(client);
         }
         for (object, waiters) in grants {
-            self.server_apply_grants(object, waiters.iter().map(|w| w.owner).collect());
+            self.server_apply_grants(object, waiters);
         }
     }
 
@@ -660,7 +727,26 @@ impl ClientServerSim {
             c.cache.invalidate(object);
             c.dirty.remove(object);
             c.revokes.remove(&object);
-            self.server_apply_grants(object, grants.iter().map(|w| w.owner).collect());
+            self.sink.emit(self.now, SiteId::Server, || {
+                siteselect_obs::Event::CacheDrop {
+                    client: holder,
+                    object,
+                }
+            });
+            // The fence must also kill the holder's in-flight local users
+            // of the object: a zombie that already read the fenced copy
+            // would otherwise commit against locks the server has re-granted
+            // (its commit would fail the lease check in a real system).
+            let zombies: Vec<TKey> = self.clients[holder.index()]
+                .local_locks
+                .holders(object)
+                .into_iter()
+                .map(|(owner, _)| owner)
+                .collect();
+            for key in zombies {
+                self.abort_txn(holder.index(), key, AbortReason::SiteCrash);
+            }
+            self.server_apply_grants(object, grants);
         }
         // A forward chain whose every requester deadline has passed can no
         // longer terminate by itself (a crashed intermediary may have

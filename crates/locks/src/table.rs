@@ -42,6 +42,10 @@ pub struct Waiter<O> {
     pub mode: LockMode,
     /// Deadline of the requesting transaction (drives [`QueueDiscipline::Deadline`]).
     pub deadline: SimTime,
+    /// Set on a *granted* waiter whose grant converted the owner's held
+    /// shared lock in place. Undoing such a grant must downgrade back to
+    /// shared rather than release the entry outright.
+    pub upgrade: bool,
     seq: u64,
 }
 
@@ -209,6 +213,7 @@ impl<O: LockOwner> LockTable<O> {
                 owner,
                 mode,
                 deadline,
+                upgrade: false,
                 seq,
             };
             // Upgrades go to the front of their discipline class so the
@@ -233,6 +238,7 @@ impl<O: LockOwner> LockTable<O> {
             owner,
             mode,
             deadline,
+            upgrade: false,
             seq,
         };
         Self::insert_waiter(&mut entry.waiters, waiter, discipline, false);
@@ -433,7 +439,10 @@ impl<O: LockOwner> LockTable<O> {
                         }
                     }
                     entry.waiters.remove(0);
-                    granted.push(head);
+                    granted.push(Waiter {
+                        upgrade: true,
+                        ..head
+                    });
                     continue;
                 }
                 break;

@@ -42,6 +42,12 @@ struct FaultState {
     down: HashSet<SiteId>,
     dropped: u64,
     delayed: u64,
+    /// Last delivery instant per directed link. Jitter must not reorder a
+    /// link (channels are sessions): a later send arrives no earlier than
+    /// the deliveries before it. Without faults the medium is already FIFO
+    /// (per-link serialization plus constant latency), so this floor only
+    /// matters when jitter is injected.
+    last_delivery: HashMap<(SiteId, SiteId), SimTime>,
 }
 
 /// The cluster interconnect.
@@ -97,6 +103,7 @@ impl Fabric {
             down: HashSet::new(),
             dropped: 0,
             delayed: 0,
+            last_delivery: HashMap::new(),
         });
     }
 
@@ -107,6 +114,7 @@ impl Fabric {
             down: HashSet::new(),
             dropped: 0,
             delayed: 0,
+            last_delivery: HashMap::new(),
         })
     }
 
@@ -143,8 +151,9 @@ impl Fabric {
     /// Applies loss, crash-refusal and jitter to a computed delivery time.
     /// The frame has already occupied the wire — losses happen at the
     /// receiver, so a dropped message still pays transmission time and is
-    /// counted in the message statistics.
-    fn apply_faults(&mut self, to: SiteId, delivery: SimTime) -> Delivery {
+    /// counted in the message statistics. Delivered messages never overtake
+    /// an earlier delivery on the same directed link, even when jittered.
+    fn apply_faults(&mut self, from: SiteId, to: SiteId, delivery: SimTime) -> Delivery {
         let Some(state) = self.faults.as_mut() else {
             return Delivery::Delivered(delivery);
         };
@@ -160,20 +169,27 @@ impl Fabric {
                 .emit(delivery, to, || Event::MsgDropped { to });
             return Delivery::Dropped;
         }
+        let mut at = delivery;
         if !state.cfg.max_delay_jitter.is_zero() {
             let jitter =
                 SimDuration::from_micros(state.prng.below(state.cfg.max_delay_jitter.as_micros() + 1));
             if !jitter.is_zero() {
                 state.delayed += 1;
                 let jitter_us = jitter.as_micros();
-                self.sink.emit(delivery + jitter, to, || Event::MsgDelayed {
-                    to,
-                    jitter_us,
-                });
-                return Delivery::Delivered(delivery + jitter);
+                at = delivery + jitter;
+                self.sink
+                    .emit(at, to, || Event::MsgDelayed { to, jitter_us });
             }
         }
-        Delivery::Delivered(delivery)
+        // FIFO floor: a jittered predecessor on this link delays everything
+        // behind it rather than being overtaken (a recall must not pass the
+        // grant it revokes).
+        let link = (from, to);
+        if let Some(&floor) = state.last_delivery.get(&link) {
+            at = at.max(floor);
+        }
+        state.last_delivery.insert(link, at);
+        Delivery::Delivered(at)
     }
 
     /// Transmission time for `bytes` on the wire.
@@ -283,7 +299,7 @@ impl Fabric {
         objects: u32,
     ) -> Delivery {
         let delivery = self.send(now, from, to, kind, objects);
-        self.apply_faults(to, delivery)
+        self.apply_faults(from, to, delivery)
     }
 
     /// Fault-aware [`send_counted`](Self::send_counted); the whole batch is
@@ -302,7 +318,7 @@ impl Fabric {
         logical: u32,
     ) -> Delivery {
         let delivery = self.send_counted(now, from, to, kind, objects, logical);
-        self.apply_faults(to, delivery)
+        self.apply_faults(from, to, delivery)
     }
 
     /// Fault-aware [`send_via_directory`](Self::send_via_directory); loss
@@ -316,7 +332,7 @@ impl Fabric {
         objects: u32,
     ) -> Delivery {
         let delivery = self.send_via_directory(now, from, to, kind, objects);
-        self.apply_faults(to, delivery)
+        self.apply_faults(from, to, delivery)
     }
 
     /// Cumulative message statistics.
@@ -548,6 +564,37 @@ mod tests {
             assert!(t.duration_since(base) <= jitter_cap);
         }
         assert!(f.delayed_messages() > 0);
+    }
+
+    #[test]
+    fn jitter_never_reorders_a_link() {
+        let mut f = fabric(LanKind::Switched);
+        f.enable_faults(
+            siteselect_types::FaultConfig {
+                max_delay_jitter: SimDuration::from_millis(50),
+                ..siteselect_types::FaultConfig::default()
+            },
+            Prng::seed_from_u64(3),
+        );
+        // Alternate big and small frames: without the FIFO floor a lightly
+        // jittered control message would overtake a heavily jittered data
+        // frame sent just before it.
+        let mut now = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        for i in 0..200u32 {
+            now += SimDuration::from_micros(200);
+            let (kind, objects) = if i % 2 == 0 {
+                (MessageKind::ObjectSend, 1)
+            } else {
+                (MessageKind::Recall, 0)
+            };
+            if let Delivery::Delivered(t) = f.try_send(now, SiteId::Server, site(1), kind, objects)
+            {
+                assert!(t >= last, "delivery {t} overtook {last}");
+                last = t;
+            }
+        }
+        assert!(f.delayed_messages() > 0, "jitter must actually have fired");
     }
 
     #[test]

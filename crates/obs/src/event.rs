@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use siteselect_types::{AbortReason, ClientId, ObjectId, SimTime, SiteId, TransactionId};
+use siteselect_types::{AbortReason, ClientId, ObjectId, SimTime, SiteId, TransactionId, TxnOutcome};
 
 /// Stable lower-case label for an abort reason, used in exports.
 #[must_use]
@@ -18,6 +18,17 @@ pub fn abort_reason_str(reason: AbortReason) -> &'static str {
         AbortReason::SubtaskFailure => "subtask_failure",
         AbortReason::SiteCrash => "site_crash",
         AbortReason::Shutdown => "shutdown",
+    }
+}
+
+/// Stable lower-case label for a final transaction outcome, used in exports
+/// and by the deadline-accounting oracle (`siteselect-check`).
+#[must_use]
+pub fn outcome_str(outcome: TxnOutcome) -> &'static str {
+    match outcome {
+        TxnOutcome::Committed => "committed",
+        TxnOutcome::CommittedLate => "committed_late",
+        TxnOutcome::Aborted(reason) => abort_reason_str(reason),
     }
 }
 
@@ -195,6 +206,65 @@ pub enum Event {
         /// The unresponsive holder.
         holder: ClientId,
     },
+    /// An execution unit (transaction, shipped transaction, or subtask)
+    /// started holding a lock it will keep until its terminal event —
+    /// the serializability oracle's per-object ordering witness.
+    LockHeld {
+        /// The holding unit (root id, or a derived subtask id).
+        txn: TransactionId,
+        /// The locked object.
+        object: ObjectId,
+        /// True for an exclusive (write) lock, false for shared.
+        exclusive: bool,
+    },
+    /// An execution unit reached its terminal state and released all locks
+    /// (strict 2PL). Paired with [`Event::LockHeld`] it bounds every lock
+    /// episode the serializability oracle reasons about.
+    UnitEnd {
+        /// The finished unit.
+        txn: TransactionId,
+        /// True if the unit committed; false on any abort.
+        committed: bool,
+    },
+    /// A client installed a cached copy of an object with a cached lock.
+    CacheInstall {
+        /// The installing client.
+        client: ClientId,
+        /// The object.
+        object: ObjectId,
+        /// True for an exclusive cached lock, false for shared.
+        exclusive: bool,
+    },
+    /// A client downgraded its cached exclusive lock to shared (callback
+    /// answered with downgrade-to-shared).
+    CacheDowngrade {
+        /// The downgrading client.
+        client: ClientId,
+        /// The object.
+        object: ObjectId,
+    },
+    /// A client gave up its cached lock on an object (callback revoke,
+    /// forward hop hand-off, or a server-side lease fence).
+    CacheDrop {
+        /// The client losing the cached lock.
+        client: ClientId,
+        /// The object.
+        object: ObjectId,
+    },
+    /// A client lost every cached lock at once (site crash).
+    CacheWipe {
+        /// The wiped client.
+        client: ClientId,
+    },
+    /// A measured transaction's final accounting disposition was recorded —
+    /// exactly one per admitted transaction, recounted by the
+    /// deadline-accounting oracle against the reported metrics.
+    Outcome {
+        /// The transaction.
+        txn: TransactionId,
+        /// Its final disposition.
+        outcome: TxnOutcome,
+    },
 }
 
 impl Event {
@@ -224,6 +294,13 @@ impl Event {
             Event::SiteRecover { .. } => "site_recover",
             Event::RetrySent { .. } => "retry_sent",
             Event::LeaseExpired { .. } => "lease_expired",
+            Event::LockHeld { .. } => "lock_held",
+            Event::UnitEnd { .. } => "unit_end",
+            Event::CacheInstall { .. } => "cache_install",
+            Event::CacheDowngrade { .. } => "cache_downgrade",
+            Event::CacheDrop { .. } => "cache_drop",
+            Event::CacheWipe { .. } => "cache_wipe",
+            Event::Outcome { .. } => "outcome",
         }
     }
 
@@ -242,7 +319,10 @@ impl Event {
             | Event::Commit { txn, .. }
             | Event::Abort { txn, .. }
             | Event::ServerReject { txn, .. }
-            | Event::RetrySent { txn } => Some(*txn),
+            | Event::RetrySent { txn }
+            | Event::LockHeld { txn, .. }
+            | Event::UnitEnd { txn, .. }
+            | Event::Outcome { txn, .. } => Some(*txn),
             _ => None,
         }
     }
@@ -359,6 +439,35 @@ impl Event {
             Event::LeaseExpired { object, holder } => {
                 let _ = write!(out, r#","object":"{object}","holder":"{holder}""#);
             }
+            Event::LockHeld {
+                txn,
+                object,
+                exclusive,
+            } => {
+                let _ = write!(out, r#","txn":"{txn}","object":"{object}","exclusive":{exclusive}"#);
+            }
+            Event::UnitEnd { txn, committed } => {
+                let _ = write!(out, r#","txn":"{txn}","committed":{committed}"#);
+            }
+            Event::CacheInstall {
+                client,
+                object,
+                exclusive,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","client":"{client}","object":"{object}","exclusive":{exclusive}"#
+                );
+            }
+            Event::CacheDowngrade { client, object } | Event::CacheDrop { client, object } => {
+                let _ = write!(out, r#","client":"{client}","object":"{object}""#);
+            }
+            Event::CacheWipe { client } => {
+                let _ = write!(out, r#","client":"{client}""#);
+            }
+            Event::Outcome { txn, outcome } => {
+                let _ = write!(out, r#","txn":"{txn}","outcome":"{}""#, outcome_str(*outcome));
+            }
         }
     }
 }
@@ -407,5 +516,57 @@ mod tests {
         let e = Event::MsgDropped { to: SiteId::Server };
         assert_eq!(e.txn(), None);
         assert_eq!(e.kind(), "msg_dropped");
+    }
+
+    #[test]
+    fn oracle_events_carry_their_payloads() {
+        let txn = TransactionId::new(ClientId(2), 7);
+        let held = Event::LockHeld {
+            txn,
+            object: ObjectId(4),
+            exclusive: true,
+        };
+        assert_eq!(held.kind(), "lock_held");
+        assert_eq!(held.txn(), Some(txn));
+        let mut s = String::new();
+        held.write_json_fields(&mut s);
+        assert!(s.contains(r#""exclusive":true"#));
+
+        let end = Event::UnitEnd {
+            txn,
+            committed: false,
+        };
+        assert_eq!(end.kind(), "unit_end");
+        let mut s = String::new();
+        end.write_json_fields(&mut s);
+        assert!(s.contains(r#""committed":false"#));
+
+        let outcome = Event::Outcome {
+            txn,
+            outcome: TxnOutcome::Aborted(AbortReason::SiteCrash),
+        };
+        let mut s = String::new();
+        outcome.write_json_fields(&mut s);
+        assert!(s.contains(r#""outcome":"site_crash""#));
+
+        let install = Event::CacheInstall {
+            client: ClientId(2),
+            object: ObjectId(4),
+            exclusive: false,
+        };
+        assert_eq!(install.txn(), None);
+        let mut s = String::new();
+        install.write_json_fields(&mut s);
+        assert!(s.contains(r#""client":"client#2""#));
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(outcome_str(TxnOutcome::Committed), "committed");
+        assert_eq!(outcome_str(TxnOutcome::CommittedLate), "committed_late");
+        assert_eq!(
+            outcome_str(TxnOutcome::Aborted(AbortReason::Deadlock)),
+            "deadlock"
+        );
     }
 }

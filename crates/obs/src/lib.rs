@@ -40,7 +40,7 @@ pub mod hist;
 pub mod report;
 pub mod sink;
 
-pub use event::{abort_reason_str, Event, H2Candidate};
+pub use event::{abort_reason_str, outcome_str, Event, H2Candidate};
 pub use hist::LogHistogram;
 pub use report::{ObsReport, SiteSummary};
 pub use sink::{EventSink, TraceData, TraceRecord};

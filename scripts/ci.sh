@@ -36,6 +36,15 @@ cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick --jobs
 cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick --jobs 8 > "$tracedir/f3.j8"
 diff "$tracedir/f3.j1" "$tracedir/f3.j8"
 
+echo "==> simcheck (oracle smoke: small seed budget, byte-identical across --jobs)"
+cargo run --release -q -p siteselect-bench --bin repro -- check --seeds 18 --jobs 1 > "$tracedir/sc.j1"
+cargo run --release -q -p siteselect-bench --bin repro -- check --seeds 18 --jobs 8 > "$tracedir/sc.j8"
+diff "$tracedir/sc.j1" "$tracedir/sc.j8"
+# The gate must be able to fail: a seeded synthetic violation has to fire.
+if cargo run --release -q -p siteselect-bench --bin repro -- check --inject-violation coherence > /dev/null 2>&1; then
+  echo "simcheck failed to fail on an injected coherence violation"; exit 1
+fi
+
 echo "==> bench smoke (suite runs, report parses, no >2x regression vs fresh rerun)"
 cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench.json" > "$tracedir/bench.out"
 for field in '"meta"' '"cores"' '"rustc"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"'; do

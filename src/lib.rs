@@ -42,6 +42,7 @@
 //! # Ok::<(), siteselect::types::ConfigError>(())
 //! ```
 
+pub use siteselect_check as check;
 pub use siteselect_cluster as cluster;
 pub use siteselect_core as core;
 pub use siteselect_locks as locks;

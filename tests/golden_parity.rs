@@ -65,3 +65,27 @@ fn load_sharing_seed_12_matches_pre_optimization_metrics() {
         r#"RunMetrics { system: LoadSharing, clients: 6, update_fraction: 0.2, seed: 12, measured: 163, in_time: 159, failures: FailureBreakdown { expired: 3, deadlock: 0, subtask: 0, late: 1, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 199, disk_hits: 0, misses: 1463 }, response: ResponseReport { shared: OnlineStats { count: 1169, mean: 0.0427464379811805, m2: 0.9422388201277545, min: 0.0, max: 0.169923 }, exclusive: OnlineStats { count: 324, mean: 0.03952741049382717, m2: 0.28873161886440424, min: 0.0, max: 0.14819 } }, messages: MessageStats { by_kind: [0, 0, 1493, 1462, 31, 84, 37, 47, 51, 0, 0, 0, 0, 0, 15, 15], bytes_by_kind: [0, 0, 63424, 3274880, 3968, 10752, 82880, 6016, 13056, 0, 0, 0, 0, 0, 1920, 3840], transmissions: 1905, total_bytes: 3460736 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 0, recoveries: 0, messages_dropped: 0, messages_delayed: 0, leases_expired: 0, retries: 0, slow_disk_ios: 0 }, latency: OnlineStats { count: 159, mean: 1.1727286981132077, m2: 192.4428240838814, min: 0.078217, max: 4.923769 }, blocking: OnlineStats { count: 163, mean: 0.07313998773006135, m2: 0.22174177574197534, min: 0.01156, max: 0.403225 }, client_cpu_utilization: 0.10010511993243244, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 121, total: 1462 } }"#
     );
 }
+
+/// Same parity pin, but with PR-1's fault injection switched on: crashes,
+/// drops, delays and lease expiries are all seed-deterministic, so the
+/// fault path must replay bit-identically too — drift hiding behind chaos
+/// is exactly what this catches.
+fn run_chaotic(system: SystemKind, seed: u64) -> String {
+    use siteselect::types::FaultConfig;
+    let mut cfg = ExperimentConfig::paper(system, 6, 0.20);
+    cfg.runtime.duration = SimDuration::from_secs(300);
+    cfg.runtime.warmup = SimDuration::from_secs(50);
+    cfg.runtime.seed = seed;
+    cfg.faults = FaultConfig::chaos(0.5);
+    format!("{:?}", run_experiment(&cfg).unwrap())
+}
+
+#[test]
+fn load_sharing_chaos_seed_11_matches_pinned_metrics() {
+    assert_eq!(run_chaotic(SystemKind::LoadSharing, 11), r#"RunMetrics { system: LoadSharing, clients: 6, update_fraction: 0.2, seed: 11, measured: 136, in_time: 128, failures: FailureBreakdown { expired: 8, deadlock: 0, subtask: 0, late: 0, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 164, disk_hits: 0, misses: 1186 }, response: ResponseReport { shared: OnlineStats { count: 927, mean: 0.09307982740021577, m2: 36.23152668944639, min: 0.0, max: 3.510199 }, exclusive: OnlineStats { count: 289, mean: 0.15326412456747407, m2: 132.70246846220945, min: 0.0, max: 5.958236 } }, messages: MessageStats { by_kind: [0, 0, 1322, 1249, 33, 63, 19, 43, 33, 10, 0, 0, 3, 2, 17, 17], bytes_by_kind: [0, 0, 65248, 2797760, 4224, 8064, 42560, 5504, 8448, 44800, 0, 0, 3072, 512, 2176, 4352], transmissions: 1743, total_bytes: 2986720 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 3, subtasks: 6, forward_satisfied: 10, windows_opened: 318, h1_rejections: 0 }, faults: FaultReport { crashes: 1, recoveries: 1, messages_dropped: 109, messages_delayed: 2081, leases_expired: 7, retries: 150, slow_disk_ios: 0 }, latency: OnlineStats { count: 128, mean: 1.5784508671875006, m2: 321.55948852249065, min: 0.076097, max: 7.661942 }, blocking: OnlineStats { count: 135, mean: 0.49402044444444454, m2: 145.17023584991736, min: 0.0, max: 5.958236 }, client_cpu_utilization: 0.09549946511627908, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 156, total: 1248 } }"#);
+}
+
+#[test]
+fn client_server_chaos_seed_11_matches_pinned_metrics() {
+    assert_eq!(run_chaotic(SystemKind::ClientServer, 11), r#"RunMetrics { system: ClientServer, clients: 6, update_fraction: 0.2, seed: 11, measured: 136, in_time: 130, failures: FailureBreakdown { expired: 6, deadlock: 0, subtask: 0, late: 0, shutdown: 0, site_crash: 0 }, cache: CacheReport { memory_hits: 167, disk_hits: 0, misses: 1194 }, response: ResponseReport { shared: OnlineStats { count: 933, mean: 0.0997446752411576, m2: 63.87710918929061, min: 0.0, max: 5.585716 }, exclusive: OnlineStats { count: 290, mean: 0.0970575103448276, m2: 40.49758620366449, min: 0.0, max: 5.966491 } }, messages: MessageStats { by_kind: [0, 0, 1331, 1257, 33, 66, 20, 43, 0, 0, 0, 0, 0, 0, 0, 0], bytes_by_kind: [0, 0, 65728, 2815680, 4224, 8448, 44800, 5504, 0, 0, 0, 0, 0, 0, 0, 0], transmissions: 1660, total_bytes: 2944384 }, load_sharing: LoadSharingReport { shipped: 0, decomposed: 0, subtasks: 0, forward_satisfied: 0, windows_opened: 0, h1_rejections: 0 }, faults: FaultReport { crashes: 1, recoveries: 1, messages_dropped: 104, messages_delayed: 1999, leases_expired: 6, retries: 134, slow_disk_ios: 0 }, latency: OnlineStats { count: 130, mean: 1.5309962461538456, m2: 241.29084609101218, min: 0.076762, max: 7.121994 }, blocking: OnlineStats { count: 133, mean: 0.4274222030075188, m2: 86.59217535684955, min: 0.031959, max: 5.966491 }, client_cpu_utilization: 0.0970147995570321, server_cpu_utilization: 0.0, server_buffer: Ratio { hits: 165, total: 1257 } }"#);
+}

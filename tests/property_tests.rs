@@ -498,3 +498,179 @@ fn histogram_quantiles_are_monotone_and_bounded() {
         );
     }
 }
+
+// ------------------------------------------------------------------
+// Dense object-indexed containers vs the std HashMap/HashSet oracle.
+// ------------------------------------------------------------------
+
+use siteselect::locks::InlineVec;
+use siteselect::types::{ObjectMap, ObjectSet};
+use std::collections::{HashMap, HashSet};
+
+/// Ids biased toward the interesting spots: the empty low end, a single
+/// slot, and both sides of each growth boundary the slot vector crosses.
+fn dense_id(rng: &mut Prng) -> ObjectId {
+    const EDGES: [u32; 9] = [0, 1, 2, 7, 8, 63, 64, 65, 300];
+    if rng.bernoulli(0.7) {
+        ObjectId(EDGES[rng.below_usize(EDGES.len())])
+    } else {
+        ObjectId(rng.below(512) as u32)
+    }
+}
+
+fn check_map_matches(m: &ObjectMap<u64>, model: &HashMap<u32, u64>) {
+    assert_eq!(m.len(), model.len());
+    assert_eq!(m.is_empty(), model.is_empty());
+    let mut expect: Vec<(u32, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect(); // detlint: allow(D2) — sorted on the next line
+    expect.sort_unstable();
+    let got: Vec<(u32, u64)> = m.iter().map(|(id, &v)| (id.0, v)).collect();
+    assert_eq!(got, expect, "iteration differs from sorted model");
+    let keys: Vec<u32> = m.keys().map(|k| k.0).collect();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys not ascending");
+    for &(k, v) in &expect {
+        assert_eq!(m.get(ObjectId(k)), Some(&v));
+        assert!(m.contains(ObjectId(k)));
+    }
+    // Probes past every growth boundary stay safe and absent.
+    assert_eq!(m.get(ObjectId(100_000)), None);
+    assert!(!m.contains(ObjectId(100_000)));
+}
+
+#[test]
+fn object_map_matches_hashmap_oracle() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xDE45_E000 + case);
+        let mut m: ObjectMap<u64> = if rng.bernoulli(0.5) {
+            ObjectMap::new()
+        } else {
+            ObjectMap::with_capacity(rng.below_usize(65))
+        };
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for step in 0..1 + rng.below(99) {
+            let id = dense_id(&mut rng);
+            match rng.below(6) {
+                0 | 1 => {
+                    assert_eq!(m.insert(id, step), model.insert(id.0, step));
+                }
+                2 => {
+                    assert_eq!(m.remove(id), model.remove(&id.0));
+                }
+                3 => {
+                    *m.get_or_default(id) += 1;
+                    *model.entry(id.0).or_default() += 1;
+                }
+                4 => {
+                    if let Some(v) = m.get_mut(id) {
+                        *v = step;
+                    }
+                    if let Some(v) = model.get_mut(&id.0) {
+                        *v = step;
+                    }
+                }
+                _ => {
+                    let bit = rng.bernoulli(0.5);
+                    m.retain(|id, v| (id.0 as u64 + *v).is_multiple_of(2) == bit);
+                    // detlint: allow(D2) — the predicate is per-element, visit order is irrelevant
+                    model.retain(|&k, v| (u64::from(k) + *v).is_multiple_of(2) == bit);
+                }
+            }
+            check_map_matches(&m, &model);
+        }
+        m.clear();
+        model.clear();
+        check_map_matches(&m, &model);
+        // A cleared map keeps working.
+        let id = dense_id(&mut rng);
+        assert_eq!(m.insert(id, 7), model.insert(id.0, 7));
+        check_map_matches(&m, &model);
+    }
+}
+
+#[test]
+fn object_set_matches_hashset_oracle() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xDE45_5E70 + case);
+        let mut s = ObjectSet::new();
+        let mut model: HashSet<u32> = HashSet::new();
+        for _ in 0..1 + rng.below(99) {
+            let id = dense_id(&mut rng);
+            match rng.below(4) {
+                0 | 1 => assert_eq!(s.insert(id), model.insert(id.0)),
+                2 => assert_eq!(s.remove(id), model.remove(&id.0)),
+                _ => {
+                    s.clear();
+                    model.clear();
+                }
+            }
+            assert_eq!(s.len(), model.len());
+            assert_eq!(s.is_empty(), model.is_empty());
+            let mut expect: Vec<u32> = model.iter().copied().collect(); // detlint: allow(D2) — sorted on the next line
+            expect.sort_unstable();
+            let got: Vec<u32> = s.iter().map(|id| id.0).collect();
+            assert_eq!(got, expect, "membership differs from sorted model");
+            assert!(!s.contains(ObjectId(100_000)));
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// InlineVec<_, 2>: spill/unspill round-trips across the inline boundary.
+// ------------------------------------------------------------------
+
+#[test]
+fn inline_vec_spill_unspill_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xD011_1E00 + case);
+        let mut iv: InlineVec<u64, 2> = InlineVec::new();
+        let mut want: Vec<u64> = Vec::new();
+        for step in 0..1 + rng.below(149) {
+            // Bias the walk so the length repeatedly crosses the N = 2
+            // spill boundary in both directions instead of drifting off.
+            let grow = if want.len() <= 1 {
+                true
+            } else if want.len() >= 5 {
+                false
+            } else {
+                rng.bernoulli(0.5)
+            };
+            if grow {
+                let pos = rng.below_usize(want.len() + 1);
+                if pos == want.len() && rng.bernoulli(0.5) {
+                    iv.push(step);
+                    want.push(step);
+                } else {
+                    iv.insert(pos, step);
+                    want.insert(pos, step);
+                }
+            } else if rng.bernoulli(0.8) {
+                let pos = rng.below_usize(want.len());
+                assert_eq!(iv.remove(pos), want.remove(pos));
+            } else {
+                let keep = rng.below(3);
+                iv.retain(|v| v % 3 != keep);
+                want.retain(|v| v % 3 != keep);
+            }
+            assert_eq!(iv.len(), want.len());
+            assert_eq!(iv.to_vec(), want);
+            assert_eq!(iv.first(), want.first());
+            assert_eq!(iv.iter().copied().collect::<Vec<_>>(), want);
+            for (i, v) in want.iter().enumerate() {
+                assert_eq!(iv.get(i), Some(v));
+            }
+            assert_eq!(iv.get(want.len()), None);
+        }
+        // Drain to empty (fully unspilled), then refill past the boundary:
+        // the round trip must leave no stale inline or spill state behind.
+        while !want.is_empty() {
+            let pos = rng.below_usize(want.len());
+            assert_eq!(iv.remove(pos), want.remove(pos));
+            assert_eq!(iv.to_vec(), want);
+        }
+        assert!(iv.is_empty());
+        for v in 0..5 {
+            iv.push(v);
+            want.push(v);
+        }
+        assert_eq!(iv.to_vec(), want);
+    }
+}
