@@ -19,22 +19,26 @@
 //! `--baseline FILE` it additionally compares against a previous report
 //! and fails on a missing benchmark or a >2x regression.
 //! `faults` is not part of `all`: it sweeps the fault-injection subsystem
-//! (crash/loss/slow-disk chaos) rather than a paper figure.
+//! (crash/loss/slow-disk chaos) rather than a paper figure, and follows up
+//! with the crash-restart table contrasting write-ahead-log recovery
+//! against permanently dark sites.
 //! `trace` runs one experiment with the event-tracing pipeline attached,
 //! judges the captured stream with the `siteselect-check` oracles, and
 //! writes `trace.jsonl` (one event per line) plus `trace.json` (Chrome
 //! `trace_event` format, loadable in chrome://tracing or Perfetto) to
 //! `--out DIR` (default `target/trace`). `--system ce|cs|ls`,
-//! `--update F`, `--chaos F`, `--duration SECS`, `--warmup SECS` and
+//! `--update F`, `--chaos F` (with `--restart` for the server
+//! crash-restart profile), `--duration SECS`, `--warmup SECS` and
 //! `--seed S` select the run — the knobs a simcheck replay command passes.
 //! The files are byte-identical across runs at the same seed and options.
 //! `check` is the simcheck explorer: `--seeds N` randomized cases fanned
-//! across CE/CS/LS × update-rate × fault-profile cells, every run judged
-//! by the serializability, coherence and deadline-accounting oracles; a
-//! failing case is shrunk to a minimal reproducer. `--inject-violation
-//! serializability|coherence|deadline` instead feeds a known-bad synthetic
-//! history to the matching oracle and exits non-zero when (and only when)
-//! it fires — the self-test that proves the oracles are alive.
+//! across CE/CS/LS × update-rate × fault-profile cells (including server
+//! crash-restart cells), every run judged by the serializability,
+//! coherence, deadline-accounting and recovery oracles; a failing case is
+//! shrunk to a minimal reproducer. `--inject-violation
+//! serializability|coherence|deadline|recovery` instead feeds a known-bad
+//! synthetic history to the matching oracle and exits non-zero when (and
+//! only when) it fires — the self-test that proves the oracles are alive.
 
 use std::process::ExitCode;
 
@@ -42,8 +46,8 @@ use siteselect_bench::repro_options;
 use siteselect_check::explore::{parse_system, ExploreOptions};
 use siteselect_check::synthetic::InjectKind;
 use siteselect_core::experiments::{
-    cache_table, deadline_figure, fault_table, message_table, response_table, SweepOptions,
-    FAULT_INTENSITIES, FIGURE_CLIENTS, TABLE_CLIENTS,
+    cache_table, deadline_figure, fault_table, message_table, response_table, restart_table,
+    SweepOptions, FAULT_INTENSITIES, FIGURE_CLIENTS, RESTART_INTENSITIES, TABLE_CLIENTS,
 };
 use siteselect_core::{run_experiment, run_experiment_traced};
 use siteselect_locks::protocol_costs;
@@ -80,6 +84,7 @@ struct CheckFlags {
     system: Option<SystemKind>,
     update: Option<f64>,
     chaos: Option<f64>,
+    restart: bool,
     duration: Option<u64>,
     warmup: Option<u64>,
     seeds: Option<u64>,
@@ -105,6 +110,14 @@ fn parse_check_flags(args: &[String]) -> Result<CheckFlags, String> {
             return Err(format!("--chaos must be a non-negative intensity, got {c}"));
         }
     }
+    let restart = args.iter().any(|a| a == "--restart");
+    if restart && chaos.unwrap_or(0.0) <= 0.0 {
+        return Err(
+            "--restart needs --chaos above 0 (the server crash-restart profile scales with \
+             chaos intensity)"
+                .into(),
+        );
+    }
     let duration = parsed_flag::<u64>(args, "--duration")?;
     if duration == Some(0) {
         return Err("--duration must be at least 1 second".into());
@@ -122,13 +135,14 @@ fn parse_check_flags(args: &[String]) -> Result<CheckFlags, String> {
     let inject = match flag_value(args, "--inject-violation") {
         None => None,
         Some(raw) => Some(InjectKind::parse(raw).ok_or_else(|| {
-            format!("invalid value for --inject-violation: {raw:?} (expected serializability, coherence or deadline)")
+            format!("invalid value for --inject-violation: {raw:?} (expected serializability, coherence, deadline or recovery)")
         })?),
     };
     Ok(CheckFlags {
         system,
         update,
         chaos,
+        restart,
         duration,
         warmup,
         seeds,
@@ -389,14 +403,21 @@ fn ablations(opts: SweepOptions) -> Result<(), AnyError> {
 }
 
 /// Graceful-degradation sweep of the fault-injection subsystem: CS vs LS
-/// deadline success as `FaultConfig::chaos` intensity rises. Kept out of
-/// `all` so the paper reproduction stays byte-stable.
+/// deadline success as `FaultConfig::chaos` intensity rises, followed by
+/// the crash-restart cells contrasting write-ahead-log recovery against
+/// permanently dark sites. Kept out of `all` so the paper reproduction
+/// stays byte-stable.
 fn faults(opts: SweepOptions, clients: u16) -> Result<(), AnyError> {
     banner(&format!(
         "Faults: deadline success under chaos ({clients} clients, 20% updates)"
     ));
     let t = fault_table(clients, &FAULT_INTENSITIES, opts)?;
     print!("{}", t.render());
+    banner(&format!(
+        "Faults: crash-restart recovery vs cliff ({clients} clients, 20% updates)"
+    ));
+    let r = restart_table(clients, &RESTART_INTENSITIES, opts)?;
+    print!("{}", r.render());
     Ok(())
 }
 
@@ -416,8 +437,9 @@ fn trace(
     let system = flags.system.unwrap_or(SystemKind::LoadSharing);
     let update = flags.update.unwrap_or(0.20);
     let chaos = flags.chaos.unwrap_or(0.0);
+    let restart = if flags.restart { " restart" } else { "" };
     banner(&format!(
-        "Trace: {system} lifecycle trace ({clients} clients, {}% updates, chaos {chaos}, seed {seed})",
+        "Trace: {system} lifecycle trace ({clients} clients, {}% updates, chaos {chaos}{restart}, seed {seed})",
         update * 100.0
     ));
     let mut cfg = ExperimentConfig::paper(system, clients, update);
@@ -427,7 +449,11 @@ fn trace(
     cfg.runtime.warmup = flags.warmup.map_or(opts.warmup, SimDuration::from_secs);
     cfg.runtime.seed = seed;
     if chaos > 0.0 {
-        cfg.faults = FaultConfig::chaos(chaos);
+        cfg.faults = if flags.restart {
+            FaultConfig::chaos_restart(chaos)
+        } else {
+            FaultConfig::chaos(chaos)
+        };
     }
     let (metrics, trace) = run_experiment_traced(&cfg, siteselect_check::TRACE_CAPACITY)?;
     std::fs::create_dir_all(out_dir)?;
@@ -446,7 +472,9 @@ fn trace(
     let warmup_end = siteselect_types::SimTime::ZERO + cfg.runtime.warmup;
     match siteselect_check::check_trace(&trace, &metrics, warmup_end) {
         Ok(()) => {
-            println!("oracles: serializability, coherence and deadline accounting all passed");
+            println!(
+                "oracles: serializability, coherence, deadline accounting and recovery all passed"
+            );
             Ok(())
         }
         Err(v) => Err(v.to_string().into()),
@@ -454,10 +482,11 @@ fn trace(
 }
 
 /// The simcheck explorer (`repro check`): randomized schedule exploration
-/// across CE/CS/LS × update-rate × fault-profile cells, every run judged
-/// by all three oracles, failures shrunk to a minimal reproducer. With
-/// `--inject-violation`, instead feeds a known-bad synthetic history to
-/// the matching oracle and fails when it fires (proving it can).
+/// across CE/CS/LS × update-rate × fault-profile cells (including server
+/// crash-restart cells), every run judged by all four oracles, failures
+/// shrunk to a minimal reproducer. With `--inject-violation`, instead
+/// feeds a known-bad synthetic history to the matching oracle and fails
+/// when it fires (proving it can).
 fn check(
     opts: SweepOptions,
     clients: Option<u16>,
@@ -485,7 +514,7 @@ fn check(
         warmup: flags.warmup.map_or(defaults.warmup, SimDuration::from_secs),
     };
     banner(&format!(
-        "Simcheck: {} randomized cases ({} clients each) under all three oracles",
+        "Simcheck: {} randomized cases ({} clients each) under all four oracles",
         explore_opts.seeds, explore_opts.clients
     ));
     let report = siteselect_check::explore::explore(&explore_opts);

@@ -26,6 +26,9 @@ fn zero_valued_numeric_flags_are_rejected_with_clear_errors() {
         (&["check", "--seeds", "0"][..], "--seeds must be at least 1"),
         (&["check", "--clients", "0"][..], "--clients must be at least 1"),
         (&["check", "--duration", "0"][..], "--duration must be at least 1"),
+        (&["faults", "--clients", "0"][..], "--clients must be at least 1"),
+        (&["faults", "--jobs", "0"][..], "--jobs must be at least 1"),
+        (&["trace", "--duration", "0"][..], "--duration must be at least 1"),
     ] {
         let out = repro(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -42,6 +45,11 @@ fn garbled_numeric_flags_are_rejected_not_defaulted() {
         (&["check", "--jobs", "-2"][..], "--jobs"),
         (&["trace", "--update", "lots"][..], "--update"),
         (&["check", "--seeds"][..], "--seeds"),
+        (&["faults", "--clients", "many"][..], "--clients"),
+        (&["faults", "--jobs", "4.5"][..], "--jobs"),
+        (&["trace", "--seed", "0x7"][..], "--seed"),
+        (&["trace", "--chaos", "heavy"][..], "--chaos"),
+        (&["trace", "--warmup"][..], "--warmup"),
     ] {
         let out = repro(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -59,6 +67,24 @@ fn out_of_range_fractions_are_rejected() {
     let out = repro(&["check", "--warmup", "80", "--duration", "60"]);
     assert!(!out.status.success());
     assert!(stderr_of(&out).contains("--warmup"));
+
+    let out = repro(&["trace", "--chaos", "-0.5"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--chaos must be a non-negative intensity"));
+
+    let out = repro(&["trace", "--system", "xx"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("invalid value for --system"));
+}
+
+#[test]
+fn restart_without_chaos_is_rejected() {
+    for args in [&["trace", "--restart"][..], &["trace", "--chaos", "0.0", "--restart"][..]] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr_of(&out);
+        assert!(err.contains("--restart needs --chaos above 0"), "{args:?} stderr: {err}");
+    }
 }
 
 #[test]
@@ -76,6 +102,7 @@ fn injected_violations_fail_with_diagnostic_and_replay() {
         ("serializability", "crates/check/src/serializability.rs"),
         ("coherence", "crates/check/src/coherence.rs"),
         ("deadline", "crates/check/src/deadline.rs"),
+        ("recovery", "crates/check/src/recovery.rs"),
     ] {
         let out = repro(&["check", "--inject-violation", kind]);
         assert!(!out.status.success(), "--inject-violation {kind} must exit non-zero");

@@ -31,13 +31,19 @@ pub struct Cell {
     pub update_fraction: f64,
     /// `FaultConfig::chaos` intensity; `0.0` means faults off.
     pub chaos_intensity: f64,
+    /// True adds the server crash-restart schedule
+    /// (`FaultConfig::chaos_restart`), exercising WAL replay and the
+    /// recovery oracle.
+    pub restart: bool,
 }
 
 /// The fixed exploration matrix: 3 systems × 2 update rates × 3 fault
-/// profiles = 18 cells. Case `i` lands in cell `i % 18`.
+/// profiles = 18 chaos cells, plus 3 systems × 2 intensities of
+/// crash-restart chaos at the write-heavy rate = 24 cells total. Case `i`
+/// lands in cell `i % 24`.
 #[must_use]
 pub fn matrix() -> Vec<Cell> {
-    let mut cells = Vec::with_capacity(18);
+    let mut cells = Vec::with_capacity(24);
     for &system in &SystemKind::ALL {
         for &update_fraction in &[0.05, 0.20] {
             for &chaos_intensity in &[0.0, 0.5, 1.0] {
@@ -45,8 +51,21 @@ pub fn matrix() -> Vec<Cell> {
                     system,
                     update_fraction,
                     chaos_intensity,
+                    restart: false,
                 });
             }
+        }
+    }
+    // Crash-restart cells at the write-heavy rate: recovery has losers to
+    // roll back only when transactions actually write.
+    for &system in &SystemKind::ALL {
+        for &chaos_intensity in &[0.5, 1.0] {
+            cells.push(Cell {
+                system,
+                update_fraction: 0.20,
+                chaos_intensity,
+                restart: true,
+            });
         }
     }
     cells
@@ -76,7 +95,9 @@ impl CaseSpec {
         cfg.runtime.duration = self.duration;
         cfg.runtime.warmup = self.warmup;
         cfg.runtime.seed = self.seed;
-        if self.cell.chaos_intensity > 0.0 {
+        if self.cell.restart {
+            cfg.faults = FaultConfig::chaos_restart(self.cell.chaos_intensity);
+        } else if self.cell.chaos_intensity > 0.0 {
             cfg.faults = FaultConfig::chaos(self.cell.chaos_intensity);
         }
         cfg
@@ -99,10 +120,13 @@ impl CaseSpec {
         if self.cell.chaos_intensity > 0.0 {
             cmd.push_str(&format!(" --chaos {}", self.cell.chaos_intensity));
         }
+        if self.cell.restart {
+            cmd.push_str(" --restart");
+        }
         cmd
     }
 
-    /// Runs the case under all three oracles, attaching the replay command
+    /// Runs the case under all four oracles, attaching the replay command
     /// to any violation.
     ///
     /// # Errors
@@ -154,7 +178,7 @@ pub struct ExploreOptions {
 impl Default for ExploreOptions {
     fn default() -> Self {
         ExploreOptions {
-            seeds: 54,
+            seeds: 72,
             jobs: 0,
             base_seed: DEFAULT_BASE_SEED,
             clients: 8,
@@ -204,8 +228,9 @@ impl ExploreReport {
             None => {
                 let _ = writeln!(
                     out,
-                    "simcheck: {} cases passed serializability, coherence and \
-                     deadline-accounting oracles ({} measured transactions recounted)",
+                    "simcheck: {} cases passed serializability, coherence, \
+                     deadline-accounting and recovery oracles ({} measured \
+                     transactions recounted)",
                     self.cases_run, self.measured_total
                 );
             }
@@ -213,23 +238,25 @@ impl ExploreReport {
                 let _ = writeln!(out, "simcheck: FAILED after {} cases", self.cases_run);
                 let _ = writeln!(
                     out,
-                    "  original: {} {} clients seed {} update {} chaos {} duration {}s",
+                    "  original: {} {} clients seed {} update {} chaos {}{} duration {}s",
                     system_flag(f.original.cell.system),
                     f.original.clients,
                     f.original.seed,
                     f.original.cell.update_fraction,
                     f.original.cell.chaos_intensity,
+                    if f.original.cell.restart { " restart" } else { "" },
                     f.original.duration.as_micros() / 1_000_000,
                 );
                 let _ = writeln!(
                     out,
-                    "  shrunk ({} steps): {} {} clients seed {} update {} chaos {} duration {}s",
+                    "  shrunk ({} steps): {} {} clients seed {} update {} chaos {}{} duration {}s",
                     f.shrink_steps,
                     system_flag(f.shrunk.cell.system),
                     f.shrunk.clients,
                     f.shrunk.seed,
                     f.shrunk.cell.update_fraction,
                     f.shrunk.cell.chaos_intensity,
+                    if f.shrunk.cell.restart { " restart" } else { "" },
                     f.shrunk.duration.as_micros() / 1_000_000,
                 );
                 let _ = writeln!(out, "  {}", f.violation);
@@ -338,6 +365,13 @@ fn shrink(case: CaseSpec, violation: Violation) -> (CaseSpec, Violation, u32) {
             c.duration = half;
             candidates.push(c);
         }
+        if best.cell.restart {
+            // Weakening the fault profile: first try the same chaos without
+            // the server crash-restart schedule.
+            let mut c = best;
+            c.cell.restart = false;
+            candidates.push(c);
+        }
         if best.cell.chaos_intensity > 0.0 {
             let mut c = best;
             c.cell.chaos_intensity = if best.cell.chaos_intensity > 0.5 { 0.5 } else { 0.0 };
@@ -366,7 +400,7 @@ mod tests {
     #[test]
     fn the_matrix_covers_all_systems_and_profiles() {
         let cells = matrix();
-        assert_eq!(cells.len(), 18);
+        assert_eq!(cells.len(), 24);
         for &system in &SystemKind::ALL {
             assert!(cells
                 .iter()
@@ -374,6 +408,11 @@ mod tests {
             assert!(cells
                 .iter()
                 .any(|c| c.system == system && c.chaos_intensity == 0.0));
+            // Every system gets crash-restart coverage, always write-heavy
+            // so replay has committed effects and losers to arbitrate.
+            assert!(cells
+                .iter()
+                .any(|c| c.system == system && c.restart && c.update_fraction == 0.20));
         }
     }
 
@@ -392,6 +431,7 @@ mod tests {
                 system: SystemKind::LoadSharing,
                 update_fraction: 0.20,
                 chaos_intensity: 0.5,
+                restart: false,
             },
             seed: 42,
             clients: 6,
@@ -404,6 +444,12 @@ mod tests {
         assert!(cmd.contains("--seed 42"), "{cmd}");
         assert!(cmd.contains("--chaos 0.5"), "{cmd}");
         assert!(cmd.contains("--duration 150"), "{cmd}");
+        assert!(!cmd.contains("--restart"), "{cmd}");
+        let mut restart_case = case;
+        restart_case.cell.restart = true;
+        let cmd = restart_case.replay_command();
+        assert!(cmd.contains("--chaos 0.5"), "{cmd}");
+        assert!(cmd.ends_with("--restart"), "{cmd}");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * [`deadline`] — recounts [`Event::TxnSubmit`] / [`Event::Outcome`]
 //!   pairs: every measured admission ends in exactly one terminal
 //!   disposition, and the recount must equal the reported [`RunMetrics`].
+//! * [`recovery`] — replays the WAL history ([`Event::WalWrite`] /
+//!   `WalCommit` / `WalAbort`) against each post-restart state dump and
+//!   asserts the durability contract: committed effects survive a
+//!   crash-restart, aborted and loser effects never resurface.
 //!
 //! [`explore`] is the `simcheck` harness: a randomized schedule explorer
 //! fanning seeds across system × update-rate × fault-profile cells, with a
@@ -24,6 +28,7 @@
 //! [`Event::CacheInstall`]: siteselect_obs::Event::CacheInstall
 //! [`Event::TxnSubmit`]: siteselect_obs::Event::TxnSubmit
 //! [`Event::Outcome`]: siteselect_obs::Event::Outcome
+//! [`Event::WalWrite`]: siteselect_obs::Event::WalWrite
 
 use std::fmt;
 
@@ -46,6 +51,7 @@ macro_rules! fail {
 pub mod coherence;
 pub mod deadline;
 pub mod explore;
+pub mod recovery;
 pub mod serializability;
 pub mod synthetic;
 
@@ -59,8 +65,8 @@ pub const TRACE_CAPACITY: usize = 1 << 21;
 /// the offending run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Oracle name: `serializability`, `coherence`, `deadline`, or
-    /// `harness` for infrastructure failures (e.g. a truncated trace).
+    /// Oracle name: `serializability`, `coherence`, `deadline`, `recovery`,
+    /// or `harness` for infrastructure failures (e.g. a truncated trace).
     pub oracle: &'static str,
     /// `file:line` of the check that fired, for grep-ability.
     pub at: &'static str,
@@ -91,7 +97,7 @@ impl fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
-/// Runs all three oracles over a captured trace.
+/// Runs all four oracles over a captured trace.
 ///
 /// `warmup_end` is the instant the measurement window opened
 /// (`SimTime::ZERO + cfg.runtime.warmup`); the deadline oracle uses it to
@@ -120,6 +126,7 @@ pub fn check_trace(
     serializability::check(trace)?;
     coherence::check(trace)?;
     deadline::check(trace, metrics, warmup_end)?;
+    recovery::check(trace)?;
     Ok(())
 }
 

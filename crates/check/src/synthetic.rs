@@ -19,23 +19,28 @@ pub enum InjectKind {
     Coherence,
     /// A measured admission that never reaches a terminal state.
     Deadline,
+    /// A post-restart state dump where a loser's write survived replay.
+    Recovery,
 }
 
 impl InjectKind {
     /// Every injectable kind, in CLI order.
-    pub const ALL: [InjectKind; 3] = [
+    pub const ALL: [InjectKind; 4] = [
         InjectKind::Serializability,
         InjectKind::Coherence,
         InjectKind::Deadline,
+        InjectKind::Recovery,
     ];
 
-    /// The CLI label (`serializability` / `coherence` / `deadline`).
+    /// The CLI label (`serializability` / `coherence` / `deadline` /
+    /// `recovery`).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             InjectKind::Serializability => "serializability",
             InjectKind::Coherence => "coherence",
             InjectKind::Deadline => "deadline",
+            InjectKind::Recovery => "recovery",
         }
     }
 
@@ -94,6 +99,28 @@ pub fn bad_history(kind: InjectKind) -> (TraceData, RunMetrics, SimTime) {
                 Event::TxnSubmit { txn: a, deadline: SimTime::from_micros(900), accesses: 1 },
             );
             metrics.record_outcome(TxnOutcome::Committed);
+        }
+        InjectKind::Recovery => {
+            // a commits stamp 11 on obj#7, then b's uncommitted write lands
+            // stamp 12 there and the server crashes — but replay leaves the
+            // loser's stamp in place instead of rolling back to a's.
+            emit(&sink, 140, Event::WalWrite { txn: a, page: ObjectId(7), stamp: 11 });
+            emit(&sink, 150, Event::WalCommit { txn: a });
+            emit(&sink, 160, Event::WalWrite { txn: b, page: ObjectId(7), stamp: 12 });
+            emit(&sink, 200, Event::SiteCrash { site: SiteId::Server });
+            emit(
+                &sink,
+                260,
+                Event::RecoveryDone {
+                    site: SiteId::Server,
+                    redo: 1,
+                    undone: 0,
+                    losers: 1,
+                    replay_ios: 1,
+                },
+            );
+            emit(&sink, 260, Event::WalState { page: ObjectId(7), stamp: 12 });
+            emit(&sink, 260, Event::SiteRecover { site: SiteId::Server });
         }
     }
     (sink.finish().expect("sink enabled"), metrics, warmup_end)

@@ -7,14 +7,24 @@
 //! locks objects with strict 2PL under wait-for-graph deadlock avoidance,
 //! and reads missed pages through its 5,000-object buffer. Transactions
 //! whose deadline has passed are dropped, not processed.
+//!
+//! Every update transaction writes through an ARIES-lite [`DurableStore`]
+//! (write-ahead log, force-at-commit, fuzzy checkpoints). Under the
+//! crash-restart fault mode (`faults.mean_time_to_server_crash`) the server
+//! loses its volatile state mid-run, replays its log — charged to the seeded
+//! disk model, so slow-disk episodes stretch recovery — and rejoins with
+//! in-flight transactions aborted as losers. With faults off the durable
+//! layer charges no simulated time and draws no randomness, so fault-free
+//! runs are byte-identical to a build without it.
 
 use std::collections::HashMap;
 
-use siteselect_net::{Fabric, MessageKind};
+use siteselect_net::{Delivery, Fabric, MessageKind};
 use siteselect_obs::{Event, EventSink};
-use siteselect_sim::EventQueue;
+use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::ClientCache;
 use siteselect_storage::DiskModel;
+use siteselect_storage::{DurableStore, RecoveryOutcome};
 use siteselect_locks::{Acquire, LockTable, QueueDiscipline, WaitForGraph};
 use siteselect_types::{
     AbortReason, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime, SiteId,
@@ -47,6 +57,11 @@ enum Ev {
     },
     /// Periodic pruning of expired lock waiters.
     Sweep,
+    /// Fault injection: the server crashes (from the pre-generated
+    /// schedule), losing all volatile state.
+    ServerCrash,
+    /// The server finished replaying its log and rejoins.
+    ServerRecover,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,10 +92,26 @@ pub struct CentralizedSim {
     wfg: WaitForGraph<Key>,
     buffer: ClientCache,
     disk: DiskModel,
+    /// WAL-guarded durable page store; update transactions write through it.
+    store: DurableStore,
     txns: HashMap<Key, CeTxn>,
     inflight: usize,
     warmup_end: SimTime,
     metrics: RunMetrics,
+    /// True if `cfg.faults.injects_faults()`; every fault code path is gated
+    /// on it, so a default run draws no fault randomness.
+    faults_active: bool,
+    /// False while the server is crashed and replaying its log.
+    server_up: bool,
+    /// In-flight submissions refused because the server was down when they
+    /// arrived (fabric-level drops are counted by the fabric itself).
+    gate_dropped: u64,
+    /// Dedicated stream for crash-time draws: the torn log tail cut and the
+    /// reboot lag. Never advanced with faults off.
+    crash_prng: Prng,
+    /// Replay outcome of the crash being recovered from, reported in the
+    /// `RecoveryDone` event when the server rejoins.
+    pending_recovery: Option<RecoveryOutcome>,
     sink: EventSink,
 }
 
@@ -96,19 +127,33 @@ impl CentralizedSim {
             cfg.workload.update_fraction,
             cfg.runtime.seed,
         );
+        let faults_active = cfg.faults.injects_faults();
+        let mut fabric = Fabric::new(cfg.network, cfg.database.object_size_bytes);
+        if faults_active {
+            // A dedicated PRNG stream for the fabric: loss and jitter draws
+            // never perturb the workload's random sequence.
+            let prng = Prng::seed_from_u64(cfg.runtime.seed).derive(0xFA_B1);
+            fabric.enable_faults(cfg.faults, prng);
+        }
         CentralizedSim {
-            fabric: Fabric::new(cfg.network, cfg.database.object_size_bytes),
+            fabric,
             cpu: PsCpu::new(cfg.cpu.server_speed, cfg.server.max_concurrent_txns),
             locks: LockTable::new(QueueDiscipline::Deadline),
             wfg: WaitForGraph::new(),
             buffer: ClientCache::new(cfg.server.buffer_objects, 0),
             disk: DiskModel::new(cfg.server.disk.page_service_time),
+            store: DurableStore::new(cfg.database.num_objects, cfg.server.buffer_objects.max(1)),
             txns: HashMap::new(),
             inflight: 0,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             warmup_end,
             metrics,
+            faults_active,
+            server_up: true,
+            gate_dropped: 0,
+            crash_prng: Prng::seed_from_u64(cfg.runtime.seed).derive(0xFA_E5),
+            pending_recovery: None,
             sink: EventSink::disabled(),
             cfg,
         }
@@ -137,6 +182,9 @@ impl CentralizedSim {
         for (i, spec) in trace.transactions().iter().enumerate() {
             self.queue.push(spec.arrival, Ev::Arrive(i));
         }
+        if self.faults_active {
+            self.schedule_faults();
+        }
         self.queue
             .push(self.warmup_end.max(SimTime::from_secs(1)), Ev::Sweep);
         let specs: Vec<TransactionSpec> = trace.transactions().to_vec();
@@ -153,7 +201,49 @@ impl CentralizedSim {
         self.metrics.server_cpu_utilization =
             (self.cpu.busy_time().as_secs_f64() / span).min(1.0);
         self.metrics.messages = self.fabric.stats().clone();
+        self.metrics.faults.messages_dropped = self.fabric.dropped_messages() + self.gate_dropped;
+        self.metrics.faults.messages_delayed = self.fabric.delayed_messages();
+        self.metrics.faults.slow_disk_ios = self.disk.slow_ios();
         self.metrics
+    }
+
+    /// Pre-generates the fault schedule (server crashes and slow-disk
+    /// episodes) from seed-derived PRNG streams, so two runs with the same
+    /// seed inject identical faults regardless of workload interleaving.
+    /// Recovery times are *not* pre-generated: how long a restart takes
+    /// depends on the log replayed, so it is computed at crash time.
+    fn schedule_faults(&mut self) {
+        let f = self.cfg.faults;
+        let end = SimTime::ZERO + self.cfg.runtime.duration;
+        if !f.mean_time_to_server_crash.is_zero() {
+            let mut prng = Prng::seed_from_u64(self.cfg.runtime.seed).derive(0xFA_E4);
+            let mut t = SimTime::ZERO;
+            loop {
+                t += prng.exp_duration(f.mean_time_to_server_crash);
+                if t >= end {
+                    break;
+                }
+                self.queue.push(t, Ev::ServerCrash);
+                if f.mean_recovery_time.is_zero() {
+                    break; // permanent crash: the server never rejoins
+                }
+            }
+        }
+        if !f.mean_time_to_slow_disk.is_zero() {
+            let mut prng = Prng::seed_from_u64(self.cfg.runtime.seed).derive(0xFA_D3);
+            let mut episodes = Vec::new();
+            let mut t = SimTime::ZERO;
+            loop {
+                t += prng.exp_duration(f.mean_time_to_slow_disk);
+                if t >= end {
+                    break;
+                }
+                let until = t + f.slow_disk_duration;
+                episodes.push((t, until));
+                t = until;
+            }
+            self.disk.set_slow_episodes(episodes, f.slow_disk_factor);
+        }
     }
 
     fn measured(&self, spec: &TransactionSpec) -> bool {
@@ -173,14 +263,29 @@ impl CentralizedSim {
                         accesses,
                     }
                 });
-                let delivery = self.fabric.send(
-                    self.now,
-                    SiteId::Client(spec.origin),
-                    SiteId::Server,
-                    MessageKind::TxnSubmit,
-                    0,
-                );
-                self.queue.push(delivery, Ev::Submit(i));
+                if self.faults_active {
+                    // Fault-aware path: the submission may be lost to random
+                    // loss or refused by a crashed server.
+                    match self.fabric.try_send(
+                        self.now,
+                        SiteId::Client(spec.origin),
+                        SiteId::Server,
+                        MessageKind::TxnSubmit,
+                        0,
+                    ) {
+                        Delivery::Delivered(t) => self.queue.push(t, Ev::Submit(i)),
+                        Delivery::Dropped => self.record_crash_loss(spec),
+                    }
+                } else {
+                    let delivery = self.fabric.send(
+                        self.now,
+                        SiteId::Client(spec.origin),
+                        SiteId::Server,
+                        MessageKind::TxnSubmit,
+                        0,
+                    );
+                    self.queue.push(delivery, Ev::Submit(i));
+                }
             }
             Ev::Submit(i) => self.on_submit(&specs[i]),
             Ev::IoDone(key) => self.on_io_done(key),
@@ -192,10 +297,33 @@ impl CentralizedSim {
                 arrival,
             } => self.on_result(txn, measured, deadline, arrival),
             Ev::Sweep => self.on_sweep(),
+            Ev::ServerCrash => self.on_server_crash(),
+            Ev::ServerRecover => self.on_server_recover(),
+        }
+    }
+
+    /// Settles a transaction whose submission (or only record of it) was
+    /// lost to a crash or message loss: the origin's timeout scores it.
+    fn record_crash_loss(&mut self, spec: &TransactionSpec) {
+        if self.measured(spec) {
+            let id = spec.id;
+            self.sink
+                .emit(self.now, SiteId::Client(spec.origin), || Event::Outcome {
+                    txn: id,
+                    outcome: TxnOutcome::Aborted(AbortReason::SiteCrash),
+                });
+            self.metrics
+                .record_outcome(TxnOutcome::Aborted(AbortReason::SiteCrash));
         }
     }
 
     fn on_submit(&mut self, spec: &TransactionSpec) {
+        if !self.server_up {
+            // In flight when the server went down: refused at the door.
+            self.gate_dropped += 1;
+            self.record_crash_loss(spec);
+            return;
+        }
         let key = spec.id.as_u64();
         if spec.is_expired(self.now) {
             self.finish(spec.clone(), TxnOutcome::Aborted(AbortReason::Expired));
@@ -259,6 +387,13 @@ impl CentralizedSim {
             txn: id,
             committed: false,
         });
+        if self.store.has_updates(key) {
+            // Roll the logged page writes back in place (compensation
+            // records keep replay honest if a crash follows).
+            self.store.abort(key);
+            self.sink
+                .emit(self.now, SiteId::Server, || Event::WalAbort { txn: id });
+        }
         self.release_locks(key);
         self.wfg.remove_node(key);
         self.inflight -= 1;
@@ -377,6 +512,24 @@ impl CentralizedSim {
         let deadline = txn.spec.deadline;
         let demand = txn.spec.cpu_demand;
         let id = txn.spec.id;
+        // The pages are in memory and the locks are held: log the update
+        // transaction's page writes now, so a crash during its CPU phase
+        // leaves genuine losers for recovery to roll back.
+        let writes: Vec<ObjectId> = txn
+            .spec
+            .accesses
+            .iter()
+            .filter(|a| a.mode() == LockMode::Exclusive)
+            .map(|a| a.object)
+            .collect();
+        for object in writes {
+            let stamp = self.store.write(key, object);
+            self.sink.emit(self.now, SiteId::Server, || Event::WalWrite {
+                txn: id,
+                page: object,
+                stamp,
+            });
+        }
         self.sink
             .emit(self.now, SiteId::Server, || Event::ExecStart { txn: id });
         if let Some((t, g)) = self.cpu.submit(self.now, key, deadline, demand) {
@@ -415,6 +568,21 @@ impl CentralizedSim {
             txn: id,
             committed: true,
         });
+        if self.store.has_updates(key) {
+            // Force the commit record before acknowledging (WAL rule).
+            let checkpoints = self.store.checkpoints();
+            self.store.commit(key);
+            self.sink
+                .emit(self.now, SiteId::Server, || Event::WalCommit { txn: id });
+            if self.store.checkpoints() > checkpoints {
+                let active = self.store.active_txns() as u32;
+                let log_records = self.store.log_records();
+                self.sink.emit(self.now, SiteId::Server, || Event::WalCheckpoint {
+                    active,
+                    log_records,
+                });
+            }
+        }
         self.release_locks(key);
         self.inflight -= 1;
         let spec = txn.spec.clone();
@@ -425,23 +593,38 @@ impl CentralizedSim {
     }
 
     fn send_result(&mut self, _key: Key, spec: &TransactionSpec, committed: bool) {
-        let delivery = self.fabric.send(
-            self.now,
-            SiteId::Server,
-            SiteId::Client(spec.origin),
-            MessageKind::TxnResult,
-            0,
-        );
+        let delivery = if self.faults_active {
+            self.fabric.try_send(
+                self.now,
+                SiteId::Server,
+                SiteId::Client(spec.origin),
+                MessageKind::TxnResult,
+                0,
+            )
+        } else {
+            Delivery::Delivered(self.fabric.send(
+                self.now,
+                SiteId::Server,
+                SiteId::Client(spec.origin),
+                MessageKind::TxnResult,
+                0,
+            ))
+        };
         if committed {
-            self.queue.push(
-                delivery,
-                Ev::Result {
-                    txn: spec.id,
-                    measured: self.measured(spec),
-                    deadline: spec.deadline,
-                    arrival: spec.arrival,
-                },
-            );
+            match delivery {
+                Delivery::Delivered(t) => self.queue.push(
+                    t,
+                    Ev::Result {
+                        txn: spec.id,
+                        measured: self.measured(spec),
+                        deadline: spec.deadline,
+                        arrival: spec.arrival,
+                    },
+                ),
+                // The commit is durable but the client never learns of it:
+                // the origin's timeout scores the transaction as lost.
+                Delivery::Dropped => self.record_crash_loss(spec),
+            }
         }
     }
 
@@ -508,6 +691,116 @@ impl CentralizedSim {
             self.queue
                 .push(self.now + SimDuration::from_secs(1), Ev::Sweep);
         }
+    }
+
+    /// The server crashes: volatile state (buffer pool, lock table, WFG and
+    /// the staged log tail past a random cut) is lost and every in-flight
+    /// transaction becomes a recovery loser. The log is replayed
+    /// immediately in host terms, but its I/O cost is charged to the seeded
+    /// disk model, so the rejoin time reflects the log length and any
+    /// slow-disk episode in force.
+    fn on_server_crash(&mut self) {
+        if !self.server_up {
+            return; // scheduled crash landed while already down
+        }
+        self.server_up = false;
+        self.metrics.faults.crashes += 1;
+        self.sink.emit(self.now, SiteId::Server, || Event::SiteCrash {
+            site: SiteId::Server,
+        });
+        self.fabric.set_site_down(SiteId::Server);
+        let mut keys: Vec<Key> = self
+            .txns // detlint: allow(D2) — keys are collected and sorted below
+            .keys()
+            .copied()
+            .collect();
+        // HashMap iteration order is process-random; sort so the abort
+        // cascade stays reproducible across invocations.
+        keys.sort_unstable();
+        for key in keys {
+            let Some(txn) = self.txns.remove(&key) else {
+                continue;
+            };
+            if txn.phase == Phase::Cpu {
+                if let Some((t, g)) = self.cpu.remove(self.now, key) {
+                    self.queue.push(t, Ev::CpuTick(g));
+                }
+            }
+            let id = txn.spec.id;
+            self.sink.emit(self.now, SiteId::Server, || Event::Abort {
+                txn: id,
+                reason: AbortReason::SiteCrash,
+            });
+            self.sink.emit(self.now, SiteId::Server, || Event::UnitEnd {
+                txn: id,
+                committed: false,
+            });
+            // No `store.abort`: logged-but-uncommitted writes are genuine
+            // losers for replay to roll back. No result message either —
+            // the server is down; the origin's timeout scores the loss.
+            self.inflight -= 1;
+            if self.measured(&txn.spec) {
+                self.sink.emit(self.now, SiteId::Server, || Event::Outcome {
+                    txn: id,
+                    outcome: TxnOutcome::Aborted(AbortReason::SiteCrash),
+                });
+                self.metrics
+                    .record_outcome(TxnOutcome::Aborted(AbortReason::SiteCrash));
+                self.metrics.blocking.push_duration(txn.blocked_total);
+            }
+        }
+        self.locks = LockTable::new(QueueDiscipline::Deadline);
+        self.wfg = WaitForGraph::new();
+        self.buffer = ClientCache::new(self.cfg.server.buffer_objects, 0);
+        if self.cfg.faults.mean_recovery_time.is_zero() {
+            return; // permanent crash: the site stays dark
+        }
+        // Crash the durable store (a random cut of the staged tail may
+        // leave a torn final record) and replay its surviving log.
+        let frames = self.cfg.server.buffer_objects.max(1);
+        let keep = self.crash_prng.below_usize(self.store.staged_len() + 1);
+        let dead = std::mem::replace(&mut self.store, DurableStore::new(1, 1));
+        let (log, disk) = dead.crash(keep);
+        let (recovered, outcome) = DurableStore::restart(&log, disk, frames);
+        self.store = recovered;
+        // Reboot lag, then the replay's I/O at the (possibly slow) disk.
+        let back = self.now + self.crash_prng.exp_duration(self.cfg.faults.mean_recovery_time);
+        let ios = u32::try_from(outcome.replay_ios()).unwrap_or(u32::MAX);
+        let ready = if ios == 0 {
+            back
+        } else {
+            self.disk.schedule_batch(back, ios)
+        };
+        self.pending_recovery = Some(outcome);
+        self.queue.push(ready, Ev::ServerRecover);
+    }
+
+    /// Replay finished: the server rejoins with only durable state.
+    fn on_server_recover(&mut self) {
+        self.server_up = true;
+        self.fabric.set_site_up(SiteId::Server);
+        self.metrics.faults.recoveries += 1;
+        let outcome = self.pending_recovery.take().unwrap_or_default();
+        let (redo, undone) = (outcome.redo_applied, outcome.undone);
+        let (losers, replay_ios) = (outcome.losers.len() as u32, outcome.replay_ios());
+        self.sink.emit(self.now, SiteId::Server, || Event::RecoveryDone {
+            site: SiteId::Server,
+            redo,
+            undone,
+            losers,
+            replay_ios,
+        });
+        // Post-replay durable state, in ascending page order: the recovery
+        // oracle checks these stamps against the committed history.
+        if self.sink.is_enabled() {
+            for (page, stamp) in self.store.stamps() {
+                self.sink
+                    .emit(self.now, SiteId::Server, || Event::WalState { page, stamp });
+            }
+        }
+        self.sink.emit(self.now, SiteId::Server, || Event::SiteRecover {
+            site: SiteId::Server,
+        });
     }
 }
 

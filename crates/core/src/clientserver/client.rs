@@ -549,9 +549,15 @@ impl ClientServerSim {
                     _ => continue,
                 }
             };
-            let granted_mode = self.clients[ci].cached_locks.get(object).copied()
-                .expect("lock installed by this grant");
-            if granted_mode.covers(need_mode) && self.clients[ci].cache.contains(object) {
+            // The lock installed above can vanish mid-loop: an earlier
+            // waiter's completed acquisition may release local locks and
+            // let a queued revoke execute, surrendering the cached lock
+            // again. For later waiters that is indistinguishable from a
+            // too-weak grant — fall through to the re-request path.
+            let granted_mode = self.clients[ci].cached_locks.get(object).copied();
+            if granted_mode.is_some_and(|m| m.covers(need_mode))
+                && self.clients[ci].cache.contains(object)
+            {
                 let promote =
                     self.clients[ci].cache.peek(object) == Some(CacheTier::Disk);
                 if self.request_local_lock(ci, key, object, need_mode, promote) {

@@ -30,7 +30,7 @@ use siteselect_locks::{CallbackTracker, ForwardList, LockTable, QueueDiscipline,
 use siteselect_net::{Delivery, Fabric};
 use siteselect_obs::EventSink;
 use siteselect_sim::{EventQueue, Prng};
-use siteselect_storage::{ClientCache, DiskModel};
+use siteselect_storage::{ClientCache, DiskModel, DurableStore, RecoveryOutcome};
 use siteselect_types::{
     AbortReason, AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, ObjectMap,
     ObjectSet, SimDuration, SimTime, SiteId, SystemKind, TransactionId, TransactionSpec,
@@ -187,6 +187,11 @@ pub(crate) enum Ev {
     SiteCrash { client: usize },
     /// Fault injection: a crashed client site comes back up, cold.
     SiteRecover { client: usize },
+    /// Fault injection: the server crashes (from the pre-generated
+    /// schedule). Volatile state is lost; the durable store survives.
+    ServerCrash,
+    /// The server finished log replay and rejoins.
+    ServerRecover,
     /// Failure handling: check whether a fetch is still unanswered and
     /// retransmit its request (capped exponential backoff).
     RetryFetch {
@@ -413,6 +418,13 @@ pub(crate) struct ServerState {
     pub routing: ObjectMap<ForwardList>,
     /// Lock-table-queued requests awaiting grant: data to ship on grant.
     pub waiting_wants: WaitingWants,
+    /// WAL-backed durable home of the database: every data-carrying object
+    /// return is applied here under a server-local pseudo-transaction, so a
+    /// crash-restart replays the newest committed versions.
+    pub store: DurableStore,
+    /// Sequence counter for the pseudo-transactions above (tagged with the
+    /// high bit so they can never collide with workload transaction ids).
+    pub pseudo_seq: u64,
 }
 
 /// Fault-injection runtime state. `active` is false unless the experiment
@@ -424,17 +436,28 @@ pub(crate) struct FaultRuntime {
     pub active: bool,
     /// Liveness of each client site (all true with faults off).
     pub up: Vec<bool>,
+    /// Liveness of the server (true with faults off).
+    pub server_up: bool,
     /// Pre-crash in-flight deliveries refused at a crashed destination
     /// (fabric-level drops are counted by the fabric itself).
     pub gate_dropped: u64,
+    /// Crash-restart randomness: the torn staged-write tail kept by a
+    /// server crash and the reboot lag before replay starts. Its own stream
+    /// so restart draws never perturb the crash schedule.
+    pub crash_prng: Prng,
+    /// Replay summary carried from a server crash to its `ServerRecover`.
+    pub pending_recovery: Option<RecoveryOutcome>,
 }
 
 impl FaultRuntime {
-    fn new(active: bool, clients: usize) -> Self {
+    fn new(active: bool, clients: usize, seed: u64) -> Self {
         FaultRuntime {
             active,
             up: vec![true; clients],
+            server_up: true,
             gate_dropped: 0,
+            crash_prng: Prng::seed_from_u64(seed).derive(0xFA_E5),
+            pending_recovery: None,
         }
     }
 }
@@ -506,6 +529,8 @@ impl ClientServerSim {
             disk: DiskModel::new(cfg.server.disk.page_service_time),
             routing: ObjectMap::new(),
             waiting_wants: WaitingWants::new(usize::from(cfg.clients)),
+            store: DurableStore::new(cfg.database.num_objects, cfg.server.buffer_objects.max(1)),
+            pseudo_seq: 0,
         };
         let warmup_end = SimTime::ZERO + cfg.runtime.warmup;
         let metrics = RunMetrics::new(
@@ -514,7 +539,7 @@ impl ClientServerSim {
             cfg.workload.update_fraction,
             cfg.runtime.seed,
         );
-        let faults = FaultRuntime::new(cfg.faults.injects_faults(), clients.len());
+        let faults = FaultRuntime::new(cfg.faults.injects_faults(), clients.len(), cfg.runtime.seed);
         let mut fabric = Fabric::new(cfg.network, cfg.database.object_size_bytes);
         if faults.active {
             // A dedicated PRNG stream for the fabric: loss and jitter draws
@@ -577,6 +602,24 @@ impl ClientServerSim {
                     }
                     self.queue.push(t, Ev::SiteRecover { client: ci });
                 }
+            }
+        }
+        if !f.mean_time_to_server_crash.is_zero() {
+            let mut prng = Prng::seed_from_u64(self.cfg.runtime.seed).derive(0xFA_E4);
+            let mut t = SimTime::ZERO;
+            loop {
+                t += prng.exp_duration(f.mean_time_to_server_crash);
+                if t >= end {
+                    break;
+                }
+                self.queue.push(t, Ev::ServerCrash);
+                if f.mean_recovery_time.is_zero() {
+                    break; // permanent: the site goes dark, no replay
+                }
+                // Recovery is self-scheduled by the crash handler (its time
+                // depends on log length); space the next crash out past the
+                // expected outage so the schedule stays plausible.
+                t += prng.exp_duration(f.mean_recovery_time);
             }
         }
         if !f.mean_time_to_slow_disk.is_zero() {
@@ -706,7 +749,17 @@ impl ClientServerSim {
         match ev {
             Ev::Arrive(i) => self.on_arrive(i),
             Ev::Deliver { to, msg } => match to {
-                SiteDest::Server => self.server_on_msg(msg),
+                SiteDest::Server => {
+                    // Crash refusal for deliveries already in flight when
+                    // the server went down (new sends are refused by the
+                    // fabric itself).
+                    if self.faults.server_up {
+                        self.server_on_msg(msg);
+                    } else {
+                        self.faults.gate_dropped += 1;
+                        self.on_dropped_delivery(msg);
+                    }
+                }
                 SiteDest::Client(c) => {
                     // Crash refusal for deliveries already in flight when
                     // the destination went down (new sends are refused by
@@ -725,12 +778,25 @@ impl ClientServerSim {
                 txn,
                 object,
             } => self.on_client_disk_ready(client, txn, object),
-            Ev::ServerFetchDone { to, items } => self.server_ship_now(to, items),
-            Ev::WindowClose { object } => self.server_on_window_close(object),
+            Ev::ServerFetchDone { to, items } => {
+                // A fetch issued before a crash died with the server's
+                // volatile state; the client's retry machinery re-requests.
+                if self.faults.server_up {
+                    self.server_ship_now(to, items);
+                }
+            }
+            Ev::WindowClose { object } => {
+                // Windows were wiped by the crash; a stale close is a no-op.
+                if self.faults.server_up {
+                    self.server_on_window_close(object);
+                }
+            }
             Ev::EndWarmup => self.fabric.reset_stats(),
             Ev::Sweep => self.on_sweep(),
             Ev::SiteCrash { client } => self.on_site_crash(client),
             Ev::SiteRecover { client } => self.on_site_recover(client),
+            Ev::ServerCrash => self.on_server_crash(),
+            Ev::ServerRecover => self.on_server_recover(),
             Ev::RetryFetch {
                 client,
                 object,
@@ -786,7 +852,9 @@ impl ClientServerSim {
 
     fn on_sweep(&mut self) {
         self.sweep_expired_txns();
-        self.server_sweep();
+        if self.faults.server_up {
+            self.server_sweep();
+        }
         if self.inflight > 0 || !self.queue.is_empty() {
             self.queue
                 .push(self.now + SimDuration::from_secs(1), Ev::Sweep);

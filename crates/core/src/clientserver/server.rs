@@ -3,11 +3,15 @@
 //! rounds, collection windows / forward lists, location & load queries, and
 //! the buffer/disk path that ships object payloads.
 
-use siteselect_locks::{Acquire, ForwardEntry, ForwardList, Waiter, WindowOffer};
+use siteselect_locks::{
+    Acquire, CallbackTracker, ForwardEntry, ForwardList, LockTable, QueueDiscipline, Waiter,
+    WaitForGraph, WindowManager, WindowOffer,
+};
 use siteselect_net::{Delivery, MessageKind};
-use siteselect_types::{AbortReason, ClientId, LockMode, ObjectId, SiteId, TransactionId};
+use siteselect_storage::{ClientCache, DurableStore};
+use siteselect_types::{AbortReason, ClientId, LockMode, ObjectId, ObjectMap, SimTime, SiteId, TransactionId};
 
-use super::{ClientServerSim, Ev, Msg, SiteDest, TKey, Want, WantInfo};
+use super::{ClientServerSim, Ev, Msg, SiteDest, TKey, WaitingWants, Want, WantInfo};
 
 impl ClientServerSim {
     pub(crate) fn server_on_msg(&mut self, msg: Msg) {
@@ -120,6 +124,22 @@ impl ClientServerSim {
         // §3.3: the server refuses to work for already-expired requests.
         if self.ls && self.cfg.load_sharing.request_scheduling_enabled && w.deadline < self.now {
             self.server_reject(client, txn, true);
+            return;
+        }
+        // Failure handling: a retransmit from a holder whose cached lock is
+        // being called back must not be answered — the grant or re-ship
+        // would cross the holder's own callback ack on the wire, and the
+        // ack releases the lock, so a conflicting grant could coexist with
+        // the re-shipped copy. Drop it; the ack (or the lease) settles the
+        // lock and the client's next retry or deadline sweep settles the
+        // transaction.
+        if self.faults.active
+            && self
+                .server
+                .callbacks
+                .outstanding(w.object)
+                .contains(&client)
+        {
             return;
         }
         if let Some(held) = self.server.locks.held_mode(w.object, client) {
@@ -337,6 +357,37 @@ impl ClientServerSim {
 
     fn server_on_return(&mut self, object: ObjectId, from: ClientId, downgraded: bool) {
         self.server.buffer.insert(object);
+        // Durable apply: a returned object carries the newest committed
+        // version, so it is WAL-logged and force-committed under a
+        // server-local pseudo-transaction before any volatile bookkeeping —
+        // a crash from here on replays this write instead of losing it.
+        self.server.pseudo_seq += 1;
+        let pseudo = (1u64 << 63) | self.server.pseudo_seq;
+        let checkpoints = self.server.store.checkpoints();
+        let stamp = self.server.store.write(pseudo, object);
+        self.server.store.commit(pseudo);
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::WalWrite {
+                txn: TransactionId::from_raw(pseudo),
+                page: object,
+                stamp,
+            }
+        });
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::WalCommit {
+                txn: TransactionId::from_raw(pseudo),
+            }
+        });
+        if self.server.store.checkpoints() > checkpoints {
+            let active = self.server.store.active_txns() as u32;
+            let log_records = self.server.store.log_records();
+            self.sink.emit(self.now, SiteId::Server, || {
+                siteselect_obs::Event::WalCheckpoint {
+                    active,
+                    log_records,
+                }
+            });
+        }
         self.server.callbacks.acknowledge(object, from);
         self.sink.emit(self.now, SiteId::Server, || {
             siteselect_obs::Event::CallbackAcked { object, from }
@@ -756,6 +807,151 @@ impl ClientServerSim {
         self.server
             .routing
             .retain(|_, l| l.entries().iter().any(|e| e.deadline >= now));
+    }
+
+    // ------------------------------------------------------------------
+    // Server crash-restart
+    // ------------------------------------------------------------------
+
+    /// The server crashes: volatile state (lock table, WFG, callback and
+    /// window managers, buffer pool, routing and queued wants, plus the
+    /// staged log tail past a random cut) is lost; the WAL and the durable
+    /// pages survive. Clients keep running against their caches — their
+    /// outstanding requests die silently and are re-driven by retries or
+    /// reaped by the deadline sweeps.
+    pub(crate) fn on_server_crash(&mut self) {
+        if !self.faults.server_up {
+            return; // scheduled crash landed while already down
+        }
+        self.faults.server_up = false;
+        self.metrics.faults.crashes += 1;
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::SiteCrash {
+                site: SiteId::Server,
+            }
+        });
+        self.fabric.set_site_down(SiteId::Server);
+        let clients = self.clients.len();
+        self.server.locks = LockTable::new(QueueDiscipline::Fifo);
+        self.server.wfg = WaitForGraph::new();
+        self.server.callbacks = CallbackTracker::new();
+        self.server.callbacks.set_sink(self.sink.clone());
+        self.server.windows = WindowManager::new(self.cfg.load_sharing.collection_window);
+        self.server.windows.set_sink(self.sink.clone());
+        self.server.buffer = ClientCache::new(self.cfg.server.buffer_objects, 0);
+        self.server.routing = ObjectMap::new();
+        self.server.waiting_wants = WaitingWants::new(clients);
+        if self.cfg.faults.mean_recovery_time.is_zero() {
+            return; // permanent crash: the site stays dark
+        }
+        // Crash the durable store (a random cut of the staged tail may
+        // leave a torn final record) and replay its surviving log.
+        let frames = self.cfg.server.buffer_objects.max(1);
+        let keep = self
+            .faults
+            .crash_prng
+            .below_usize(self.server.store.staged_len() + 1);
+        let dead = std::mem::replace(&mut self.server.store, DurableStore::new(1, 1));
+        let (log, disk) = dead.crash(keep);
+        let (recovered, outcome) = DurableStore::restart(&log, disk, frames);
+        self.server.store = recovered;
+        // Reboot lag, then the replay's I/O at the (possibly slow) disk.
+        let back = self.now
+            + self
+                .faults
+                .crash_prng
+                .exp_duration(self.cfg.faults.mean_recovery_time);
+        let ios = u32::try_from(outcome.replay_ios()).unwrap_or(u32::MAX);
+        let ready = if ios == 0 {
+            back
+        } else {
+            self.server.disk.schedule_batch(back, ios)
+        };
+        self.faults.pending_recovery = Some(outcome);
+        self.queue.push(ready, Ev::ServerRecover);
+    }
+
+    /// Replay finished: the server rejoins with only durable state, then
+    /// re-derives its client-granularity lock table from the surviving
+    /// clients' cached locks — the model's stand-in for clients
+    /// revalidating their leases on reconnect (the callback table starts
+    /// empty and is rebuilt on demand). A cached copy that no longer fits
+    /// (possible only via a grant in flight at the crash instant) is fenced
+    /// so its holder must re-fetch.
+    pub(crate) fn on_server_recover(&mut self) {
+        self.faults.server_up = true;
+        self.fabric.set_site_up(SiteId::Server);
+        self.metrics.faults.recoveries += 1;
+        let outcome = self.faults.pending_recovery.take().unwrap_or_default();
+        let (redo, undone) = (outcome.redo_applied, outcome.undone);
+        let (losers, replay_ios) = (outcome.losers.len() as u32, outcome.replay_ios());
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::RecoveryDone {
+                site: SiteId::Server,
+                redo,
+                undone,
+                losers,
+                replay_ios,
+            }
+        });
+        // Post-replay durable state, in ascending page order: the recovery
+        // oracle checks these stamps against the committed history.
+        if self.sink.is_enabled() {
+            for (page, stamp) in self.server.store.stamps() {
+                self.sink.emit(self.now, SiteId::Server, || {
+                    siteselect_obs::Event::WalState { page, stamp }
+                });
+            }
+        }
+        for ci in 0..self.clients.len() {
+            if !self.faults.up[ci] {
+                continue; // a crashed client has nothing to revalidate
+            }
+            let id = self.clients[ci].id;
+            let locks: Vec<(ObjectId, LockMode)> = self.clients[ci]
+                .cached_locks
+                .iter()
+                .map(|(o, m)| (o, *m))
+                .collect();
+            for (object, mode) in locks {
+                match self.server.locks.request(object, id, mode, SimTime::MAX) {
+                    Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {}
+                    Acquire::Blocked { .. } => {
+                        let _ = self.server.locks.cancel_wait(object, id);
+                        let c = &mut self.clients[ci];
+                        c.cached_locks.remove(object);
+                        c.cache.invalidate(object);
+                        c.dirty.remove(object);
+                        c.revokes.remove(&object);
+                        self.sink.emit(self.now, SiteId::Server, || {
+                            siteselect_obs::Event::CacheDrop { client: id, object }
+                        });
+                    }
+                }
+            }
+        }
+        self.sink.emit(self.now, SiteId::Server, || {
+            siteselect_obs::Event::SiteRecover {
+                site: SiteId::Server,
+            }
+        });
+        // The rebuilt lock table remembers nothing of the transactional
+        // (non-cached) grants that were in flight at the crash, so a
+        // transaction alive across the outage could commit against locks
+        // the server has silently re-granted. On reconnect every such
+        // in-flight transaction aborts instead — which also cancels its
+        // outstanding fetches, disarming the post-recovery retry storm.
+        for ci in 0..self.clients.len() {
+            if !self.faults.up[ci] {
+                continue; // a crashed client's work already died with it
+            }
+            let mut stranded: Vec<TKey> =
+                self.clients[ci].txns.keys().copied().collect(); // detlint: allow(D2) — sorted below
+            stranded.sort_unstable();
+            for key in stranded {
+                self.abort_txn(ci, key, AbortReason::SiteCrash);
+            }
+        }
     }
 }
 

@@ -231,6 +231,61 @@ mod tests {
     }
 
     #[test]
+    fn server_crash_restart_recovers_in_all_three_systems() {
+        use siteselect_types::FaultConfig;
+        for system in SystemKind::ALL {
+            let mut cfg = ExperimentConfig::paper(system, 6, 0.20);
+            cfg.runtime.duration = SimDuration::from_secs(600);
+            cfg.runtime.warmup = SimDuration::from_secs(50);
+            cfg.faults = FaultConfig {
+                mean_time_to_server_crash: SimDuration::from_secs(150),
+                mean_recovery_time: SimDuration::from_secs(20),
+                ..FaultConfig::default()
+            };
+            let m = run_experiment(&cfg).unwrap();
+            assert!(
+                m.faults.crashes > 0,
+                "{system}: no server crash in 600s at MTTF 150s"
+            );
+            assert!(m.faults.recoveries > 0, "{system}: server never rejoined");
+            assert!(
+                m.is_consistent(),
+                "{system}: outcome accounting out of balance"
+            );
+            assert!(
+                m.in_time > 0,
+                "{system}: nothing succeeded around the outages"
+            );
+            let again = run_experiment(&cfg).unwrap();
+            assert_eq!(m, again, "{system}: crash-restart run not deterministic");
+        }
+    }
+
+    #[test]
+    fn permanent_server_crash_goes_dark_but_drains() {
+        use siteselect_types::FaultConfig;
+        for system in SystemKind::ALL {
+            let mut cfg = ExperimentConfig::paper(system, 6, 0.20);
+            cfg.runtime.duration = SimDuration::from_secs(600);
+            cfg.runtime.warmup = SimDuration::from_secs(50);
+            cfg.faults = FaultConfig {
+                mean_time_to_server_crash: SimDuration::from_secs(100),
+                mean_recovery_time: SimDuration::ZERO,
+                ..FaultConfig::default()
+            };
+            // With no recovery time the site stays down; the run must still
+            // drain (sweeps reap everything the dead server stranded).
+            let m = run_experiment(&cfg).unwrap();
+            assert!(m.faults.crashes > 0, "{system}: no crash at MTTF 100s");
+            assert_eq!(
+                m.faults.recoveries, 0,
+                "{system}: permanent crash must not recover"
+            );
+            assert!(m.is_consistent(), "{system}: accounting out of balance");
+        }
+    }
+
+    #[test]
     fn tracing_does_not_perturb_results() {
         // The observability pipeline must be a pure observer: attaching a
         // sink changes nothing about the simulation itself, for every

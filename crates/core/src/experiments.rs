@@ -503,6 +503,105 @@ pub fn fault_table(
     Ok(FaultTable { clients, rows })
 }
 
+/// Intensities swept by [`restart_table`]'s crash-restart cells. No zero
+/// row: the study contrasts recovery against the cliff, and at zero
+/// intensity the server never crashes at all.
+pub const RESTART_INTENSITIES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// Crash-restart study: deadline success of CS-RTDBS vs LS-CS-RTDBS when
+/// the server itself crashes mid-run, comparing write-ahead-log
+/// crash-**restart** (the server replays its log and rejoins) against the
+/// same fault schedule with recovery disabled (every crashed site stays
+/// dark). The gap between the two columns is what durability buys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartTable {
+    /// Client count of every run.
+    pub clients: u16,
+    /// Per-intensity measurements.
+    pub rows: Vec<RestartRow>,
+}
+
+/// One [`RestartTable`] row: `(intensity, [CS, LS] success % with
+/// crash-restart recovery, [CS, LS] success % with recovery disabled,
+/// [CS, LS] recoveries observed in the restart runs)`.
+pub type RestartRow = (f64, [f64; 2], [f64; 2], [u64; 2]);
+
+impl RestartTable {
+    /// Renders the recovery-vs-cliff table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "intensity".into(),
+            "CS restart %".into(),
+            "CS dark %".into(),
+            "LS restart %".into(),
+            "LS dark %".into(),
+            "CS recoveries".into(),
+            "LS recoveries".into(),
+        ]);
+        for (intensity, restart, dark, recoveries) in &self.rows {
+            t.row(vec![
+                fnum(*intensity, 2),
+                fnum(restart[0], 2),
+                fnum(dark[0], 2),
+                fnum(restart[1], 2),
+                fnum(dark[1], 2),
+                recoveries[0].to_string(),
+                recoveries[1].to_string(),
+            ]);
+        }
+        format!(
+            "Server crash-restart vs permanent crash ({} clients, 20% updates)\n{}",
+            self.clients,
+            t.render()
+        )
+    }
+}
+
+/// Runs the crash-restart sweep: CS and LS at `clients` clients and 20%
+/// updates for each intensity in `intensities`, once under
+/// [`FaultConfig::chaos_restart`](siteselect_types::FaultConfig::chaos_restart)
+/// (crashed sites replay their log and rejoin) and once with
+/// `mean_recovery_time` zeroed (crashed sites stay dark for the rest of
+/// the run).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn restart_table(
+    clients: u16,
+    intensities: &[f64],
+    opts: SweepOptions,
+) -> Result<RestartTable, ConfigError> {
+    use siteselect_types::FaultConfig;
+    let mut cfgs = Vec::with_capacity(intensities.len() * 4);
+    for &intensity in intensities {
+        for recovers in [true, false] {
+            for system in [SystemKind::ClientServer, SystemKind::LoadSharing] {
+                let mut cfg = ExperimentConfig::paper(system, clients, 0.20);
+                opts.apply(&mut cfg);
+                cfg.faults = FaultConfig::chaos_restart(intensity);
+                if !recovers {
+                    cfg.faults.mean_recovery_time = SimDuration::ZERO;
+                }
+                cfgs.push(cfg);
+            }
+        }
+    }
+    let metrics = run_many(opts.jobs, &cfgs)?;
+    let rows = intensities
+        .iter()
+        .zip(metrics.chunks_exact(4))
+        .map(|(&intensity, quad)| {
+            let restart = [quad[0].success_percent(), quad[1].success_percent()];
+            let dark = [quad[2].success_percent(), quad[3].success_percent()];
+            let recoveries = [quad[0].faults.recoveries, quad[1].faults.recoveries];
+            (intensity, restart, dark, recoveries)
+        })
+        .collect();
+    Ok(RestartTable { clients, rows })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +700,18 @@ mod tests {
             "full chaos must drop messages in both systems"
         );
         assert!(t.render().contains("fault intensity"));
+    }
+
+    #[test]
+    fn restart_table_shape_and_sane_percentages() {
+        let t = restart_table(4, &[1.0], tiny()).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        let (intensity, restart, dark, _) = &t.rows[0];
+        assert!((intensity - 1.0).abs() < f64::EPSILON);
+        for v in restart.iter().chain(dark.iter()) {
+            assert!((0.0..=100.0).contains(v));
+        }
+        assert!(t.render().contains("crash-restart vs permanent"));
     }
 
     #[test]

@@ -265,6 +265,59 @@ pub enum Event {
         /// Its final disposition.
         outcome: TxnOutcome,
     },
+    /// A durable page write was logged at the server's write-ahead log. The
+    /// stamp is the unique value now stored in the page; the recovery
+    /// oracle tracks it until a [`Event::WalCommit`] or [`Event::WalAbort`]
+    /// resolves it.
+    WalWrite {
+        /// The writing transaction (or server-side pseudo-transaction).
+        txn: TransactionId,
+        /// The page written.
+        page: ObjectId,
+        /// The unique write stamp stored in the page.
+        stamp: u64,
+    },
+    /// A transaction's commit record was forced to the durable log — from
+    /// this instant its stamped writes must survive any crash-restart.
+    WalCommit {
+        /// The committed transaction.
+        txn: TransactionId,
+    },
+    /// A transaction's logged updates were rolled back in place and an
+    /// abort record appended — its stamps must never be seen again.
+    WalAbort {
+        /// The rolled-back transaction.
+        txn: TransactionId,
+    },
+    /// A fuzzy checkpoint record was written at the server.
+    WalCheckpoint {
+        /// Transactions active (unresolved) at checkpoint time.
+        active: u32,
+        /// Total records in the log after the checkpoint.
+        log_records: u64,
+    },
+    /// Crash-restart replay finished at a recovering site.
+    RecoveryDone {
+        /// The recovering site.
+        site: SiteId,
+        /// Update records reapplied by the redo pass.
+        redo: u64,
+        /// Loser updates rolled back by the undo pass.
+        undone: u64,
+        /// Loser transactions rolled back.
+        losers: u32,
+        /// Disk operations the replay was charged for.
+        replay_ios: u64,
+    },
+    /// Post-recovery durable page state: one per page with a nonzero write
+    /// stamp, emitted in ascending page order after each replay. The
+    /// recovery oracle compares these against the committed history.
+    WalState {
+        /// The page.
+        page: ObjectId,
+        /// The stamp the page holds after replay.
+        stamp: u64,
+    },
 }
 
 impl Event {
@@ -301,6 +354,12 @@ impl Event {
             Event::CacheDrop { .. } => "cache_drop",
             Event::CacheWipe { .. } => "cache_wipe",
             Event::Outcome { .. } => "outcome",
+            Event::WalWrite { .. } => "wal_write",
+            Event::WalCommit { .. } => "wal_commit",
+            Event::WalAbort { .. } => "wal_abort",
+            Event::WalCheckpoint { .. } => "wal_checkpoint",
+            Event::RecoveryDone { .. } => "recovery_done",
+            Event::WalState { .. } => "wal_state",
         }
     }
 
@@ -322,7 +381,10 @@ impl Event {
             | Event::RetrySent { txn }
             | Event::LockHeld { txn, .. }
             | Event::UnitEnd { txn, .. }
-            | Event::Outcome { txn, .. } => Some(*txn),
+            | Event::Outcome { txn, .. }
+            | Event::WalWrite { txn, .. }
+            | Event::WalCommit { txn }
+            | Event::WalAbort { txn } => Some(*txn),
             _ => None,
         }
     }
@@ -380,7 +442,10 @@ impl Event {
                 }
                 out.push(']');
             }
-            Event::ExecStart { txn } | Event::RetrySent { txn } => {
+            Event::ExecStart { txn }
+            | Event::RetrySent { txn }
+            | Event::WalCommit { txn }
+            | Event::WalAbort { txn } => {
                 let _ = write!(out, r#","txn":"{txn}""#);
             }
             Event::LockWait { txn, object } => {
@@ -467,6 +532,30 @@ impl Event {
             }
             Event::Outcome { txn, outcome } => {
                 let _ = write!(out, r#","txn":"{txn}","outcome":"{}""#, outcome_str(*outcome));
+            }
+            Event::WalWrite { txn, page, stamp } => {
+                let _ = write!(out, r#","txn":"{txn}","page":"{page}","stamp":{stamp}"#);
+            }
+            Event::WalCheckpoint {
+                active,
+                log_records,
+            } => {
+                let _ = write!(out, r#","active":{active},"log_records":{log_records}"#);
+            }
+            Event::RecoveryDone {
+                site,
+                redo,
+                undone,
+                losers,
+                replay_ios,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","site":"{site}","redo":{redo},"undone":{undone},"losers":{losers},"replay_ios":{replay_ios}"#
+                );
+            }
+            Event::WalState { page, stamp } => {
+                let _ = write!(out, r#","page":"{page}","stamp":{stamp}"#);
             }
         }
     }
@@ -558,6 +647,58 @@ mod tests {
         let mut s = String::new();
         install.write_json_fields(&mut s);
         assert!(s.contains(r#""client":"client#2""#));
+    }
+
+    #[test]
+    fn durability_events_carry_their_payloads() {
+        let txn = TransactionId::new(ClientId(1), 9);
+        let write = Event::WalWrite {
+            txn,
+            page: ObjectId(12),
+            stamp: 77,
+        };
+        assert_eq!(write.kind(), "wal_write");
+        assert_eq!(write.txn(), Some(txn));
+        let mut s = String::new();
+        write.write_json_fields(&mut s);
+        assert!(s.contains(r#""page":"obj#12""#));
+        assert!(s.contains(r#""stamp":77"#));
+
+        let commit = Event::WalCommit { txn };
+        assert_eq!(commit.kind(), "wal_commit");
+        assert_eq!(commit.txn(), Some(txn));
+
+        let done = Event::RecoveryDone {
+            site: SiteId::Server,
+            redo: 5,
+            undone: 2,
+            losers: 1,
+            replay_ios: 9,
+        };
+        assert_eq!(done.kind(), "recovery_done");
+        assert_eq!(done.txn(), None);
+        let mut s = String::new();
+        done.write_json_fields(&mut s);
+        assert!(s.contains(r#""site":"server""#));
+        assert!(s.contains(r#""replay_ios":9"#));
+
+        let state = Event::WalState {
+            page: ObjectId(3),
+            stamp: 41,
+        };
+        assert_eq!(state.kind(), "wal_state");
+        let mut s = String::new();
+        state.write_json_fields(&mut s);
+        assert!(s.contains(r#""stamp":41"#));
+
+        let ckpt = Event::WalCheckpoint {
+            active: 2,
+            log_records: 100,
+        };
+        assert_eq!(ckpt.kind(), "wal_checkpoint");
+        let mut s = String::new();
+        ckpt.write_json_fields(&mut s);
+        assert!(s.contains(r#""log_records":100"#));
     }
 
     #[test]

@@ -302,6 +302,14 @@ impl BufferManager {
             .map(|f| &mut f.page)
     }
 
+    /// Read access to a buffered page by id, without pinning or touching
+    /// recency state (used for non-counted inspection).
+    #[must_use]
+    pub fn peek(&self, id: ObjectId) -> Option<&Page> {
+        let &idx = self.map.get(id)?;
+        self.frames[idx].as_ref().map(|f| &f.page)
+    }
+
     /// Writes every dirty page back to `disk` and clears the dirty bits.
     pub fn flush_all(&mut self, disk: &mut DiskFile) {
         for frame in self.frames.iter_mut().flatten() {

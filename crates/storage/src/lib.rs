@@ -13,7 +13,10 @@
 //! * [`ClientCache`] — the client's two-tier (memory + disk) object cache of
 //!   Table 1 (500 + 500 objects) used by the client–server models;
 //! * [`DiskModel`] — a FIFO single-server service-time model of a disk, used
-//!   by the discrete-event simulator.
+//!   by the discrete-event simulator;
+//! * [`Wal`] / [`DurableStore`] — an ARIES-lite write-ahead log and the
+//!   durability facade the engines write through, with redo-then-undo
+//!   crash-restart replay in [`recovery`].
 //!
 //! # Example
 //!
@@ -34,6 +37,8 @@ pub mod disk;
 pub mod model;
 pub mod page;
 pub mod pagedfile;
+pub mod recovery;
+pub mod wal;
 
 pub use buffer::{BufferManager, BufferStats, Replacement};
 pub use cache::{CacheTier, ClientCache, ClientCacheStats};
@@ -41,3 +46,5 @@ pub use disk::{DiskFile, DiskStats};
 pub use model::DiskModel;
 pub use page::{Page, PAGE_SIZE};
 pub use pagedfile::{PagedFile, PfError};
+pub use recovery::{DurableStore, RecoveryOutcome};
+pub use wal::{LogRecord, Lsn, Wal};

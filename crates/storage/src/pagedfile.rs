@@ -90,6 +90,35 @@ impl PagedFile {
         }
     }
 
+    /// Wraps an existing disk image with a fresh buffer — used by crash
+    /// recovery to reopen the database left behind by a crashed site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_frames` is zero.
+    #[must_use]
+    pub fn from_disk(disk: DiskFile, buffer_frames: usize) -> Self {
+        PagedFile {
+            disk,
+            buffer: BufferManager::new(buffer_frames, Replacement::Lru),
+        }
+    }
+
+    /// Consumes the paged file and returns the on-disk image, **discarding**
+    /// any dirty buffered pages — crash semantics: the buffer pool is
+    /// volatile and its unwritten contents are lost.
+    #[must_use]
+    pub fn into_disk(self) -> DiskFile {
+        self.disk
+    }
+
+    /// Non-counted read access to the current contents of a page: the
+    /// buffered copy if present (it is newer), otherwise the on-disk copy.
+    #[must_use]
+    pub fn peek(&self, id: ObjectId) -> Option<&Page> {
+        self.buffer.peek(id).or_else(|| self.disk.peek(id))
+    }
+
     /// The fixed page size (2 KB, Table 1).
     #[must_use]
     pub fn page_size(&self) -> usize {

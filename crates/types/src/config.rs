@@ -379,6 +379,13 @@ pub struct FaultConfig {
     /// Mean down-time before a crashed site recovers (exponential; zero =
     /// crashed sites stay down for the rest of the run).
     pub mean_recovery_time: SimDuration,
+    /// Mean up-time before the **server** site crashes and restarts
+    /// (exponential; zero = the server never crashes). Unlike client
+    /// crashes, a server crash is followed by write-ahead-log replay: the
+    /// site is down for `mean_recovery_time` plus however long the replay
+    /// I/O takes under the (possibly slow) disk model, then rejoins with
+    /// in-flight transactions aborted and lock/callback state re-derived.
+    pub mean_time_to_server_crash: SimDuration,
     /// Mean up-time between slow-disk episodes at the server (exponential;
     /// zero = the disk never degrades).
     pub mean_time_to_slow_disk: SimDuration,
@@ -409,6 +416,7 @@ impl FaultConfig {
         self.loss_probability > 0.0
             || !self.max_delay_jitter.is_zero()
             || !self.mean_time_to_crash.is_zero()
+            || !self.mean_time_to_server_crash.is_zero()
             || !self.mean_time_to_slow_disk.is_zero()
     }
 
@@ -438,6 +446,24 @@ impl FaultConfig {
             slow_disk_duration: SimDuration::from_secs(20),
             slow_disk_factor: 4.0,
             ..FaultConfig::default()
+        }
+    }
+
+    /// [`chaos`](Self::chaos) plus crash-**restart** at the server: the same
+    /// client-side hostility, with the server itself crashing (mean up-time
+    /// `400s / intensity`) and rejoining after write-ahead-log replay. Used
+    /// by the `repro faults` restart cells and the simcheck restart matrix.
+    #[must_use]
+    pub fn chaos_restart(intensity: f64) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let server_crash_mean = if intensity > 0.0 {
+            SimDuration::from_secs_f64(400.0 / intensity)
+        } else {
+            SimDuration::ZERO
+        };
+        FaultConfig {
+            mean_time_to_server_crash: server_crash_mean,
+            ..FaultConfig::chaos(intensity)
         }
     }
 
@@ -487,6 +513,7 @@ impl Default for FaultConfig {
             loss_probability: 0.0,
             max_delay_jitter: SimDuration::ZERO,
             mean_time_to_crash: SimDuration::ZERO,
+            mean_time_to_server_crash: SimDuration::ZERO,
             mean_recovery_time: SimDuration::from_secs(60),
             mean_time_to_slow_disk: SimDuration::ZERO,
             slow_disk_duration: SimDuration::from_secs(20),
@@ -828,6 +855,28 @@ mod tests {
         assert!(chaos.injects_faults());
         chaos.validate().unwrap();
         assert!(!FaultConfig::chaos(0.0).injects_faults());
+
+        // chaos_restart is chaos plus a server-crash schedule; nothing else
+        // may differ, so restart-off goldens stay comparable.
+        let restart = FaultConfig::chaos_restart(0.5);
+        assert!(restart.injects_faults());
+        restart.validate().unwrap();
+        assert!(!restart.mean_time_to_server_crash.is_zero());
+        assert_eq!(
+            FaultConfig {
+                mean_time_to_server_crash: SimDuration::ZERO,
+                ..restart
+            },
+            chaos
+        );
+        assert!(!FaultConfig::chaos_restart(0.0).injects_faults());
+        // The server-crash knob alone flips injection on.
+        let server_only = FaultConfig {
+            mean_time_to_server_crash: SimDuration::from_secs(500),
+            ..FaultConfig::default()
+        };
+        assert!(server_only.injects_faults());
+        server_only.validate().unwrap();
 
         let mut c = ExperimentConfig::default();
         c.faults.loss_probability = 1.5;

@@ -45,6 +45,16 @@ if cargo run --release -q -p siteselect-bench --bin repro -- check --inject-viol
   echo "simcheck failed to fail on an injected coherence violation"; exit 1
 fi
 
+echo "==> recovery (seeded crash-restart run under all four oracles + oracle self-test)"
+# One server crash-restart run per engine family: the WAL replays, the
+# site rejoins, and the recovery oracle judges the post-restart state dump.
+cargo run --release -q -p siteselect-bench --bin repro -- trace --quick --seed 11 --system ce --chaos 1.0 --restart --out "$tracedir/rec_ce" > /dev/null
+cargo run --release -q -p siteselect-bench --bin repro -- trace --quick --seed 11 --system cs --chaos 1.0 --restart --out "$tracedir/rec_cs" > /dev/null
+# The durability gate must be able to fail too.
+if cargo run --release -q -p siteselect-bench --bin repro -- check --inject-violation recovery > /dev/null 2>&1; then
+  echo "simcheck failed to fail on an injected recovery violation"; exit 1
+fi
+
 echo "==> bench smoke (suite runs, report parses, no >2x regression vs fresh rerun)"
 cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench.json" > "$tracedir/bench.out"
 for field in '"meta"' '"cores"' '"rustc"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"'; do
@@ -69,6 +79,9 @@ fi
 if [[ "${1:-}" != "--fast" ]]; then
   echo "==> seed sensitivity (Figure 5 headline point, seeds 1-3)"
   cargo run --release -q -p siteselect-bench --bin seedcheck
+
+  echo "==> golden paper reproduction (repro all matches results/repro_all.txt)"
+  cargo test --release -q -p siteselect-bench --test repro_golden -- --ignored
 fi
 
 echo "CI OK"
