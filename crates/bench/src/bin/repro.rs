@@ -7,7 +7,7 @@
 //!
 //! Targets: `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
 //! `figure5`, `table2`, `table3`, `table4`, `ablations`, `faults`,
-//! `trace`, `check`, `bench`, `all`.
+//! `trace`, `blame`, `check`, `bench`, `all`.
 //! `--quick` shortens the simulated runs (coarser numbers, same shapes).
 //! `--clients N` overrides the Table 4 (or `faults` / `trace` / `check`)
 //! cluster size.
@@ -31,6 +31,17 @@
 //! crash-restart profile), `--duration SECS`, `--warmup SECS` and
 //! `--seed S` select the run — the knobs a simcheck replay command passes.
 //! The files are byte-identical across runs at the same seed and options.
+//! `blame` is the deadline blame analyzer: one traced run per system cell
+//! (all three systems, or just `--system`), each reduced to a causal blame
+//! report — every transaction's end-to-end latency attributed microsecond-
+//! by-microsecond to the span on its critical path (admission, decision,
+//! network, lock wait, collection window, disk, commit, retry backoff,
+//! crash replay, or residual execution) — plus the `--top K` worst missed
+//! deadlines with their annotated critical paths. `--out FILE` (default
+//! `target/blame.json`) receives the machine-readable report. Cells fan
+//! out over `--jobs` threads and merge in cell order, so stdout and the
+//! JSON file are byte-identical at every job count and across runs at the
+//! same seed.
 //! `check` is the simcheck explorer: `--seeds N` randomized cases fanned
 //! across CE/CS/LS × update-rate × fault-profile cells (including server
 //! crash-restart cells), every run judged by the serializability,
@@ -46,12 +57,14 @@ use siteselect_bench::repro_options;
 use siteselect_check::explore::{parse_system, ExploreOptions};
 use siteselect_check::synthetic::InjectKind;
 use siteselect_core::experiments::{
-    cache_table, deadline_figure, fault_table, message_table, response_table, restart_table,
-    SweepOptions, FAULT_INTENSITIES, FIGURE_CLIENTS, RESTART_INTENSITIES, TABLE_CLIENTS,
+    cache_table, deadline_figure, effective_jobs, fault_table, message_table, response_table,
+    restart_table, SweepOptions, FAULT_INTENSITIES, FIGURE_CLIENTS, RESTART_INTENSITIES,
+    TABLE_CLIENTS,
 };
 use siteselect_core::{run_experiment, run_experiment_traced};
 use siteselect_locks::protocol_costs;
-use siteselect_types::{ExperimentConfig, FaultConfig, SimDuration, SystemKind};
+use siteselect_obs::{BlameReport, MetricsRegistry, MetricsSnapshot};
+use siteselect_types::{ConfigError, ExperimentConfig, FaultConfig, SimDuration, SystemKind};
 
 /// Returns the value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -180,6 +193,13 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage_error(&e),
     };
+    let top = match parsed_flag::<usize>(&args, "--top") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if top == Some(0) {
+        return usage_error("--top must be at least 1");
+    }
     let out_dir = flag_value(&args, "--out").unwrap_or("target/trace");
     let baseline = flag_value(&args, "--baseline");
     // A target is any token that is neither a flag nor a flag's value.
@@ -200,6 +220,7 @@ fn main() -> ExitCode {
                     | "--duration"
                     | "--warmup"
                     | "--seeds"
+                    | "--top"
                     | "--inject-violation"
             )
         })
@@ -234,6 +255,15 @@ fn main() -> ExitCode {
             out_dir,
             &check_flags,
         ),
+        "blame" => blame(
+            opts,
+            clients_override.unwrap_or(20),
+            seed_override,
+            flag_value(&args, "--out").unwrap_or("target/blame.json"),
+            jobs.unwrap_or(0),
+            top.unwrap_or(5),
+            &check_flags,
+        ),
         "check" => check(opts, clients_override, seed_override, &check_flags),
         "bench" => {
             let out = flag_value(&args, "--out").unwrap_or("BENCH_sim.json");
@@ -243,7 +273,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!("unknown target: {other}");
             eprintln!(
-                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace check bench all"
+                "targets: table1 figure1 figure2 figure3 figure4 figure5 table2 table3 table4 ablations faults trace blame check bench all"
             );
             return ExitCode::FAILURE;
         }
@@ -462,6 +492,13 @@ fn trace(
     std::fs::write(&jsonl_path, siteselect_obs::export::jsonl(&trace.records))?;
     std::fs::write(&chrome_path, siteselect_obs::export::chrome_trace(&trace.records))?;
     print!("{}", trace.report.render());
+    if trace.report.dropped > 0 {
+        eprintln!(
+            "warning: trace ring overflowed, {} oldest events dropped — the files are \
+             incomplete (shorten the run or raise the trace capacity)",
+            trace.report.dropped
+        );
+    }
     println!(
         "\nrun: {}/{} in time ({:.2}%)",
         metrics.in_time,
@@ -479,6 +516,166 @@ fn trace(
         }
         Err(v) => Err(v.to_string().into()),
     }
+}
+
+/// One blame cell: a traced run reduced to its blame report plus the
+/// numbers the summary line needs. Self-contained, so cells can fan out
+/// over worker threads and still merge deterministically by index.
+struct BlameCell {
+    report: BlameReport,
+    metrics: MetricsSnapshot,
+    in_time: u64,
+    measured: u64,
+}
+
+fn blame_cell(cfg: &ExperimentConfig, top: usize) -> Result<BlameCell, ConfigError> {
+    let registry = MetricsRegistry::enabled();
+    let (metrics, trace) = run_experiment_traced(cfg, siteselect_check::TRACE_CAPACITY)?;
+    let report = BlameReport::extract(&trace, top, &registry);
+    Ok(BlameCell {
+        report,
+        metrics: registry.snapshot().unwrap_or_default(),
+        in_time: metrics.in_time,
+        measured: metrics.measured,
+    })
+}
+
+/// Short cell label for the machine-readable report.
+fn system_slug(system: SystemKind) -> &'static str {
+    match system {
+        SystemKind::Centralized => "ce",
+        SystemKind::ClientServer => "cs",
+        SystemKind::LoadSharing => "ls",
+    }
+}
+
+/// The deadline blame analyzer (`repro blame`): one traced run per system
+/// cell, each reduced to a causal blame report — every transaction's
+/// latency attributed microsecond-by-microsecond to the cause on its
+/// critical path — plus the top-K worst missed deadlines with annotated
+/// paths. Cells fan out over `jobs` scoped threads and merge in cell
+/// order, so stdout and the `--out` JSON are byte-identical at every job
+/// count and across runs at the same seed.
+fn blame(
+    opts: SweepOptions,
+    clients: u16,
+    seed: Option<u64>,
+    out: &str,
+    jobs: usize,
+    top: usize,
+    flags: &CheckFlags,
+) -> Result<(), AnyError> {
+    use std::fmt::Write as _;
+    let seed = seed.unwrap_or(opts.seed);
+    let update = flags.update.unwrap_or(0.20);
+    let chaos = flags.chaos.unwrap_or(0.0);
+    let restart = if flags.restart { " restart" } else { "" };
+    let systems: Vec<SystemKind> = flags
+        .system
+        .map_or_else(|| SystemKind::ALL.to_vec(), |s| vec![s]);
+    banner(&format!(
+        "Blame: where the deadline went ({clients} clients, {}% updates, chaos {chaos}{restart}, seed {seed})",
+        update * 100.0
+    ));
+    let cfgs: Vec<ExperimentConfig> = systems
+        .iter()
+        .map(|&system| {
+            let mut cfg = ExperimentConfig::paper(system, clients, update);
+            cfg.runtime.duration = flags
+                .duration
+                .map_or(opts.duration, SimDuration::from_secs);
+            cfg.runtime.warmup = flags.warmup.map_or(opts.warmup, SimDuration::from_secs);
+            cfg.runtime.seed = seed;
+            if chaos > 0.0 {
+                cfg.faults = if flags.restart {
+                    FaultConfig::chaos_restart(chaos)
+                } else {
+                    FaultConfig::chaos(chaos)
+                };
+            }
+            cfg
+        })
+        .collect();
+    let workers = effective_jobs(jobs, cfgs.len());
+    let mut slots: Vec<Option<Result<BlameCell, ConfigError>>> =
+        (0..cfgs.len()).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, cfg) in cfgs.iter().enumerate() {
+            slots[i] = Some(blame_cell(cfg, top));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= cfgs.len() {
+                                break;
+                            }
+                            done.push((i, blame_cell(&cfgs[i], top)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("blame worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+    }
+    let mut json = String::with_capacity(1 << 14);
+    let _ = write!(
+        json,
+        r#"{{"seed":{seed},"clients":{clients},"update":{update},"chaos":{chaos},"restart":{},"cells":["#,
+        flags.restart
+    );
+    let mut merged = MetricsSnapshot::default();
+    for (i, (system, slot)) in systems.iter().zip(slots).enumerate() {
+        let cell = slot.expect("every cell was claimed by a worker")?;
+        println!("--- {system} ---\n");
+        print!("{}", cell.report.render());
+        println!(
+            "\nrun: {}/{} in time ({:.2}%)",
+            cell.in_time,
+            cell.measured,
+            if cell.measured == 0 {
+                0.0
+            } else {
+                cell.in_time as f64 * 100.0 / cell.measured as f64
+            }
+        );
+        if cell.report.dropped_events > 0 {
+            eprintln!(
+                "warning: {system}: trace ring overflowed, {} oldest events dropped — blame may \
+                 be incomplete (shorten the run or raise the trace capacity)",
+                cell.report.dropped_events
+            );
+        }
+        println!();
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, r#"{{"system":"{}","report":"#, system_slug(*system));
+        json.push_str(cell.report.to_json().trim_end());
+        json.push('}');
+        merged.merge(&cell.metrics);
+    }
+    json.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(out, &json)?;
+    println!("pipeline counters:");
+    print!("{}", merged.render());
+    println!("\nwrote {out}");
+    Ok(())
 }
 
 /// The simcheck explorer (`repro check`): randomized schedule exploration

@@ -40,6 +40,9 @@ pub struct BenchReport {
     pub cores: usize,
     /// `rustc --version` of the toolchain, `"unknown"` if unavailable.
     pub rustc: String,
+    /// Short git revision of the tree that produced the numbers,
+    /// `"unknown"` outside a checkout.
+    pub git_rev: String,
     /// Measurements in execution order.
     pub benchmarks: Vec<BenchRecord>,
 }
@@ -49,6 +52,16 @@ fn rustc_version() -> String {
         .arg("--version")
         .output()
         .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
 }
@@ -161,6 +174,9 @@ fn sim_run(system: SystemKind) -> (f64, f64) {
     (ns, events_per_sec)
 }
 
+/// The client counts of the quick benchmark sweep.
+const SWEEP_CLIENTS: [u16; 2] = [4, 8];
+
 /// Wall-clock of one quick deadline sweep at the given job count.
 fn sweep_wall_clock(jobs: usize) -> f64 {
     let opts = SweepOptions {
@@ -170,8 +186,27 @@ fn sweep_wall_clock(jobs: usize) -> f64 {
         jobs,
     };
     let start = Instant::now();
-    deadline_figure(0.05, &[4, 8], opts).expect("valid sweep config");
+    deadline_figure(0.05, &SWEEP_CLIENTS, opts).expect("valid sweep config");
     start.elapsed().as_nanos() as f64
+}
+
+/// Total simulated events across every cell of the quick sweep, from
+/// traced twin runs (tracing is a pure observer, so the counts equal the
+/// untraced sweep's). Shared by both sweep benchmarks, whose
+/// events-per-second figures therefore differ only in wall-clock.
+fn sweep_events() -> u64 {
+    let mut total = 0u64;
+    for &clients in &SWEEP_CLIENTS {
+        for system in SystemKind::ALL {
+            let mut cfg = ExperimentConfig::paper(system, clients, 0.05);
+            cfg.runtime.duration = SimDuration::from_secs(200);
+            cfg.runtime.warmup = SimDuration::from_secs(40);
+            cfg.runtime.seed = 0x5173_5e1e;
+            let (_, trace) = run_experiment_traced(&cfg, 16).expect("valid sweep config");
+            total += trace.report.events;
+        }
+    }
+    total
 }
 
 /// Runs the whole suite, printing each result as it lands.
@@ -212,18 +247,22 @@ pub fn run_suite() -> BenchReport {
         let (ns, eps) = sim_run(system);
         push(name, ns, Some(eps));
     }
-    push("sweep/deadline_quick_jobs1", sweep_wall_clock(1), None);
+    let events = sweep_events() as f64;
+    let ns1 = sweep_wall_clock(1);
+    push("sweep/deadline_quick_jobs1", ns1, Some(events / (ns1 / 1e9)));
     // "all" = one worker per core; the core count itself is in the meta
     // block, so the benchmark name is stable across machines.
+    let ns_all = sweep_wall_clock(cores);
     push(
         "sweep/deadline_quick_jobs_all",
-        sweep_wall_clock(cores),
-        None,
+        ns_all,
+        Some(events / (ns_all / 1e9)),
     );
 
     BenchReport {
         cores,
         rustc: rustc_version(),
+        git_rev: git_rev(),
         benchmarks,
     }
 }
@@ -246,9 +285,10 @@ impl BenchReport {
         out.push_str("{\n");
         let _ = writeln!(
             out,
-            "  \"meta\": {{\"cores\": {}, \"rustc\": \"{}\"}},",
+            "  \"meta\": {{\"cores\": {}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}},",
             self.cores,
-            self.rustc.replace('\\', "\\\\").replace('"', "\\\"")
+            self.rustc.replace('\\', "\\\\").replace('"', "\\\""),
+            self.git_rev.replace('\\', "\\\\").replace('"', "\\\"")
         );
         out.push_str("  \"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
@@ -342,6 +382,7 @@ mod tests {
         BenchReport {
             cores: 4,
             rustc: "rustc 1.95.0 (test)".to_string(),
+            git_rev: "deadbee".to_string(),
             benchmarks: names_ns
                 .iter()
                 .map(|&(n, ns)| BenchRecord {

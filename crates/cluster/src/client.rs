@@ -306,6 +306,7 @@ pub fn run_transaction(
         return report;
     }
     let mut pinned: Vec<ObjectId> = Vec::new();
+    let acquire_started = sim_now(start, scale);
     for access in &spec.accesses {
         let mode = access.mode();
         if shared.try_pin(access.object, mode) {
@@ -331,12 +332,14 @@ pub fn run_transaction(
                         siteselect_types::AbortReason::Expired
                     }
                 };
+                emit_lock_wait(sink, site, txn, acquire_started, sim_now(start, scale));
                 sink.emit(sim_now(start, scale), site, || Event::Abort { txn, reason });
                 return report;
             }
         }
     }
     // Execute: burn the scaled CPU demand.
+    emit_lock_wait(sink, site, txn, acquire_started, sim_now(start, scale));
     sink.emit(sim_now(start, scale), site, || Event::ExecStart { txn });
     let cpu = scale_duration(spec.cpu_demand.as_micros(), scale);
     if !cpu.is_zero() {
@@ -376,6 +379,26 @@ pub fn run_transaction(
         report.late = 1;
     }
     report
+}
+
+/// Stamps the lock-acquisition phase `[started, now)` as a lock-wait span
+/// (elided when instantaneous — pins from the local cache are free).
+fn emit_lock_wait(
+    sink: &EventSink,
+    site: SiteId,
+    txn: siteselect_types::TransactionId,
+    started: siteselect_types::SimTime,
+    now: siteselect_types::SimTime,
+) {
+    if started >= now {
+        return;
+    }
+    sink.emit(now, site, || Event::Span {
+        txn: Some(txn),
+        kind: siteselect_obs::SpanKind::LockWait,
+        start: started,
+        blocker: None,
+    });
 }
 
 /// Scales simulated microseconds down to a real `Duration`.

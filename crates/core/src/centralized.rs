@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use siteselect_net::{Delivery, Fabric, MessageKind};
-use siteselect_obs::{Event, EventSink};
+use siteselect_obs::{Event, EventSink, SpanKind};
 use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::ClientCache;
 use siteselect_storage::DiskModel;
@@ -54,6 +54,8 @@ enum Ev {
         measured: bool,
         deadline: SimTime,
         arrival: SimTime,
+        /// When the server sent the result (start of the commit-ack hop).
+        sent_at: SimTime,
     },
     /// Periodic pruning of expired lock waiters.
     Sweep,
@@ -79,6 +81,11 @@ struct CeTxn {
     blocked: Vec<ObjectId>,
     wait_started: SimTime,
     blocked_total: SimDuration,
+    /// Trace-only: the first conflicting holder seen at submit, reported as
+    /// the blocker on the lock-wait span.
+    blocked_on: Option<TransactionId>,
+    /// When the buffer/disk read batch was issued (start of the disk span).
+    io_started: SimTime,
 }
 
 /// Discrete-event simulator of the centralized system.
@@ -112,6 +119,9 @@ pub struct CentralizedSim {
     /// Replay outcome of the crash being recovered from, reported in the
     /// `RecoveryDone` event when the server rejoins.
     pending_recovery: Option<RecoveryOutcome>,
+    /// When the crash being recovered from happened (start of the replay
+    /// span stamped at rejoin).
+    crashed_at: Option<SimTime>,
     sink: EventSink,
 }
 
@@ -154,6 +164,7 @@ impl CentralizedSim {
             gate_dropped: 0,
             crash_prng: Prng::seed_from_u64(cfg.runtime.seed).derive(0xFA_E5),
             pending_recovery: None,
+            crashed_at: None,
             sink: EventSink::disabled(),
             cfg,
         }
@@ -295,10 +306,50 @@ impl CentralizedSim {
                 measured,
                 deadline,
                 arrival,
-            } => self.on_result(txn, measured, deadline, arrival),
+                sent_at,
+            } => self.on_result(txn, measured, deadline, arrival, sent_at),
             Ev::Sweep => self.on_sweep(),
             Ev::ServerCrash => self.on_server_crash(),
             Ev::ServerRecover => self.on_server_recover(),
+        }
+    }
+
+    /// Emits a causal span `[start, now)` for `txn`, eliding zero-length
+    /// spans (nothing to blame). Free when tracing is off.
+    fn emit_span(
+        &self,
+        site: SiteId,
+        txn: TransactionId,
+        kind: SpanKind,
+        start: SimTime,
+        blocker: Option<TransactionId>,
+    ) {
+        if start >= self.now {
+            return;
+        }
+        self.sink.emit(self.now, site, || Event::Span {
+            txn: Some(txn),
+            kind,
+            start,
+            blocker,
+        });
+    }
+
+    /// Closes out the span of the phase `txn` dies in, so aborted
+    /// transactions still account for the wait that killed them.
+    fn emit_phase_span(&self, txn: &CeTxn) {
+        match txn.phase {
+            Phase::Locks => self.emit_span(
+                SiteId::Server,
+                txn.spec.id,
+                SpanKind::LockWait,
+                txn.wait_started,
+                txn.blocked_on,
+            ),
+            Phase::Io => {
+                self.emit_span(SiteId::Server, txn.spec.id, SpanKind::Disk, txn.io_started, None);
+            }
+            Phase::Cpu | Phase::Done => {}
         }
     }
 
@@ -318,6 +369,9 @@ impl CentralizedSim {
     }
 
     fn on_submit(&mut self, spec: &TransactionSpec) {
+        // The submission hop: sent at arrival from the client terminal,
+        // delivered (or refused) now.
+        self.emit_span(SiteId::Server, spec.id, SpanKind::Net, spec.arrival, None);
         if !self.server_up {
             // In flight when the server went down: refused at the door.
             self.gate_dropped += 1;
@@ -336,6 +390,8 @@ impl CentralizedSim {
             blocked: Vec::new(),
             wait_started: self.now,
             blocked_total: SimDuration::ZERO,
+            blocked_on: None,
+            io_started: self.now,
         };
         // Acquire all locks up front (the access set is known, §5.1).
         let mut deadlocked = false;
@@ -362,6 +418,9 @@ impl CentralizedSim {
                         txn: id,
                         object,
                     });
+                    if txn.blocked_on.is_none() {
+                        txn.blocked_on = conflicts.first().copied().map(TransactionId::from_raw);
+                    }
                     txn.blocked.push(access.object);
                     self.wfg.add_waits(key, conflicts);
                 }
@@ -381,6 +440,7 @@ impl CentralizedSim {
     /// Removes every trace of an un-inserted transaction.
     fn abort(&mut self, key: Key, txn: CeTxn, reason: AbortReason) {
         let id = txn.spec.id;
+        self.emit_phase_span(&txn);
         self.sink
             .emit(self.now, SiteId::Server, || Event::Abort { txn: id, reason });
         self.sink.emit(self.now, SiteId::Server, || Event::UnitEnd {
@@ -478,9 +538,12 @@ impl CentralizedSim {
             return;
         };
         txn.blocked_total += self.now.duration_since(txn.wait_started);
+        let (id, wait_started, blocked_on) = (txn.spec.id, txn.wait_started, txn.blocked_on);
         txn.phase = Phase::Io;
+        txn.io_started = self.now;
         let objects: Vec<ObjectId> = txn.spec.objects().collect();
         let measured = txn.spec.arrival >= self.warmup_end;
+        self.emit_span(SiteId::Server, id, SpanKind::LockWait, wait_started, blocked_on);
         let mut misses = 0u32;
         for o in objects {
             let hit = self.buffer.probe(o).is_some();
@@ -508,10 +571,13 @@ impl CentralizedSim {
             self.abort_inflight(key, AbortReason::Expired);
             return;
         }
+        let io_started = txn.io_started;
         txn.phase = Phase::Cpu;
         let deadline = txn.spec.deadline;
         let demand = txn.spec.cpu_demand;
         let id = txn.spec.id;
+        self.emit_span(SiteId::Server, id, SpanKind::Disk, io_started, None);
+        let txn = self.txns.get_mut(&key).expect("present above");
         // The pages are in memory and the locks are held: log the update
         // transaction's page writes now, so a crash during its CPU phase
         // leaves genuine losers for recovery to roll back.
@@ -619,6 +685,7 @@ impl CentralizedSim {
                         measured: self.measured(spec),
                         deadline: spec.deadline,
                         arrival: spec.arrival,
+                        sent_at: self.now,
                     },
                 ),
                 // The commit is durable but the client never learns of it:
@@ -628,10 +695,18 @@ impl CentralizedSim {
         }
     }
 
-    fn on_result(&mut self, txn: TransactionId, measured: bool, deadline: SimTime, arrival: SimTime) {
+    fn on_result(
+        &mut self,
+        txn: TransactionId,
+        measured: bool,
+        deadline: SimTime,
+        arrival: SimTime,
+        sent_at: SimTime,
+    ) {
         // Only commits route through here; aborts are recorded at abort
         // time. The deadline test uses the instant the user-facing client
         // learns the result.
+        self.emit_span(SiteId::Client(txn.origin()), txn, SpanKind::Commit, sent_at, None);
         if measured {
             let outcome = if self.now <= deadline {
                 TxnOutcome::Committed
@@ -727,6 +802,7 @@ impl CentralizedSim {
                 }
             }
             let id = txn.spec.id;
+            self.emit_phase_span(&txn);
             self.sink.emit(self.now, SiteId::Server, || Event::Abort {
                 txn: id,
                 reason: AbortReason::SiteCrash,
@@ -752,6 +828,7 @@ impl CentralizedSim {
         self.locks = LockTable::new(QueueDiscipline::Deadline);
         self.wfg = WaitForGraph::new();
         self.buffer = ClientCache::new(self.cfg.server.buffer_objects, 0);
+        self.crashed_at = Some(self.now);
         if self.cfg.faults.mean_recovery_time.is_zero() {
             return; // permanent crash: the site stays dark
         }
@@ -796,6 +873,18 @@ impl CentralizedSim {
             for (page, stamp) in self.store.stamps() {
                 self.sink
                     .emit(self.now, SiteId::Server, || Event::WalState { page, stamp });
+            }
+        }
+        // Site-scoped replay span (`txn: None`): the outage window is
+        // charged to every transaction whose life overlaps it.
+        if let Some(start) = self.crashed_at.take() {
+            if start < self.now {
+                self.sink.emit(self.now, SiteId::Server, || Event::Span {
+                    txn: None,
+                    kind: SpanKind::Replay,
+                    start,
+                    blocker: None,
+                });
             }
         }
         self.sink.emit(self.now, SiteId::Server, || Event::SiteRecover {

@@ -351,6 +351,7 @@ impl ClientServerSim {
                             client: ci,
                             txn: key,
                             object,
+                            scheduled_at: self.now,
                         },
                     );
                 } else if let Some(run) = c.txns.get_mut(&key) {
@@ -358,6 +359,7 @@ impl ClientServerSim {
                 }
             }
             Acquire::Blocked { conflicts } => {
+                let blocker = conflicts.first().copied();
                 c.local_wfg.add_waits(key, conflicts);
                 if let Some(run) = c.txns.get_mut(&key) {
                     run.needed.insert(object, (mode, Need::LocalWait));
@@ -366,12 +368,33 @@ impl ClientServerSim {
                         siteselect_obs::Event::LockWait { txn, object }
                     });
                 }
+                // Trace-only wait-start bookkeeping for the lock-wait span
+                // emitted when the wait resolves (pure observer).
+                if self.sink.is_enabled() {
+                    self.clients[ci]
+                        .lock_wait_from
+                        .insert((key, object), (self.now, blocker));
+                }
             }
         }
         false
     }
 
-    pub(crate) fn on_client_disk_ready(&mut self, ci: usize, key: TKey, object: ObjectId) {
+    pub(crate) fn on_client_disk_ready(
+        &mut self,
+        ci: usize,
+        key: TKey,
+        object: ObjectId,
+        scheduled_at: SimTime,
+    ) {
+        let id = self.clients[ci].id;
+        self.emit_span(
+            SiteId::Client(id),
+            key,
+            siteselect_obs::SpanKind::Disk,
+            scheduled_at,
+            None,
+        );
         let Some(run) = self.clients[ci].txns.get_mut(&key) else {
             return;
         };
@@ -429,8 +452,17 @@ impl ClientServerSim {
                 // immediately.
                 self.try_execute_revoke(ci, object);
             }
-            Msg::TxnShip { spec } => {
+            Msg::TxnShip { spec, sent_at } => {
                 let key = spec.id.as_u64();
+                // The shipped transaction travelled the fabric from the
+                // ship decision to this delivery.
+                self.emit_span(
+                    SiteId::Client(to),
+                    key,
+                    siteselect_obs::SpanKind::Net,
+                    sent_at,
+                    None,
+                );
                 let origin = spec.origin;
                 let run = TxnRun {
                     kind: RunKind::Shipped { origin },
@@ -447,7 +479,17 @@ impl ClientServerSim {
                 committed,
                 deadline,
                 arrival,
+                sent_at,
             } => {
+                // Commit protocol: the remote outcome travelled back to its
+                // origin from the remote commit/abort to this delivery.
+                self.emit_span(
+                    SiteId::Client(to),
+                    txn.as_u64(),
+                    siteselect_obs::SpanKind::Commit,
+                    sent_at,
+                    None,
+                );
                 // Origin scores the shipped transaction when the result
                 // arrives back.
                 self.inflight -= 1;
@@ -472,8 +514,16 @@ impl ClientServerSim {
                 index,
                 origin,
                 spec,
+                sent_at,
             } => {
                 let key = subtask_key(parent, index);
+                self.emit_span(
+                    SiteId::Client(to),
+                    key,
+                    siteselect_obs::SpanKind::Net,
+                    sent_at,
+                    None,
+                );
                 let run = TxnRun {
                     kind: RunKind::Subtask {
                         parent,
@@ -488,7 +538,16 @@ impl ClientServerSim {
                 };
                 self.admit(ci, key, run);
             }
-            Msg::SubtaskResult { parent, ok } => self.on_subtask_result(ci, parent, ok),
+            Msg::SubtaskResult { parent, ok, sent_at } => {
+                self.emit_span(
+                    SiteId::Client(to),
+                    parent,
+                    siteselect_obs::SpanKind::Commit,
+                    sent_at,
+                    None,
+                );
+                self.on_subtask_result(ci, parent, ok);
+            }
             Msg::LoadReply {
                 txn,
                 locations,
@@ -533,6 +592,18 @@ impl ClientServerSim {
                 LockMode::Shared => self.metrics.response.shared.push(dt),
                 LockMode::Exclusive => self.metrics.response.exclusive.push(dt),
             }
+        }
+        // Every waiter spent the fetch round-trip on the network (interior
+        // server-side spans — disk, lock queue — carve themselves out by
+        // priority in the blame extractor).
+        for &key in &fetch.waiters {
+            self.emit_span(
+                SiteId::Client(holder),
+                key,
+                siteselect_obs::SpanKind::Net,
+                fetch.sent_at,
+                None,
+            );
         }
         for key in fetch.waiters {
             let (need_mode, deadline) = {
@@ -609,6 +680,15 @@ impl ClientServerSim {
         let self_id = self.clients[ci].id;
         let txn = run.spec.id;
         let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
+        // H2 decision wait: the grant-all round from batch send to this
+        // conflict report.
+        self.emit_span(
+            SiteId::Client(self_id),
+            key,
+            siteselect_obs::SpanKind::Decision,
+            run.acquire_started,
+            None,
+        );
         if self.cfg.load_sharing.h2_enabled && !shipped {
             let best = Self::h2_choose(self_id, &accesses, &conflicts, &[]);
             self.sink.emit(self.now, SiteId::Client(self_id), || {
@@ -771,6 +851,18 @@ impl ClientServerSim {
         let self_id = self.clients[ci].id;
         let txn = run.spec.id;
         let accesses: Vec<AccessSpec> = run.spec.accesses.clone();
+        // The load-query round the transaction waited on: H1-infeasible
+        // admission handling, or the decomposition placement lookup.
+        self.emit_span(
+            SiteId::Client(self_id),
+            key,
+            match reason {
+                InfoReason::H1Infeasible => siteselect_obs::SpanKind::Admission,
+                InfoReason::Decompose => siteselect_obs::SpanKind::Decision,
+            },
+            run.acquire_started,
+            None,
+        );
         match reason {
             InfoReason::H1Infeasible => {
                 let best = if self.cfg.load_sharing.h2_enabled {
@@ -882,6 +974,7 @@ impl ClientServerSim {
                         index,
                         origin,
                         spec,
+                        sent_at: self.now,
                     },
                 );
             }
@@ -956,12 +1049,37 @@ impl ClientServerSim {
             dest,
             MessageKind::TxnShip,
             0,
-            Msg::TxnShip { spec: run.spec },
+            Msg::TxnShip {
+                spec: run.spec,
+                sent_at: self.now,
+            },
         );
     }
 
     /// Releases everything `key` holds or awaits at client `ci`.
     fn detach_txn(&mut self, ci: usize, key: TKey, run: &TxnRun) {
+        // Close out lock waits still open at detach (an aborted/shipped
+        // unit stops waiting now).
+        if self.sink.is_enabled() {
+            let id = self.clients[ci].id;
+            let mut open: Vec<(ObjectId, SimTime, Option<TKey>)> = self.clients[ci]
+                .lock_wait_from // detlint: allow(D2) — sorted below
+                .iter()
+                .filter(|((k, _), _)| *k == key)
+                .map(|(&(_, o), &(t, b))| (o, t, b))
+                .collect();
+            open.sort_unstable_by_key(|&(o, _, _)| o);
+            for (object, started, blocker) in open {
+                self.clients[ci].lock_wait_from.remove(&(key, object));
+                self.emit_span(
+                    SiteId::Client(id),
+                    key,
+                    siteselect_obs::SpanKind::LockWait,
+                    started,
+                    blocker,
+                );
+            }
+        }
         // Local locks and queued local waits.
         let grants = self.clients[ci].local_locks.release_all(key);
         self.clients[ci].local_wfg.remove_node(key);
@@ -1058,6 +1176,19 @@ impl ClientServerSim {
             };
             let deadline = run.spec.deadline;
             let (_, grants) = self.clients[ci].local_locks.cancel_wait(object, key);
+            // The local wait ends here (it converts into a server fetch).
+            if let Some((started, blocker)) =
+                self.clients[ci].lock_wait_from.remove(&(key, object))
+            {
+                let id = self.clients[ci].id;
+                self.emit_span(
+                    SiteId::Client(id),
+                    key,
+                    siteselect_obs::SpanKind::LockWait,
+                    started,
+                    blocker,
+                );
+            }
             if let Some(run) = self.clients[ci].txns.get_mut(&key) {
                 run.needed.insert(object, (mode, Need::Fetch));
             }
@@ -1247,6 +1378,19 @@ impl ClientServerSim {
                 continue;
             }
             self.clients[ci].local_wfg.clear_waits(key);
+            // The local lock wait ends with this grant.
+            if let Some((started, blocker)) =
+                self.clients[ci].lock_wait_from.remove(&(key, object))
+            {
+                let id = self.clients[ci].id;
+                self.emit_span(
+                    SiteId::Client(id),
+                    key,
+                    siteselect_obs::SpanKind::LockWait,
+                    started,
+                    blocker,
+                );
+            }
             let c = &self.clients[ci];
             let covered = c
                 .cached_locks
@@ -1274,6 +1418,7 @@ impl ClientServerSim {
                             client: ci,
                             txn: key,
                             object,
+                            scheduled_at: self.now,
                         },
                     );
                 } else {
@@ -1450,6 +1595,7 @@ impl ClientServerSim {
                         committed,
                         deadline: run.spec.deadline,
                         arrival: run.spec.arrival,
+                        sent_at: self.now,
                     },
                 );
             }
@@ -1470,6 +1616,7 @@ impl ClientServerSim {
                         Msg::SubtaskResult {
                             parent,
                             ok: committed,
+                            sent_at: self.now,
                         },
                     );
                 }
@@ -1530,6 +1677,7 @@ impl ClientServerSim {
                         committed: false,
                         deadline: run.spec.deadline,
                         arrival: run.spec.arrival,
+                        sent_at: self.now,
                     },
                 );
             }
@@ -1550,6 +1698,7 @@ impl ClientServerSim {
                         Msg::SubtaskResult {
                             parent,
                             ok: false,
+                            sent_at: self.now,
                         },
                     );
                 }
@@ -1594,6 +1743,7 @@ impl ClientServerSim {
         c.dirty.clear();
         c.fetches.clear();
         c.revokes.clear();
+        c.lock_wait_from.clear();
         c.cache = siteselect_storage::ClientCache::new(
             cfg.memory_cache_objects,
             cfg.disk_cache_objects,
@@ -1655,6 +1805,7 @@ impl ClientServerSim {
                             committed: false,
                             deadline: run.spec.deadline,
                             arrival: run.spec.arrival,
+                            sent_at: self.now,
                         },
                     },
                 );
@@ -1668,7 +1819,11 @@ impl ClientServerSim {
                     self.now.saturating_add(self.cfg.faults.retry_backoff_cap),
                     Ev::Deliver {
                         to: SiteDest::Client(origin),
-                        msg: Msg::SubtaskResult { parent, ok: false },
+                        msg: Msg::SubtaskResult {
+                            parent,
+                            ok: false,
+                            sent_at: self.now,
+                        },
                     },
                 );
             }
@@ -1743,6 +1898,15 @@ impl ClientServerSim {
                 siteselect_obs::Event::RetrySent { txn: id }
             });
         }
+        // The dead time from the (lost) send to this retransmission is a
+        // retry/backoff episode, carved out of the fetch's network span.
+        self.emit_span(
+            SiteId::Client(client),
+            txn,
+            siteselect_obs::SpanKind::Retry,
+            sent_at,
+            None,
+        );
         self.send_to_server(
             client,
             MessageKind::ObjectRequest,

@@ -135,25 +135,30 @@ pub(crate) enum Msg {
         rest: ForwardList,
     },
     /// Client → client (via directory): a whole transaction moves.
-    TxnShip { spec: TransactionSpec },
+    /// `sent_at` stamps the ship decision so delivery can span the travel.
+    TxnShip { spec: TransactionSpec, sent_at: SimTime },
     /// Client → client (via directory): outcome of a shipped transaction,
-    /// with what the origin needs to score it at delivery time.
+    /// with what the origin needs to score it at delivery time. `sent_at`
+    /// stamps the remote commit so delivery can span the return hop.
     TxnShipResult {
         txn: TransactionId,
         committed: bool,
         deadline: SimTime,
         arrival: SimTime,
+        sent_at: SimTime,
     },
     /// Client → client (via directory): one subtask of a decomposed
-    /// transaction.
+    /// transaction. `sent_at` stamps the decomposition decision.
     SubtaskShip {
         parent: TKey,
         index: u8,
         origin: ClientId,
         spec: TransactionSpec,
+        sent_at: SimTime,
     },
-    /// Client → client (via directory): subtask outcome.
-    SubtaskResult { parent: TKey, ok: bool },
+    /// Client → client (via directory): subtask outcome; `sent_at` stamps
+    /// the subtask's completion at the remote site.
+    SubtaskResult { parent: TKey, ok: bool, sent_at: SimTime },
 }
 
 /// Simulator events.
@@ -165,16 +170,22 @@ pub(crate) enum Ev {
     Deliver { to: SiteDest, msg: Msg },
     /// A client CPU completion tick.
     ClientCpu { client: usize, generation: u64 },
-    /// A client's disk-tier cache promotion finished.
+    /// A client's disk-tier cache promotion finished. `scheduled_at` is
+    /// when the I/O was issued (start of the disk span).
     ClientDiskReady {
         client: usize,
         txn: TKey,
         object: ObjectId,
+        scheduled_at: SimTime,
     },
     /// Server finished fetching objects from disk for a grant batch.
+    /// `txn` / `scheduled_at` attribute the disk span to the requesting
+    /// transaction.
     ServerFetchDone {
         to: ClientId,
+        txn: TKey,
         items: Vec<(ObjectId, LockMode, bool)>,
+        scheduled_at: SimTime,
     },
     /// A grouped-lock collection window closed.
     WindowClose { object: ObjectId },
@@ -325,6 +336,10 @@ pub(crate) struct ClientState {
     /// H1).
     pub atl_sum: f64,
     pub atl_count: u64,
+    /// Trace-only: start time and blocking holder of in-progress local
+    /// lock waits, keyed `(txn, object)`. Populated only while a sink is
+    /// attached — pure observer, never read by simulation logic.
+    pub lock_wait_from: HashMap<(TKey, ObjectId), (SimTime, Option<TKey>)>,
 }
 
 impl ClientState {
@@ -358,6 +373,9 @@ pub(crate) struct WantInfo {
     pub deadline: SimTime,
     /// The requesting transaction (for rejection notices).
     pub txn: TKey,
+    /// When the want entered the server's lock queue (start of the
+    /// lock-wait span emitted at grant time).
+    pub queued_at: SimTime,
 }
 
 /// The server's index of lock-table-queued wants, keyed `(object, client)`.
@@ -447,6 +465,9 @@ pub(crate) struct FaultRuntime {
     pub crash_prng: Prng,
     /// Replay summary carried from a server crash to its `ServerRecover`.
     pub pending_recovery: Option<RecoveryOutcome>,
+    /// When the server went down (start of the site-scoped replay span
+    /// emitted at rejoin).
+    pub server_crashed_at: Option<SimTime>,
 }
 
 impl FaultRuntime {
@@ -458,6 +479,7 @@ impl FaultRuntime {
             gate_dropped: 0,
             crash_prng: Prng::seed_from_u64(seed).derive(0xFA_E5),
             pending_recovery: None,
+            server_crashed_at: None,
         }
     }
 }
@@ -518,6 +540,7 @@ impl ClientServerSim {
                 revokes: HashMap::new(),
                 atl_sum: 0.0,
                 atl_count: 0,
+                lock_wait_from: HashMap::new(),
             })
             .collect();
         let server = ServerState {
@@ -710,7 +733,7 @@ impl ClientServerSim {
         match msg {
             // The travelling transaction is gone; its origin's timeout
             // scores it as a crash loss.
-            Msg::TxnShip { spec } => {
+            Msg::TxnShip { spec, .. } => {
                 self.inflight -= 1;
                 if self.measured_arrival(spec.arrival) {
                     self.record_outcome_at(
@@ -777,11 +800,24 @@ impl ClientServerSim {
                 client,
                 txn,
                 object,
-            } => self.on_client_disk_ready(client, txn, object),
-            Ev::ServerFetchDone { to, items } => {
+                scheduled_at,
+            } => self.on_client_disk_ready(client, txn, object, scheduled_at),
+            Ev::ServerFetchDone {
+                to,
+                txn,
+                items,
+                scheduled_at,
+            } => {
                 // A fetch issued before a crash died with the server's
                 // volatile state; the client's retry machinery re-requests.
                 if self.faults.server_up {
+                    self.emit_span(
+                        SiteId::Server,
+                        txn,
+                        siteselect_obs::SpanKind::Disk,
+                        scheduled_at,
+                        None,
+                    );
                     self.server_ship_now(to, items);
                 }
             }
@@ -808,6 +844,28 @@ impl ClientServerSim {
 
     pub(crate) fn measured_arrival(&self, arrival: SimTime) -> bool {
         arrival >= self.warmup_end
+    }
+
+    /// Emits a causal span ending now for transaction key `txn` (tracing
+    /// only; zero-length spans are elided). Subtask keys are folded back to
+    /// their root by the blame extractor.
+    pub(crate) fn emit_span(
+        &self,
+        site: SiteId,
+        txn: TKey,
+        kind: siteselect_obs::SpanKind,
+        start: SimTime,
+        blocker: Option<TKey>,
+    ) {
+        if start >= self.now {
+            return;
+        }
+        self.sink.emit(self.now, site, || siteselect_obs::Event::Span {
+            txn: Some(TransactionId::from_raw(txn)),
+            kind,
+            start,
+            blocker: blocker.map(TransactionId::from_raw),
+        });
     }
 
     /// Records a measured transaction outcome in the metrics and stamps a

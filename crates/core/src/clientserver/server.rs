@@ -144,7 +144,7 @@ impl ClientServerSim {
         }
         if let Some(held) = self.server.locks.held_mode(w.object, client) {
             if held.covers(w.mode) {
-                self.server_ship(client, vec![(w.object, w.mode, w.needs_data)]);
+                self.server_ship(txn, client, vec![(w.object, w.mode, w.needs_data)]);
                 return;
             }
         }
@@ -209,7 +209,7 @@ impl ClientServerSim {
             .request(w.object, client, w.mode, w.deadline)
         {
             Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
-                self.server_ship(client, vec![(w.object, w.mode, w.needs_data)]);
+                self.server_ship(txn, client, vec![(w.object, w.mode, w.needs_data)]);
             }
             Acquire::Blocked { conflicts } => {
                 self.server.waiting_wants.insert(
@@ -220,6 +220,7 @@ impl ClientServerSim {
                         needs_data: w.needs_data,
                         deadline: w.deadline,
                         txn,
+                        queued_at: self.now,
                     },
                 );
                 self.server.wfg.add_waits(client, conflicts);
@@ -278,8 +279,14 @@ impl ClientServerSim {
     /// Ships granted `(object, mode, with_data)` items to `client`. Items
     /// already in the server buffer go on the wire immediately; items that
     /// miss ship when their disk reads complete, so a buffered object is
-    /// never delayed behind a co-requested miss.
-    pub(crate) fn server_ship(&mut self, client: ClientId, items: Vec<(ObjectId, LockMode, bool)>) {
+    /// never delayed behind a co-requested miss. `txn` attributes the disk
+    /// span of a miss to the requesting transaction.
+    pub(crate) fn server_ship(
+        &mut self,
+        txn: TKey,
+        client: ClientId,
+        items: Vec<(ObjectId, LockMode, bool)>,
+    ) {
         let mut ready = Vec::new();
         let mut missed = Vec::new();
         for item in items {
@@ -311,7 +318,9 @@ impl ClientServerSim {
                 done,
                 Ev::ServerFetchDone {
                     to: client,
+                    txn,
                     items: missed,
+                    scheduled_at: self.now,
                 },
             );
         }
@@ -439,7 +448,16 @@ impl ClientServerSim {
                 self.server_apply_grants(object, grants);
                 continue;
             }
-            self.server_ship(client, vec![(object, info.mode, info.needs_data)]);
+            // The want waited in the server's lock queue from enqueue to
+            // this grant.
+            self.emit_span(
+                SiteId::Server,
+                info.txn,
+                siteselect_obs::SpanKind::LockWait,
+                info.queued_at,
+                None,
+            );
+            self.server_ship(info.txn, client, vec![(object, info.mode, info.needs_data)]);
         }
     }
 
@@ -646,7 +664,7 @@ impl ClientServerSim {
                 .request(object, entry.client, entry.mode, entry.deadline)
             {
                 Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
-                    self.server_ship(entry.client, vec![(object, entry.mode, true)]);
+                    self.server_ship(entry.txn.as_u64(), entry.client, vec![(object, entry.mode, true)]);
                 }
                 Acquire::Blocked { .. } => {
                     // Another client claimed the object in the meantime:
@@ -659,6 +677,7 @@ impl ClientServerSim {
                             needs_data: true,
                             deadline: entry.deadline,
                             txn: entry.txn.as_u64(),
+                            queued_at: self.now,
                         },
                     );
                 }
@@ -824,6 +843,7 @@ impl ClientServerSim {
             return; // scheduled crash landed while already down
         }
         self.faults.server_up = false;
+        self.faults.server_crashed_at = Some(self.now);
         self.metrics.faults.crashes += 1;
         self.sink.emit(self.now, SiteId::Server, || {
             siteselect_obs::Event::SiteCrash {
@@ -935,6 +955,18 @@ impl ClientServerSim {
                 site: SiteId::Server,
             }
         });
+        // Site-scoped replay span: the outage window (down + WAL replay
+        // until rejoin) blames every transaction it overlaps.
+        if let Some(start) = self.faults.server_crashed_at.take() {
+            self.sink.emit(self.now, SiteId::Server, || {
+                siteselect_obs::Event::Span {
+                    txn: None,
+                    kind: siteselect_obs::SpanKind::Replay,
+                    start,
+                    blocker: None,
+                }
+            });
+        }
         // The rebuilt lock table remembers nothing of the transactional
         // (non-cached) grants that were in flight at the crash, so a
         // transaction alive across the outage could commit against locks

@@ -1,0 +1,141 @@
+//! Blame conservation: every transaction's blame vector must sum
+//! **exactly** — integer microseconds, no tolerance — to its measured
+//! end-to-end latency, in all three systems, with and without chaos and
+//! crash-restart faults. The attribution partitions `[submit, outcome]`
+//! into segments charged to exactly one cause, so any drift means the
+//! extractor double-charged or lost time.
+//!
+//! Also pins one seed's full blame report against
+//! `results/blame_golden.json`: the report is deterministic and
+//! machine-independent, so any drift means an engine or extractor change
+//! silently moved the attribution — regenerate the file deliberately:
+//!
+//! ```text
+//! BLESS=1 cargo test -p siteselect-core --test blame_conservation \
+//!     blame_report_matches_golden_pin
+//! ```
+
+use siteselect_core::run_experiment_traced;
+use siteselect_obs::blame::txn_blames;
+use siteselect_obs::{BlameReport, MetricsRegistry, SpanKind};
+use siteselect_types::{ExperimentConfig, FaultConfig, SimDuration, SystemKind};
+
+const CAPACITY: usize = 1 << 20;
+
+fn cfg(system: SystemKind, duration_s: u64, faults: Option<FaultConfig>) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(system, 5, 0.20);
+    cfg.runtime.duration = SimDuration::from_secs(duration_s);
+    cfg.runtime.warmup = SimDuration::from_secs(50);
+    if let Some(f) = faults {
+        cfg.faults = f;
+    }
+    cfg
+}
+
+/// Checks every transaction of one traced run: exact vector conservation,
+/// and a critical path that telescopes gaplessly from submission to
+/// outcome. Returns how many transactions were checked.
+fn assert_conserved(cfg: &ExperimentConfig, label: &str) -> usize {
+    let (_, trace) = run_experiment_traced(cfg, CAPACITY).expect("valid config");
+    assert_eq!(
+        trace.report.dropped, 0,
+        "{label}: ring dropped events; grow CAPACITY so the check sees everything"
+    );
+    let blames = txn_blames(&trace);
+    assert!(!blames.is_empty(), "{label}: no transactions to blame");
+    for b in &blames {
+        assert_eq!(
+            b.vector_sum(),
+            b.latency_us(),
+            "{label}: {} blame vector {:?} does not sum to its latency",
+            b.txn,
+            b.vector
+        );
+        // The path must telescope: starts at submission, ends at the
+        // outcome, each segment abutting the next, every length charged
+        // to the matching vector slot.
+        let mut cursor = b.submit.as_micros();
+        let mut from_path = [0u64; SpanKind::COUNT];
+        for seg in &b.path {
+            assert_eq!(
+                seg.start_us, cursor,
+                "{label}: {} path has a gap or overlap",
+                b.txn
+            );
+            assert!(seg.end_us > seg.start_us, "{label}: {} empty segment", b.txn);
+            from_path[seg.kind.index()] += seg.end_us - seg.start_us;
+            cursor = seg.end_us;
+        }
+        assert_eq!(
+            cursor,
+            b.end.as_micros(),
+            "{label}: {} path does not reach the outcome",
+            b.txn
+        );
+        assert_eq!(
+            from_path, b.vector,
+            "{label}: {} path and vector disagree",
+            b.txn
+        );
+    }
+    blames.len()
+}
+
+#[test]
+fn blame_conserves_latency_in_clean_runs() {
+    for system in SystemKind::ALL {
+        assert_conserved(&cfg(system, 300, None), &format!("{system} clean"));
+    }
+}
+
+#[test]
+fn blame_conserves_latency_under_chaos() {
+    for system in SystemKind::ALL {
+        assert_conserved(
+            &cfg(system, 300, Some(FaultConfig::chaos(1.0))),
+            &format!("{system} chaos"),
+        );
+    }
+}
+
+#[test]
+fn blame_conserves_latency_under_crash_restart() {
+    for system in SystemKind::ALL {
+        let c = cfg(system, 600, Some(FaultConfig::chaos_restart(1.0)));
+        let label = format!("{system} chaos restart");
+        assert_conserved(&c, &label);
+    }
+}
+
+#[test]
+fn blame_report_is_deterministic_across_runs() {
+    let c = cfg(SystemKind::LoadSharing, 300, Some(FaultConfig::chaos(1.0)));
+    let (_, a) = run_experiment_traced(&c, CAPACITY).unwrap();
+    let (_, b) = run_experiment_traced(&c, CAPACITY).unwrap();
+    let ra = BlameReport::extract(&a, 5, &MetricsRegistry::disabled());
+    let rb = BlameReport::extract(&b, 5, &MetricsRegistry::disabled());
+    assert_eq!(ra.to_json(), rb.to_json());
+    assert_eq!(ra.render(), rb.render());
+}
+
+#[test]
+fn blame_report_matches_golden_pin() {
+    let mut c = ExperimentConfig::paper(SystemKind::LoadSharing, 5, 0.20);
+    c.runtime.duration = SimDuration::from_secs(400);
+    c.runtime.warmup = SimDuration::from_secs(60);
+    c.runtime.seed = 42;
+    let (_, trace) = run_experiment_traced(&c, CAPACITY).unwrap();
+    let report = BlameReport::extract(&trace, 3, &MetricsRegistry::disabled());
+    let got = report.to_json();
+    let pinned_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/blame_golden.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(pinned_path, &got).expect("write results/blame_golden.json");
+        return;
+    }
+    let pinned = std::fs::read_to_string(pinned_path).expect("read results/blame_golden.json");
+    assert_eq!(
+        got, pinned,
+        "results/blame_golden.json drifted; if the attribution change is \
+         intended, regenerate the file (see the module docs)"
+    );
+}

@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use siteselect_obs::{Event, EventSink};
-use siteselect_types::{ObjectId, SimDuration, SimTime, SiteId};
+use siteselect_obs::{Event, EventSink, SpanKind};
+use siteselect_types::{ObjectId, SimDuration, SimTime, SiteId, TransactionId};
 
 use crate::forward::{ForwardEntry, ForwardList};
 
@@ -29,6 +29,9 @@ pub enum WindowOffer {
 struct OpenWindow {
     closes_at: SimTime,
     list: ForwardList,
+    /// Trace-only: who entered the window when, in offer order (feeds the
+    /// window-residency spans stamped at close). Empty when tracing is off.
+    offered: Vec<(TransactionId, SimTime)>,
 }
 
 /// Per-object collection-window state.
@@ -89,14 +92,30 @@ impl WindowManager {
     /// needed.
     pub fn offer(&mut self, object: ObjectId, entry: ForwardEntry, now: SimTime) -> WindowOffer {
         self.total_requests += 1;
+        let traced = self.sink.is_enabled();
         if let Some(w) = self.open.get_mut(&object) {
+            if traced {
+                w.offered.push((entry.txn, now));
+            }
             w.list.push(entry);
             return WindowOffer::Joined;
         }
         let closes_at = now + self.window;
         let mut list = ForwardList::new(object);
+        let offered = if traced {
+            vec![(entry.txn, now)]
+        } else {
+            Vec::new()
+        };
         list.push(entry);
-        self.open.insert(object, OpenWindow { closes_at, list });
+        self.open.insert(
+            object,
+            OpenWindow {
+                closes_at,
+                list,
+                offered,
+            },
+        );
         self.total_opened += 1;
         self.sink
             .emit(now, SiteId::Server, || Event::WindowOpen { object });
@@ -110,15 +129,24 @@ impl WindowManager {
     }
 
     /// Like [`close`](Self::close), but stamps a `WindowClose` event with
-    /// the batch size at `now` when a window was actually open.
+    /// the batch size at `now` when a window was actually open, plus one
+    /// window-residency span per collected request.
     pub fn close_at(&mut self, object: ObjectId, now: SimTime) -> Option<ForwardList> {
-        let list = self.close(object);
-        if let Some(list) = &list {
-            let batch = list.len() as u32;
-            self.sink
-                .emit(now, SiteId::Server, || Event::WindowClose { object, batch });
+        let w = self.open.remove(&object)?;
+        let batch = w.list.len() as u32;
+        self.sink
+            .emit(now, SiteId::Server, || Event::WindowClose { object, batch });
+        for &(txn, offered_at) in &w.offered {
+            if offered_at < now {
+                self.sink.emit(now, SiteId::Server, || Event::Span {
+                    txn: Some(txn),
+                    kind: SpanKind::Window,
+                    start: offered_at,
+                    blocker: None,
+                });
+            }
         }
-        list
+        Some(w.list)
     }
 
     /// True if a window is currently collecting for `object`.

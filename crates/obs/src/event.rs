@@ -9,6 +9,8 @@ use std::fmt::Write as _;
 
 use siteselect_types::{AbortReason, ClientId, ObjectId, SimTime, SiteId, TransactionId, TxnOutcome};
 
+use crate::span::SpanKind;
+
 /// Stable lower-case label for an abort reason, used in exports.
 #[must_use]
 pub fn abort_reason_str(reason: AbortReason) -> &'static str {
@@ -318,6 +320,25 @@ pub enum Event {
         /// The stamp the page holds after replay.
         stamp: u64,
     },
+    /// A causal interval ended: `[start, record time]` of one cause of
+    /// elapsed transaction time (see [`SpanKind`]). Emitted at completion so
+    /// no open/close pairing is needed; the blame extractor charges each
+    /// transaction's elementary time segments to its highest-priority
+    /// covering span.
+    Span {
+        /// The affected transaction (root or derived subtask/shipped unit
+        /// id; blame folds derived ids onto the root). `None` marks a
+        /// site-scoped span — e.g. a crash-restart replay outage — that
+        /// applies to every transaction overlapping it.
+        txn: Option<TransactionId>,
+        /// The cause this interval is charged to.
+        kind: SpanKind,
+        /// When the interval began (the record's own time is the end).
+        start: SimTime,
+        /// For lock waits: the transaction that held the conflicting lock
+        /// when this wait began.
+        blocker: Option<TransactionId>,
+    },
 }
 
 impl Event {
@@ -360,6 +381,7 @@ impl Event {
             Event::WalCheckpoint { .. } => "wal_checkpoint",
             Event::RecoveryDone { .. } => "recovery_done",
             Event::WalState { .. } => "wal_state",
+            Event::Span { kind, .. } => kind.event_kind(),
         }
     }
 
@@ -385,6 +407,7 @@ impl Event {
             | Event::WalWrite { txn, .. }
             | Event::WalCommit { txn }
             | Event::WalAbort { txn } => Some(*txn),
+            Event::Span { txn, .. } => *txn,
             _ => None,
         }
     }
@@ -557,6 +580,25 @@ impl Event {
             Event::WalState { page, stamp } => {
                 let _ = write!(out, r#","page":"{page}","stamp":{stamp}"#);
             }
+            Event::Span {
+                txn,
+                kind,
+                start,
+                blocker,
+            } => {
+                if let Some(txn) = txn {
+                    let _ = write!(out, r#","txn":"{txn}""#);
+                }
+                let _ = write!(
+                    out,
+                    r#","span":"{}","start_us":{}"#,
+                    kind.label(),
+                    start.as_micros()
+                );
+                if let Some(blocker) = blocker {
+                    let _ = write!(out, r#","blocker":"{blocker}""#);
+                }
+            }
         }
     }
 }
@@ -699,6 +741,38 @@ mod tests {
         let mut s = String::new();
         ckpt.write_json_fields(&mut s);
         assert!(s.contains(r#""log_records":100"#));
+    }
+
+    #[test]
+    fn span_events_carry_kind_start_and_blocker() {
+        let txn = TransactionId::new(ClientId(3), 5);
+        let blocker = TransactionId::new(ClientId(1), 2);
+        let e = Event::Span {
+            txn: Some(txn),
+            kind: SpanKind::LockWait,
+            start: SimTime::from_micros(40),
+            blocker: Some(blocker),
+        };
+        assert_eq!(e.kind(), "span_lock_wait");
+        assert_eq!(e.txn(), Some(txn));
+        let mut s = String::new();
+        e.write_json_fields(&mut s);
+        assert!(s.contains(r#""span":"lock_wait""#));
+        assert!(s.contains(r#""start_us":40"#));
+        assert!(s.contains(r#""blocker":"txn#1.2""#));
+
+        let sitewide = Event::Span {
+            txn: None,
+            kind: SpanKind::Replay,
+            start: SimTime::from_micros(9),
+            blocker: None,
+        };
+        assert_eq!(sitewide.kind(), "span_replay");
+        assert_eq!(sitewide.txn(), None);
+        let mut s = String::new();
+        sitewide.write_json_fields(&mut s);
+        assert!(s.starts_with(r#","span":"replay""#));
+        assert!(!s.contains("blocker"));
     }
 
     #[test]

@@ -65,11 +65,18 @@ pub fn site_pid(site: SiteId) -> u32 {
 /// `chrome://tracing` or Perfetto).
 ///
 /// Transaction lifecycles become duration (`"X"`) events spanning submit →
-/// commit/abort on the originating client's track; every record also
-/// appears as an instant (`"i"`) event carrying the full payload.
+/// commit/abort on the originating client's track; causal spans become
+/// named duration events on their site's span track; crash-restart
+/// episodes become `wal_replay` (crash → replay finished) and
+/// `rejoin_revalidation` (replay finished → rejoin) slices on the crashed
+/// site's track (`site_down` when the site rejoins without a replay);
+/// every record also appears as an instant (`"i"`) event carrying the full
+/// payload.
 #[must_use]
 pub fn chrome_trace(records: &[TraceRecord]) -> String {
     let mut submits: HashMap<TransactionId, SimTime> = HashMap::new();
+    let mut crashed: HashMap<SiteId, SimTime> = HashMap::new();
+    let mut replayed: HashMap<SiteId, SimTime> = HashMap::new();
     let mut out = String::with_capacity(records.len() * 160 + 64);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -97,6 +104,75 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
                         start.as_micros(),
                         site_pid(SiteId::Client(txn.origin())),
                         rec.event.kind()
+                    );
+                    push_event(&mut out, &span);
+                }
+            }
+            Event::Span {
+                txn,
+                kind,
+                start,
+                blocker,
+            } => {
+                let dur = rec.time.duration_since(*start).as_micros();
+                let mut span = String::new();
+                let _ = write!(
+                    span,
+                    r#"{{"name":"{}","cat":"span","ph":"X","ts":{},"dur":{dur},"pid":{pid},"tid":2,"args":{{"#,
+                    kind.label(),
+                    start.as_micros()
+                );
+                if let Some(t) = txn {
+                    let _ = write!(span, r#""txn":"{t}""#);
+                }
+                if let Some(b) = blocker {
+                    let _ = write!(span, r#","blocker":"{b}""#);
+                }
+                span.push_str("}}");
+                push_event(&mut out, &span);
+            }
+            Event::SiteCrash { site } => {
+                crashed.insert(*site, rec.time);
+            }
+            Event::RecoveryDone {
+                site,
+                redo,
+                undone,
+                losers,
+                replay_ios,
+            } => {
+                if let Some(down) = crashed.remove(site) {
+                    let dur = rec.time.duration_since(down).as_micros();
+                    let mut span = String::new();
+                    let _ = write!(
+                        span,
+                        r#"{{"name":"wal_replay","cat":"recovery","ph":"X","ts":{},"dur":{dur},"pid":{},"tid":0,"args":{{"redo":{redo},"undone":{undone},"losers":{losers},"replay_ios":{replay_ios}}}}}"#,
+                        down.as_micros(),
+                        site_pid(*site)
+                    );
+                    push_event(&mut out, &span);
+                    replayed.insert(*site, rec.time);
+                }
+            }
+            Event::SiteRecover { site } => {
+                if let Some(done) = replayed.remove(site) {
+                    let dur = rec.time.duration_since(done).as_micros();
+                    let mut span = String::new();
+                    let _ = write!(
+                        span,
+                        r#"{{"name":"rejoin_revalidation","cat":"recovery","ph":"X","ts":{},"dur":{dur},"pid":{},"tid":0,"args":{{}}}}"#,
+                        done.as_micros(),
+                        site_pid(*site)
+                    );
+                    push_event(&mut out, &span);
+                } else if let Some(down) = crashed.remove(site) {
+                    let dur = rec.time.duration_since(down).as_micros();
+                    let mut span = String::new();
+                    let _ = write!(
+                        span,
+                        r#"{{"name":"site_down","cat":"recovery","ph":"X","ts":{},"dur":{dur},"pid":{},"tid":0,"args":{{}}}}"#,
+                        down.as_micros(),
+                        site_pid(*site)
                     );
                     push_event(&mut out, &span);
                 }
@@ -182,6 +258,94 @@ mod tests {
         assert_eq!(site_pid(SiteId::Directory), 1);
         assert_eq!(site_pid(SiteId::Client(ClientId(0))), 2);
         assert_eq!(site_pid(SiteId::Client(ClientId(5))), 7);
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_as_named_slices() {
+        let recs = vec![TraceRecord {
+            time: SimTime::from_micros(900),
+            seq: 0,
+            site: SiteId::Server,
+            event: Event::Span {
+                txn: Some(txn()),
+                kind: crate::SpanKind::LockWait,
+                start: SimTime::from_micros(400),
+                blocker: Some(TransactionId::new(ClientId(1), 3)),
+            },
+        }];
+        let text = chrome_trace(&recs);
+        assert!(
+            text.contains(r#""name":"lock_wait","cat":"span","ph":"X","ts":400,"dur":500"#),
+            "{text}"
+        );
+        assert!(text.contains(r#""blocker":"txn#1.3""#), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_renders_recovery_phases() {
+        let site = SiteId::Server;
+        let recs = vec![
+            TraceRecord {
+                time: SimTime::from_micros(100),
+                seq: 0,
+                site,
+                event: Event::SiteCrash { site },
+            },
+            TraceRecord {
+                time: SimTime::from_micros(700),
+                seq: 1,
+                site,
+                event: Event::RecoveryDone {
+                    site,
+                    redo: 4,
+                    undone: 2,
+                    losers: 1,
+                    replay_ios: 6,
+                },
+            },
+            TraceRecord {
+                time: SimTime::from_micros(750),
+                seq: 2,
+                site,
+                event: Event::SiteRecover { site },
+            },
+        ];
+        let text = chrome_trace(&recs);
+        assert!(
+            text.contains(r#""name":"wal_replay","cat":"recovery","ph":"X","ts":100,"dur":600"#),
+            "{text}"
+        );
+        assert!(text.contains(r#""redo":4,"undone":2,"losers":1,"replay_ios":6"#), "{text}");
+        assert!(
+            text.contains(
+                r#""name":"rejoin_revalidation","cat":"recovery","ph":"X","ts":700,"dur":50"#
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_marks_replayless_rejoin_as_site_down() {
+        let site = SiteId::Client(ClientId(3));
+        let recs = vec![
+            TraceRecord {
+                time: SimTime::from_micros(10),
+                seq: 0,
+                site,
+                event: Event::SiteCrash { site },
+            },
+            TraceRecord {
+                time: SimTime::from_micros(90),
+                seq: 1,
+                site,
+                event: Event::SiteRecover { site },
+            },
+        ];
+        let text = chrome_trace(&recs);
+        assert!(
+            text.contains(r#""name":"site_down","cat":"recovery","ph":"X","ts":10,"dur":80"#),
+            "{text}"
+        );
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //!   relative error, no allocation after construction).
 //! * [`ObsReport`] — the per-run summary (kind counts, latency / slack /
 //!   tardiness histograms, per-site timelines).
+//! * [`SpanKind`] / [`Event::Span`] — causal spans (admission, decision,
+//!   network, lock wait, window residency, disk, commit, retry, replay)
+//!   emitted when an interval ends; the payload carries the start.
+//! * [`blame`] — the critical-path extractor: per-transaction blame
+//!   vectors that sum *exactly* to end-to-end latency, aggregated into
+//!   a [`BlameReport`] with per-cause histograms and a top-K worst-miss
+//!   listing.
+//! * [`MetricsRegistry`] — deterministic counters/gauges, zero-alloc when
+//!   disabled like the sink.
 //! * [`export`] — JSONL and Chrome `trace_event` writers whose output is
 //!   byte-identical across runs at the same seed.
 //!
@@ -34,13 +43,19 @@
 //! assert!(export::jsonl(&trace.records).lines().count() == 2);
 //! ```
 
+pub mod blame;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod span;
 
+pub use blame::{fold_root, BlameReport, CauseStats, PathSegment, TxnBlame};
 pub use event::{abort_reason_str, outcome_str, Event, H2Candidate};
 pub use hist::LogHistogram;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use report::{ObsReport, SiteSummary};
 pub use sink::{EventSink, TraceData, TraceRecord};
+pub use span::SpanKind;

@@ -1,0 +1,207 @@
+//! A deterministic counters/gauges registry, shaped like [`EventSink`]:
+//! disabled it is a `None` and every operation is a single branch with the
+//! name/value closure-free fast path untouched; enabled it folds updates
+//! into `BTreeMap`s so snapshots render in one stable order.
+//!
+//! Registries are shareable handles (`Arc<Mutex<_>>`) so the same type
+//! works single-threaded and in the threaded cluster runtime; merging two
+//! snapshots is key-wise addition for counters and last-writer-wins for
+//! gauges (callers merge in a deterministic order).
+//!
+//! [`EventSink`]: crate::EventSink
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+}
+
+/// A shareable, optionally-enabled metrics registry.
+///
+/// # Example
+///
+/// ```
+/// use siteselect_obs::MetricsRegistry;
+///
+/// let off = MetricsRegistry::disabled();
+/// off.add("ignored", 1); // no-op, no allocation
+/// assert!(off.snapshot().is_none());
+///
+/// let on = MetricsRegistry::enabled();
+/// on.add("spans_extracted", 3);
+/// on.add("spans_extracted", 2);
+/// on.set_gauge("worst_tardiness_us", 450);
+/// let snap = on.snapshot().unwrap();
+/// assert_eq!(snap.counter("spans_extracted"), 5);
+/// assert_eq!(snap.gauge("worst_tardiness_us"), Some(450));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry(Option<Arc<Mutex<RegistryInner>>>);
+
+impl MetricsRegistry {
+    /// A registry that ignores everything (the zero-overhead default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        MetricsRegistry(None)
+    }
+
+    /// A live registry.
+    #[must_use]
+    pub fn enabled() -> Self {
+        MetricsRegistry(Some(Arc::new(Mutex::new(RegistryInner::default()))))
+    }
+
+    /// True if updates are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    #[inline]
+    pub fn add(&self, name: &'static str, by: u64) {
+        if let Some(inner) = &self.0 {
+            let mut g = inner.lock().expect("registry poisoned");
+            *g.counters.entry(name).or_insert(0) += by;
+        }
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    #[inline]
+    pub fn set_gauge(&self, name: &'static str, value: i64) {
+        if let Some(inner) = &self.0 {
+            let mut g = inner.lock().expect("registry poisoned");
+            g.gauges.insert(name, value);
+        }
+    }
+
+    /// Raises gauge `name` to `value` if `value` is larger (or the gauge is
+    /// new) — a deterministic running maximum.
+    #[inline]
+    pub fn max_gauge(&self, name: &'static str, value: i64) {
+        if let Some(inner) = &self.0 {
+            let mut g = inner.lock().expect("registry poisoned");
+            g.gauges
+                .entry(name)
+                .and_modify(|v| *v = (*v).max(value))
+                .or_insert(value);
+        }
+    }
+
+    /// Copies the current state out, or `None` if disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.0.as_ref().map(|inner| {
+            let g = inner.lock().expect("registry poisoned");
+            MetricsSnapshot {
+                counters: g.counters.clone(),
+                gauges: g.gauges.clone(),
+            }
+        })
+    }
+}
+
+/// A point-in-time copy of a registry, in deterministic key order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-written gauges.
+    pub gauges: BTreeMap<&'static str, i64>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Adds another snapshot into this one: counters add key-wise, gauges
+    /// take the other side's value (merge in a deterministic order).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k, *v);
+        }
+    }
+
+    /// Renders `name value` lines in key order (deterministic).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::disabled();
+        r.add("c", 1);
+        r.set_gauge("g", 2);
+        assert!(!r.is_enabled());
+        assert!(r.snapshot().is_none());
+    }
+
+    #[test]
+    fn counters_accumulate_and_clones_share_state() {
+        let a = MetricsRegistry::enabled();
+        let b = a.clone();
+        a.add("c", 2);
+        b.add("c", 3);
+        b.max_gauge("m", 5);
+        b.max_gauge("m", 1);
+        let snap = a.snapshot().unwrap();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("m"), Some(5));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_overwrites_gauges() {
+        let a = MetricsRegistry::enabled();
+        a.add("c", 1);
+        a.set_gauge("g", 10);
+        let b = MetricsRegistry::enabled();
+        b.add("c", 4);
+        b.add("only_b", 1);
+        b.set_gauge("g", -3);
+        let mut m = a.snapshot().unwrap();
+        m.merge(&b.snapshot().unwrap());
+        assert_eq!(m.counter("c"), 5);
+        assert_eq!(m.counter("only_b"), 1);
+        assert_eq!(m.gauge("g"), Some(-3));
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let r = MetricsRegistry::enabled();
+        r.add("zeta", 1);
+        r.add("alpha", 2);
+        r.set_gauge("mid", 0);
+        let text = r.snapshot().unwrap().render();
+        assert_eq!(text, "alpha 2\nzeta 1\nmid 0\n");
+    }
+}

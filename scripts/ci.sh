@@ -26,6 +26,13 @@ diff "$tracedir/a/trace.json" "$tracedir/b/trace.json"
 # The report must match too; only the "wrote <path>" line may differ.
 diff <(grep -v '^wrote ' "$tracedir/a.out") <(grep -v '^wrote ' "$tracedir/b.out")
 
+echo "==> blame determinism (repro blame, jobs 1 vs 8, byte-diff)"
+cargo run --release -q -p siteselect-bench --bin repro -- blame --quick --seed 7 --jobs 1 --out "$tracedir/blame.j1.json" > "$tracedir/blame.j1.out"
+cargo run --release -q -p siteselect-bench --bin repro -- blame --quick --seed 7 --jobs 8 --out "$tracedir/blame.j8.json" > "$tracedir/blame.j8.out"
+diff "$tracedir/blame.j1.json" "$tracedir/blame.j8.json"
+# Stdout must match too; only the "wrote <path>" line may differ.
+diff <(grep -v '^wrote ' "$tracedir/blame.j1.out") <(grep -v '^wrote ' "$tracedir/blame.j8.out")
+
 echo "==> disabled-path guard (untraced repro output is byte-stable)"
 cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick > "$tracedir/f3.a"
 cargo run --release -q -p siteselect-bench --bin repro -- figure3 --quick > "$tracedir/f3.b"
@@ -57,9 +64,16 @@ fi
 
 echo "==> bench smoke (suite runs, report parses, no >2x regression vs fresh rerun)"
 cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench.json" > "$tracedir/bench.out"
-for field in '"meta"' '"cores"' '"rustc"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"'; do
+for field in '"meta"' '"cores"' '"rustc"' '"git_rev"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"'; do
   grep -q "$field" "$tracedir/bench.json" || { echo "bench.json missing $field"; exit 1; }
 done
+# Sweep benchmarks must report simulated throughput, not null (the sim/*
+# and sweep/* rows double as the tracing-off overhead smoke: the suite
+# times untraced runs, so span instrumentation that leaks into the
+# disabled path shows up here and in the baseline gate below).
+if grep -E '"name": "(sim|sweep)/' "$tracedir/bench.json" | grep -q '"events_per_sec": null'; then
+  echo "a sim/ or sweep/ benchmark reported events_per_sec: null"; exit 1
+fi
 # Same-machine regression gate: a second run must stay within the 2x limit
 # of the first (the committed results/BENCH_sim.json baseline documents a
 # reference machine and is not comparable across hardware).
