@@ -17,7 +17,13 @@
 //! `bench` runs the regression-tracked benchmark suite and writes its
 //! JSON report to `--out FILE` (default `BENCH_sim.json`); with
 //! `--baseline FILE` it additionally compares against a previous report
-//! and fails on a missing benchmark or a >2x regression.
+//! and fails on a missing benchmark or a >2x regression. `bench
+//! --compare OLD.json NEW.json` instead diffs two saved reports without
+//! running anything: per benchmark it prints old/new times, the signed
+//! delta percent and throughput movement (`--json` for the
+//! machine-readable form), and exits non-zero when a benchmark vanished
+//! or slowed past the regression limit — the shape CI uses as its
+//! regression gate.
 //! `faults` is not part of `all`: it sweeps the fault-injection subsystem
 //! (crash/loss/slow-disk chaos) rather than a paper figure, and follows up
 //! with the crash-restart table contrasting write-ahead-log recovery
@@ -226,6 +232,15 @@ fn main() -> ExitCode {
         })
         .map(|(i, _)| i + 1)
         .collect();
+    // `--compare` is the one flag that takes two values.
+    let compare_pos = args.iter().position(|a| a == "--compare");
+    let value_slots: Vec<usize> = match compare_pos {
+        Some(pos) => value_slots
+            .into_iter()
+            .chain([pos + 1, pos + 2])
+            .collect(),
+        None => value_slots,
+    };
     let targets: Vec<&str> = args
         .iter()
         .enumerate()
@@ -265,10 +280,25 @@ fn main() -> ExitCode {
             &check_flags,
         ),
         "check" => check(opts, clients_override, seed_override, &check_flags),
-        "bench" => {
-            let out = flag_value(&args, "--out").unwrap_or("BENCH_sim.json");
-            bench_suite(out, baseline)
-        }
+        "bench" => match compare_pos {
+            Some(pos) => {
+                let (Some(old), Some(new)) = (args.get(pos + 1), args.get(pos + 2)) else {
+                    return usage_error(
+                        "--compare needs two report paths: --compare OLD.json NEW.json",
+                    );
+                };
+                if old.starts_with("--") || new.starts_with("--") {
+                    return usage_error(
+                        "--compare needs two report paths: --compare OLD.json NEW.json",
+                    );
+                }
+                bench_compare(old, new, args.iter().any(|a| a == "--json"))
+            }
+            None => {
+                let out = flag_value(&args, "--out").unwrap_or("BENCH_sim.json");
+                bench_suite(out, baseline)
+            }
+        },
         "all" => all(opts, clients_override.unwrap_or(100)),
         other => {
             eprintln!("unknown target: {other}");
@@ -736,6 +766,31 @@ fn bench_suite(out: &str, baseline: Option<&str>) -> Result<(), AnyError> {
         siteselect_bench::suite::compare_against_baseline(&report, &base)
             .map_err(|e| format!("baseline check failed: {e}"))?;
         println!("baseline check passed against {path}");
+    }
+    Ok(())
+}
+
+/// Diffs two saved bench reports (`repro bench --compare OLD NEW`):
+/// per-benchmark delta table (or JSON with `--json`), non-zero exit when a
+/// benchmark vanished or slowed past the regression limit.
+fn bench_compare(old_path: &str, new_path: &str, json: bool) -> Result<(), AnyError> {
+    let old = std::fs::read_to_string(old_path)
+        .map_err(|e| format!("cannot read {old_path}: {e}"))?;
+    let new = std::fs::read_to_string(new_path)
+        .map_err(|e| format!("cannot read {new_path}: {e}"))?;
+    let cmp = siteselect_bench::suite::BenchComparison::from_json(&old, &new)?;
+    if json {
+        print!("{}", cmp.to_json());
+    } else {
+        banner(&format!("Bench compare: {old_path} -> {new_path}"));
+        print!("{}", cmp.to_text());
+    }
+    if cmp.regressed() {
+        return Err(format!(
+            "bench regression: a benchmark vanished or slowed more than {}x (see table above)",
+            siteselect_bench::suite::REGRESSION_LIMIT
+        )
+        .into());
     }
     Ok(())
 }

@@ -27,7 +27,7 @@ use siteselect_storage::DiskModel;
 use siteselect_storage::{DurableStore, RecoveryOutcome};
 use siteselect_locks::{Acquire, LockTable, QueueDiscipline, WaitForGraph};
 use siteselect_types::{
-    AbortReason, ExperimentConfig, LockMode, ObjectId, SimDuration, SimTime, SiteId,
+    AbortReason, ExperimentConfig, InlineVec, LockMode, ObjectId, SimDuration, SimTime, SiteId,
     TransactionId, TransactionSpec, TxnOutcome,
 };
 use siteselect_workload::Trace;
@@ -74,11 +74,16 @@ enum Phase {
     Done,
 }
 
+/// Per-transaction server state. The spec itself stays in the simulator's
+/// arena ([`CentralizedSim::specs`]) and is referenced by index, and the
+/// blocked list is inline (the paper's transactions touch at most 15
+/// objects), so creating and retiring one of these never heap-allocates.
 #[derive(Debug)]
 struct CeTxn {
-    spec: TransactionSpec,
+    /// Index of this transaction's spec in [`CentralizedSim::specs`].
+    spec: u32,
     phase: Phase,
-    blocked: Vec<ObjectId>,
+    blocked: InlineVec<ObjectId, 16>,
     wait_started: SimTime,
     blocked_total: SimDuration,
     /// Trace-only: the first conflicting holder seen at submit, reported as
@@ -101,7 +106,12 @@ pub struct CentralizedSim {
     disk: DiskModel,
     /// WAL-guarded durable page store; update transactions write through it.
     store: DurableStore,
+    /// The generated trace, arena-style: transactions reference their spec
+    /// by index instead of carrying a clone through the pipeline.
+    specs: Vec<TransactionSpec>,
     txns: HashMap<Key, CeTxn>,
+    /// Recycled buffer for the lock-grant path's still-blocked walk.
+    scratch_objs: Vec<ObjectId>,
     inflight: usize,
     warmup_end: SimTime,
     metrics: RunMetrics,
@@ -153,7 +163,9 @@ impl CentralizedSim {
             buffer: ClientCache::new(cfg.server.buffer_objects, 0),
             disk: DiskModel::new(cfg.server.disk.page_service_time),
             store: DurableStore::new(cfg.database.num_objects, cfg.server.buffer_objects.max(1)),
+            specs: Vec::new(),
             txns: HashMap::new(),
+            scratch_objs: Vec::new(),
             inflight: 0,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -180,6 +192,15 @@ impl CentralizedSim {
     /// Runs the experiment to completion and returns its metrics.
     #[must_use]
     pub fn run(mut self) -> RunMetrics {
+        self.prepare();
+        while self.step() {}
+        self.finalize()
+    }
+
+    /// Generates the trace and seeds the event queue. Split out of
+    /// [`run`](Self::run) so harnesses can pump events one at a time (the
+    /// steady-state allocation test snapshots the allocator between steps).
+    pub fn prepare(&mut self) {
         let trace = Trace::generate(
             &self.cfg.workload,
             self.cfg.cpu.txn_cpu_fraction,
@@ -188,9 +209,10 @@ impl CentralizedSim {
             self.cfg.runtime.duration,
             self.cfg.runtime.seed,
         );
+        self.specs = trace.into_transactions();
         // Arrivals fire at the client terminals; the submission message is
         // sent at arrival time so fabric bookings stay chronological.
-        for (i, spec) in trace.transactions().iter().enumerate() {
+        for (i, spec) in self.specs.iter().enumerate() {
             self.queue.push(spec.arrival, Ev::Arrive(i));
         }
         if self.faults_active {
@@ -198,12 +220,33 @@ impl CentralizedSim {
         }
         self.queue
             .push(self.warmup_end.max(SimTime::from_secs(1)), Ev::Sweep);
-        let specs: Vec<TransactionSpec> = trace.transactions().to_vec();
-        while let Some((t, ev)) = self.queue.pop() {
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.handle(ev, &specs);
-        }
+        // The buffer and lock table see every object id sooner or later;
+        // pre-sizing their slabs keeps first-touch insertions off the
+        // allocator mid-run.
+        self.buffer.reserve_ids(self.cfg.database.num_objects as usize);
+        self.locks.reserve_objects(self.cfg.database.num_objects as usize);
+    }
+
+    /// Processes the next event; returns `false` once the queue is drained.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.handle(ev);
+        true
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Closes out the run and returns its metrics.
+    #[must_use]
+    pub fn finalize(mut self) -> RunMetrics {
         let span = self
             .now
             .duration_since(SimTime::ZERO)
@@ -257,40 +300,39 @@ impl CentralizedSim {
         }
     }
 
-    fn measured(&self, spec: &TransactionSpec) -> bool {
-        spec.arrival >= self.warmup_end
+    fn measured_at(&self, i: usize) -> bool {
+        self.specs[i].arrival >= self.warmup_end
     }
 
-    fn handle(&mut self, ev: Ev, specs: &[TransactionSpec]) {
+    fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrive(i) => {
-                let spec = &specs[i];
-                let (txn, deadline) = (spec.id, spec.deadline);
+                let spec = &self.specs[i];
+                let (txn, deadline, origin) = (spec.id, spec.deadline, spec.origin);
                 let accesses = spec.accesses.len() as u32;
-                self.sink.emit(self.now, SiteId::Client(spec.origin), || {
-                    Event::TxnSubmit {
+                self.sink
+                    .emit(self.now, SiteId::Client(origin), || Event::TxnSubmit {
                         txn,
                         deadline,
                         accesses,
-                    }
-                });
+                    });
                 if self.faults_active {
                     // Fault-aware path: the submission may be lost to random
                     // loss or refused by a crashed server.
                     match self.fabric.try_send(
                         self.now,
-                        SiteId::Client(spec.origin),
+                        SiteId::Client(origin),
                         SiteId::Server,
                         MessageKind::TxnSubmit,
                         0,
                     ) {
                         Delivery::Delivered(t) => self.queue.push(t, Ev::Submit(i)),
-                        Delivery::Dropped => self.record_crash_loss(spec),
+                        Delivery::Dropped => self.record_crash_loss(i),
                     }
                 } else {
                     let delivery = self.fabric.send(
                         self.now,
-                        SiteId::Client(spec.origin),
+                        SiteId::Client(origin),
                         SiteId::Server,
                         MessageKind::TxnSubmit,
                         0,
@@ -298,7 +340,7 @@ impl CentralizedSim {
                     self.queue.push(delivery, Ev::Submit(i));
                 }
             }
-            Ev::Submit(i) => self.on_submit(&specs[i]),
+            Ev::Submit(i) => self.on_submit(i),
             Ev::IoDone(key) => self.on_io_done(key),
             Ev::CpuTick(generation) => self.on_cpu_tick(generation),
             Ev::Result {
@@ -338,16 +380,17 @@ impl CentralizedSim {
     /// Closes out the span of the phase `txn` dies in, so aborted
     /// transactions still account for the wait that killed them.
     fn emit_phase_span(&self, txn: &CeTxn) {
+        let id = self.specs[txn.spec as usize].id;
         match txn.phase {
             Phase::Locks => self.emit_span(
                 SiteId::Server,
-                txn.spec.id,
+                id,
                 SpanKind::LockWait,
                 txn.wait_started,
                 txn.blocked_on,
             ),
             Phase::Io => {
-                self.emit_span(SiteId::Server, txn.spec.id, SpanKind::Disk, txn.io_started, None);
+                self.emit_span(SiteId::Server, id, SpanKind::Disk, txn.io_started, None);
             }
             Phase::Cpu | Phase::Done => {}
         }
@@ -355,11 +398,11 @@ impl CentralizedSim {
 
     /// Settles a transaction whose submission (or only record of it) was
     /// lost to a crash or message loss: the origin's timeout scores it.
-    fn record_crash_loss(&mut self, spec: &TransactionSpec) {
-        if self.measured(spec) {
-            let id = spec.id;
+    fn record_crash_loss(&mut self, i: usize) {
+        if self.measured_at(i) {
+            let (id, origin) = (self.specs[i].id, self.specs[i].origin);
             self.sink
-                .emit(self.now, SiteId::Client(spec.origin), || Event::Outcome {
+                .emit(self.now, SiteId::Client(origin), || Event::Outcome {
                     txn: id,
                     outcome: TxnOutcome::Aborted(AbortReason::SiteCrash),
                 });
@@ -368,44 +411,49 @@ impl CentralizedSim {
         }
     }
 
-    fn on_submit(&mut self, spec: &TransactionSpec) {
+    fn on_submit(&mut self, i: usize) {
+        let (id, arrival, deadline) = {
+            let spec = &self.specs[i];
+            (spec.id, spec.arrival, spec.deadline)
+        };
         // The submission hop: sent at arrival from the client terminal,
         // delivered (or refused) now.
-        self.emit_span(SiteId::Server, spec.id, SpanKind::Net, spec.arrival, None);
+        self.emit_span(SiteId::Server, id, SpanKind::Net, arrival, None);
         if !self.server_up {
             // In flight when the server went down: refused at the door.
             self.gate_dropped += 1;
-            self.record_crash_loss(spec);
+            self.record_crash_loss(i);
             return;
         }
-        let key = spec.id.as_u64();
-        if spec.is_expired(self.now) {
-            self.finish(spec.clone(), TxnOutcome::Aborted(AbortReason::Expired));
+        let key = id.as_u64();
+        if self.specs[i].is_expired(self.now) {
+            self.finish(i, TxnOutcome::Aborted(AbortReason::Expired));
             return;
         }
         self.inflight += 1;
         let mut txn = CeTxn {
-            spec: spec.clone(),
+            spec: i as u32,
             phase: Phase::Locks,
-            blocked: Vec::new(),
+            blocked: InlineVec::new(),
             wait_started: self.now,
             blocked_total: SimDuration::ZERO,
             blocked_on: None,
             io_started: self.now,
         };
-        // Acquire all locks up front (the access set is known, §5.1).
+        // Acquire all locks up front (the access set is known, §5.1). The
+        // spec borrow coexists with the lock/WFG/sink calls because those
+        // only touch their own fields.
         let mut deadlocked = false;
-        for access in &spec.accesses {
+        for access in &self.specs[i].accesses {
             let mode = access.mode();
             let conflicts = self.locks.conflicting_holders(access.object, key, mode);
             if self.wfg.would_deadlock(key, &conflicts) {
                 deadlocked = true;
                 break;
             }
-            match self.locks.request(access.object, key, mode, spec.deadline) {
+            match self.locks.request(access.object, key, mode, deadline) {
                 Acquire::Granted | Acquire::AlreadyHeld | Acquire::Upgraded => {
-                    let (id, object, exclusive) =
-                        (spec.id, access.object, mode == LockMode::Exclusive);
+                    let (object, exclusive) = (access.object, mode == LockMode::Exclusive);
                     self.sink.emit(self.now, SiteId::Server, || Event::LockHeld {
                         txn: id,
                         object,
@@ -413,7 +461,7 @@ impl CentralizedSim {
                     });
                 }
                 Acquire::Blocked { conflicts } => {
-                    let (id, object) = (spec.id, access.object);
+                    let object = access.object;
                     self.sink.emit(self.now, SiteId::Server, || Event::LockWait {
                         txn: id,
                         object,
@@ -439,7 +487,8 @@ impl CentralizedSim {
 
     /// Removes every trace of an un-inserted transaction.
     fn abort(&mut self, key: Key, txn: CeTxn, reason: AbortReason) {
-        let id = txn.spec.id;
+        let i = txn.spec as usize;
+        let id = self.specs[i].id;
         self.emit_phase_span(&txn);
         self.sink
             .emit(self.now, SiteId::Server, || Event::Abort { txn: id, reason });
@@ -457,8 +506,8 @@ impl CentralizedSim {
         self.release_locks(key);
         self.wfg.remove_node(key);
         self.inflight -= 1;
-        self.send_result(key, &txn.spec, false);
-        if self.measured(&txn.spec) {
+        self.send_result(i, false);
+        if self.measured_at(i) {
             self.sink.emit(self.now, SiteId::Server, || Event::Outcome {
                 txn: id,
                 outcome: TxnOutcome::Aborted(reason),
@@ -500,8 +549,15 @@ impl CentralizedSim {
             return;
         };
         txn.blocked.retain(|&o| o != object);
-        let id = txn.spec.id;
-        let exclusive = txn.spec.required_mode(object) == Some(LockMode::Exclusive);
+        let i = txn.spec as usize;
+        // Copy the still-blocked set into a recycled scratch buffer: the
+        // WFG refresh below needs `&mut self` calls the txn borrow would
+        // otherwise outlaw, and a fresh Vec here would allocate per grant.
+        let mut still = std::mem::take(&mut self.scratch_objs);
+        still.clear();
+        still.extend(txn.blocked.iter().copied());
+        let id = self.specs[i].id;
+        let exclusive = self.specs[i].required_mode(object) == Some(LockMode::Exclusive);
         self.sink.emit(self.now, SiteId::Server, || Event::LockHeld {
             txn: id,
             object,
@@ -509,21 +565,19 @@ impl CentralizedSim {
         });
         // Refresh this waiter's wait-for edges against current holders.
         self.wfg.clear_waits(key);
-        let still_blocked = txn.blocked.clone();
-        let deadline_passed = txn.spec.is_expired(self.now);
-        if deadline_passed {
+        if self.specs[i].is_expired(self.now) {
+            still.clear();
+            self.scratch_objs = still;
             self.abort_inflight(key, AbortReason::Expired);
             return;
         }
-        for o in still_blocked {
-            let mode = self
-                .txns
-                .get(&key)
-                .and_then(|t| t.spec.required_mode(o))
-                .unwrap_or(LockMode::Shared);
+        for &o in &still {
+            let mode = self.specs[i].required_mode(o).unwrap_or(LockMode::Shared);
             let conflicts = self.locks.conflicting_holders(o, key, mode);
             self.wfg.add_waits(key, conflicts);
         }
+        still.clear();
+        self.scratch_objs = still;
         let ready = self
             .txns
             .get(&key)
@@ -538,14 +592,14 @@ impl CentralizedSim {
             return;
         };
         txn.blocked_total += self.now.duration_since(txn.wait_started);
-        let (id, wait_started, blocked_on) = (txn.spec.id, txn.wait_started, txn.blocked_on);
+        let (i, wait_started, blocked_on) = (txn.spec as usize, txn.wait_started, txn.blocked_on);
         txn.phase = Phase::Io;
         txn.io_started = self.now;
-        let objects: Vec<ObjectId> = txn.spec.objects().collect();
-        let measured = txn.spec.arrival >= self.warmup_end;
+        let id = self.specs[i].id;
+        let measured = self.specs[i].arrival >= self.warmup_end;
         self.emit_span(SiteId::Server, id, SpanKind::LockWait, wait_started, blocked_on);
         let mut misses = 0u32;
-        for o in objects {
+        for o in self.specs[i].objects() {
             let hit = self.buffer.probe(o).is_some();
             if !hit {
                 misses += 1;
@@ -564,31 +618,30 @@ impl CentralizedSim {
     }
 
     fn on_io_done(&mut self, key: Key) {
-        let Some(txn) = self.txns.get_mut(&key) else {
-            return;
+        let (i, io_started) = {
+            let Some(txn) = self.txns.get_mut(&key) else {
+                return;
+            };
+            (txn.spec as usize, txn.io_started)
         };
-        if txn.spec.is_expired(self.now) {
+        if self.specs[i].is_expired(self.now) {
             self.abort_inflight(key, AbortReason::Expired);
             return;
         }
-        let io_started = txn.io_started;
-        txn.phase = Phase::Cpu;
-        let deadline = txn.spec.deadline;
-        let demand = txn.spec.cpu_demand;
-        let id = txn.spec.id;
+        self.txns.get_mut(&key).expect("present above").phase = Phase::Cpu;
+        let (id, deadline, demand) = {
+            let spec = &self.specs[i];
+            (spec.id, spec.deadline, spec.cpu_demand)
+        };
         self.emit_span(SiteId::Server, id, SpanKind::Disk, io_started, None);
-        let txn = self.txns.get_mut(&key).expect("present above");
         // The pages are in memory and the locks are held: log the update
         // transaction's page writes now, so a crash during its CPU phase
         // leaves genuine losers for recovery to roll back.
-        let writes: Vec<ObjectId> = txn
-            .spec
-            .accesses
-            .iter()
-            .filter(|a| a.mode() == LockMode::Exclusive)
-            .map(|a| a.object)
-            .collect();
-        for object in writes {
+        for a in &self.specs[i].accesses {
+            if a.mode() != LockMode::Exclusive {
+                continue;
+            }
+            let object = a.object;
             let stamp = self.store.write(key, object);
             self.sink.emit(self.now, SiteId::Server, || Event::WalWrite {
                 txn: id,
@@ -610,7 +663,7 @@ impl CentralizedSim {
                 if let Some((t, g)) = next {
                     self.queue.push(t, Ev::CpuTick(g));
                 }
-                for key in finished {
+                for &key in finished.iter() {
                     self.commit(key);
                 }
             }
@@ -622,9 +675,10 @@ impl CentralizedSim {
             return;
         };
         txn.phase = Phase::Done;
-        let id = txn.spec.id;
-        let latency_us = self.now.duration_since(txn.spec.arrival).as_micros();
-        let slack_us = txn.spec.deadline.as_micros() as i64 - self.now.as_micros() as i64;
+        let i = txn.spec as usize;
+        let id = self.specs[i].id;
+        let latency_us = self.now.duration_since(self.specs[i].arrival).as_micros();
+        let slack_us = self.specs[i].deadline.as_micros() as i64 - self.now.as_micros() as i64;
         self.sink.emit(self.now, SiteId::Server, || Event::Commit {
             txn: id,
             latency_us,
@@ -651,19 +705,22 @@ impl CentralizedSim {
         }
         self.release_locks(key);
         self.inflight -= 1;
-        let spec = txn.spec.clone();
-        self.send_result(key, &spec, true);
-        if self.measured(&spec) {
+        self.send_result(i, true);
+        if self.measured_at(i) {
             self.metrics.blocking.push_duration(txn.blocked_total);
         }
     }
 
-    fn send_result(&mut self, _key: Key, spec: &TransactionSpec, committed: bool) {
+    fn send_result(&mut self, i: usize, committed: bool) {
+        let (id, origin, deadline, arrival) = {
+            let spec = &self.specs[i];
+            (spec.id, spec.origin, spec.deadline, spec.arrival)
+        };
         let delivery = if self.faults_active {
             self.fabric.try_send(
                 self.now,
                 SiteId::Server,
-                SiteId::Client(spec.origin),
+                SiteId::Client(origin),
                 MessageKind::TxnResult,
                 0,
             )
@@ -671,7 +728,7 @@ impl CentralizedSim {
             Delivery::Delivered(self.fabric.send(
                 self.now,
                 SiteId::Server,
-                SiteId::Client(spec.origin),
+                SiteId::Client(origin),
                 MessageKind::TxnResult,
                 0,
             ))
@@ -681,16 +738,16 @@ impl CentralizedSim {
                 Delivery::Delivered(t) => self.queue.push(
                     t,
                     Ev::Result {
-                        txn: spec.id,
-                        measured: self.measured(spec),
-                        deadline: spec.deadline,
-                        arrival: spec.arrival,
+                        txn: id,
+                        measured: arrival >= self.warmup_end,
+                        deadline,
+                        arrival,
                         sent_at: self.now,
                     },
                 ),
                 // The commit is durable but the client never learns of it:
                 // the origin's timeout scores the transaction as lost.
-                Delivery::Dropped => self.record_crash_loss(spec),
+                Delivery::Dropped => self.record_crash_loss(i),
             }
         }
     }
@@ -725,10 +782,10 @@ impl CentralizedSim {
         }
     }
 
-    fn finish(&mut self, spec: TransactionSpec, outcome: TxnOutcome) {
-        self.send_result(spec.id.as_u64(), &spec, false);
-        if self.measured(&spec) {
-            let id = spec.id;
+    fn finish(&mut self, i: usize, outcome: TxnOutcome) {
+        self.send_result(i, false);
+        if self.measured_at(i) {
+            let id = self.specs[i].id;
             self.sink
                 .emit(self.now, SiteId::Server, || Event::Outcome { txn: id, outcome });
             self.metrics.record_outcome(outcome);
@@ -743,7 +800,7 @@ impl CentralizedSim {
         let mut dead: Vec<Key> = self
             .txns // detlint: allow(D2) — keys are collected and sorted below
             .iter()
-            .filter(|(_, t)| t.spec.is_expired(self.now))
+            .filter(|(_, t)| self.specs[t.spec as usize].is_expired(self.now))
             .map(|(&k, _)| k)
             .collect();
         // HashMap iteration order is process-random; the abort cascade
@@ -801,7 +858,8 @@ impl CentralizedSim {
                     self.queue.push(t, Ev::CpuTick(g));
                 }
             }
-            let id = txn.spec.id;
+            let i = txn.spec as usize;
+            let id = self.specs[i].id;
             self.emit_phase_span(&txn);
             self.sink.emit(self.now, SiteId::Server, || Event::Abort {
                 txn: id,
@@ -815,7 +873,7 @@ impl CentralizedSim {
             // losers for replay to roll back. No result message either —
             // the server is down; the origin's timeout scores the loss.
             self.inflight -= 1;
-            if self.measured(&txn.spec) {
+            if self.measured_at(i) {
                 self.sink.emit(self.now, SiteId::Server, || Event::Outcome {
                     txn: id,
                     outcome: TxnOutcome::Aborted(AbortReason::SiteCrash),
@@ -826,6 +884,7 @@ impl CentralizedSim {
             }
         }
         self.locks = LockTable::new(QueueDiscipline::Deadline);
+        self.locks.reserve_objects(self.cfg.database.num_objects as usize);
         self.wfg = WaitForGraph::new();
         self.buffer = ClientCache::new(self.cfg.server.buffer_objects, 0);
         self.crashed_at = Some(self.now);

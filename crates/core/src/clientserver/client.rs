@@ -217,7 +217,7 @@ impl ClientServerSim {
             } else {
                 let needs_data = tier.is_none() || c.revokes.contains_key(&a.object);
                 if let Some(run) = self.clients[ci].txns.get_mut(&key) {
-                    run.needed.insert(a.object, (mode, Need::Fetch));
+                    run.needed.insert(a.object, mode, Need::Fetch);
                 }
                 if let Some(w) = self.join_fetch(ci, key, a.object, mode, needs_data, deadline) {
                     wants.push(w);
@@ -343,7 +343,7 @@ impl ClientServerSim {
                 if promote {
                     let done = c.disk.schedule_io(self.now);
                     if let Some(run) = c.txns.get_mut(&key) {
-                        run.needed.insert(object, (mode, Need::DiskPromote));
+                        run.needed.insert(object, mode, Need::DiskPromote);
                     }
                     self.queue.push(
                         done,
@@ -355,14 +355,14 @@ impl ClientServerSim {
                         },
                     );
                 } else if let Some(run) = c.txns.get_mut(&key) {
-                    run.needed.insert(object, (mode, Need::Held));
+                    run.needed.insert(object, mode, Need::Held);
                 }
             }
             Acquire::Blocked { conflicts } => {
                 let blocker = conflicts.first().copied();
                 c.local_wfg.add_waits(key, conflicts);
                 if let Some(run) = c.txns.get_mut(&key) {
-                    run.needed.insert(object, (mode, Need::LocalWait));
+                    run.needed.insert(object, mode, Need::LocalWait);
                     let (txn, origin) = (run.spec.id, run.spec.origin);
                     self.sink.emit(self.now, SiteId::Client(origin), || {
                         siteselect_obs::Event::LockWait { txn, object }
@@ -398,10 +398,8 @@ impl ClientServerSim {
         let Some(run) = self.clients[ci].txns.get_mut(&key) else {
             return;
         };
-        if let Some(entry) = run.needed.get_mut(&object) {
-            if entry.1 == Need::DiskPromote {
-                entry.1 = Need::Held;
-            }
+        if run.needed.get(object).is_some_and(|(_, n)| n == Need::DiskPromote) {
+            run.needed.set_need(object, Need::Held);
         }
         self.check_ready(ci, key);
     }
@@ -615,8 +613,8 @@ impl ClientServerSim {
                 if run.state == RunState::AwaitGrantAll {
                     run.state = RunState::Acquiring;
                 }
-                match run.needed.get(&object) {
-                    Some(&(need_mode, Need::Fetch)) => (need_mode, run.spec.deadline),
+                match run.needed.get(object) {
+                    Some((need_mode, Need::Fetch)) => (need_mode, run.spec.deadline),
                     _ => continue,
                 }
             };
@@ -1088,7 +1086,7 @@ impl ClientServerSim {
             self.on_local_grants(ci, object, keys);
         }
         // Pending revokes may now be executable.
-        let held: Vec<ObjectId> = run.needed.keys().copied().collect();
+        let held: Vec<ObjectId> = run.needed.objects().collect();
         for object in held {
             self.try_execute_revoke(ci, object);
         }
@@ -1171,7 +1169,7 @@ impl ClientServerSim {
             let Some(run) = self.clients[ci].txns.get(&key) else {
                 continue;
             };
-            let Some(&(mode, Need::LocalWait)) = run.needed.get(&object) else {
+            let Some((mode, Need::LocalWait)) = run.needed.get(object) else {
                 continue;
             };
             let deadline = run.spec.deadline;
@@ -1190,7 +1188,7 @@ impl ClientServerSim {
                 );
             }
             if let Some(run) = self.clients[ci].txns.get_mut(&key) {
-                run.needed.insert(object, (mode, Need::Fetch));
+                run.needed.insert(object, mode, Need::Fetch);
             }
             let keys: Vec<TKey> = grants.iter().map(|w| w.owner).collect();
             self.on_local_grants(ci, object, keys);
@@ -1371,7 +1369,7 @@ impl ClientServerSim {
                 self.on_local_grants(ci, object, more);
                 continue;
             };
-            let Some(&(mode, status)) = run.needed.get(&object) else {
+            let Some((mode, status)) = run.needed.get(object) else {
                 continue;
             };
             if status != Need::LocalWait {
@@ -1410,7 +1408,7 @@ impl ClientServerSim {
                 if promote {
                     let done = self.clients[ci].disk.schedule_io(self.now);
                     if let Some(run) = self.clients[ci].txns.get_mut(&key) {
-                        run.needed.insert(object, (mode, Need::DiskPromote));
+                        run.needed.insert(object, mode, Need::DiskPromote);
                     }
                     self.queue.push(
                         done,
@@ -1423,7 +1421,7 @@ impl ClientServerSim {
                     );
                 } else {
                     if let Some(run) = self.clients[ci].txns.get_mut(&key) {
-                        run.needed.insert(object, (mode, Need::Held));
+                        run.needed.insert(object, mode, Need::Held);
                     }
                     self.check_ready(ci, key);
                 }
@@ -1435,7 +1433,7 @@ impl ClientServerSim {
                     .map_or(SimTime::MAX, |r| r.spec.deadline);
                 self.clients[ci].local_locks.release(object, key);
                 if let Some(run) = self.clients[ci].txns.get_mut(&key) {
-                    run.needed.insert(object, (mode, Need::Fetch));
+                    run.needed.insert(object, mode, Need::Fetch);
                 }
                 if let Some(w) = self.join_fetch(ci, key, object, mode, true, deadline) {
                     let client = self.clients[ci].id;
@@ -1511,7 +1509,7 @@ impl ClientServerSim {
                         },
                     );
                 }
-                for key in finished {
+                for &key in finished.iter() {
                     self.commit_txn(ci, key);
                 }
             }
@@ -1800,13 +1798,13 @@ impl ClientServerSim {
                     self.now.saturating_add(self.cfg.faults.retry_backoff_cap),
                     Ev::Deliver {
                         to: SiteDest::Client(origin),
-                        msg: Msg::TxnShipResult {
+                        msgs: vec![Msg::TxnShipResult {
                             txn: run.spec.id,
                             committed: false,
                             deadline: run.spec.deadline,
                             arrival: run.spec.arrival,
                             sent_at: self.now,
-                        },
+                        }],
                     },
                 );
             }
@@ -1819,11 +1817,11 @@ impl ClientServerSim {
                     self.now.saturating_add(self.cfg.faults.retry_backoff_cap),
                     Ev::Deliver {
                         to: SiteDest::Client(origin),
-                        msg: Msg::SubtaskResult {
+                        msgs: vec![Msg::SubtaskResult {
                             parent,
                             ok: false,
                             sent_at: self.now,
-                        },
+                        }],
                     },
                 );
             }

@@ -32,9 +32,9 @@ use siteselect_obs::EventSink;
 use siteselect_sim::{EventQueue, Prng};
 use siteselect_storage::{ClientCache, DiskModel, DurableStore, RecoveryOutcome};
 use siteselect_types::{
-    AbortReason, AccessSpec, ClientId, ExperimentConfig, LockMode, ObjectId, ObjectMap,
-    ObjectSet, SimDuration, SimTime, SiteId, SystemKind, TransactionId, TransactionSpec,
-    TxnOutcome,
+    AbortReason, AccessSpec, ClientId, ExperimentConfig, InlineVec, LockMode, ObjectId,
+    ObjectMap, ObjectSet, SimDuration, SimTime, SiteId, SystemKind, TransactionId,
+    TransactionSpec, TxnOutcome,
 };
 use siteselect_workload::Trace;
 
@@ -166,8 +166,10 @@ pub(crate) enum Msg {
 pub(crate) enum Ev {
     /// A transaction is initiated at its origin client.
     Arrive(usize),
-    /// A message reaches `to`.
-    Deliver { to: SiteDest, msg: Msg },
+    /// One or more messages reach `to` at the same instant. Messages that
+    /// share a delivery time and destination ride in one event (batched
+    /// fabric delivery); the vector is pooled by [`ClusterQueue`].
+    Deliver { to: SiteDest, msgs: Vec<Msg> },
     /// A client CPU completion tick.
     ClientCpu { client: usize, generation: u64 },
     /// A client's disk-tier cache promotion finished. `scheduled_at` is
@@ -221,6 +223,81 @@ pub(crate) enum Ev {
 pub(crate) enum SiteDest {
     Server,
     Client(ClientId),
+}
+
+/// The simulator's event queue plus a one-slot staging buffer that batches
+/// fabric deliveries: consecutive messages bound for the same destination
+/// at the same instant are pushed as one `Ev::Deliver` carrying the whole
+/// group, so a burst on one link costs one queue operation instead of one
+/// per message.
+///
+/// Ordering is preserved exactly: the staged group is flushed before any
+/// other push (so an unrelated same-timestamp event can never be reordered
+/// around it) and before every pop. Group vectors are recycled through a
+/// small pool, keeping steady-state delivery scheduling off the allocator.
+pub(crate) struct ClusterQueue {
+    q: EventQueue<Ev>,
+    staged_at: SimTime,
+    staged_to: SiteDest,
+    staged: Vec<Msg>,
+    pool: Vec<Vec<Msg>>,
+}
+
+impl ClusterQueue {
+    fn new() -> Self {
+        ClusterQueue {
+            q: EventQueue::new(),
+            staged_at: SimTime::ZERO,
+            staged_to: SiteDest::Server,
+            staged: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Pushes any staged delivery group as one event.
+    fn flush(&mut self) {
+        if !self.staged.is_empty() {
+            let msgs = std::mem::replace(&mut self.staged, self.pool.pop().unwrap_or_default());
+            self.q.push(self.staged_at, Ev::Deliver { to: self.staged_to, msgs });
+        }
+    }
+
+    /// Stages a message delivery, merging it into the current group when
+    /// the `(time, destination)` matches.
+    pub(crate) fn stage_delivery(&mut self, at: SimTime, to: SiteDest, msg: Msg) {
+        if !self.staged.is_empty() && (self.staged_at != at || self.staged_to != to) {
+            self.flush();
+        }
+        self.staged_at = at;
+        self.staged_to = to;
+        self.staged.push(msg);
+    }
+
+    /// Returns a drained group vector to the pool for reuse.
+    pub(crate) fn recycle(&mut self, mut msgs: Vec<Msg>) {
+        if self.pool.len() < 8 {
+            msgs.clear();
+            self.pool.push(msgs);
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, ev: Ev) {
+        self.flush();
+        self.q.push(at, ev);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.flush();
+        self.q.pop()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.q.len() + usize::from(!self.staged.is_empty())
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Why an object fetch is outstanding at a client.
@@ -301,13 +378,75 @@ pub(crate) enum InfoReason {
     Decompose,
 }
 
+/// The objects a `TxnRun` must assemble, in struct-of-arrays layout:
+/// three parallel inline vectors (object, lock mode, progress) kept sorted
+/// by object id. Transactions touch 5–15 objects, so entries live inline
+/// (no per-transaction map nodes) and lookups are short linear scans; the
+/// sorted order reproduces the ascending iteration the previous `BTreeMap`
+/// gave, which release loops depend on for determinism.
+#[derive(Debug, Default)]
+pub(crate) struct NeededSet {
+    objs: InlineVec<ObjectId, 16>,
+    modes: InlineVec<LockMode, 16>,
+    needs: InlineVec<Need, 16>,
+}
+
+impl NeededSet {
+    fn pos(&self, object: ObjectId) -> Option<usize> {
+        self.objs.iter().position(|&o| o == object)
+    }
+
+    /// Inserts or replaces the entry for `object`.
+    pub(crate) fn insert(&mut self, object: ObjectId, mode: LockMode, need: Need) {
+        match self.pos(object) {
+            Some(i) => {
+                self.modes.set(i, mode);
+                self.needs.set(i, need);
+            }
+            None => {
+                let at = self
+                    .objs
+                    .iter()
+                    .position(|&o| o > object)
+                    .unwrap_or(self.objs.len());
+                self.objs.insert(at, object);
+                self.modes.insert(at, mode);
+                self.needs.insert(at, need);
+            }
+        }
+    }
+
+    /// The recorded (mode, progress) of `object`, if present.
+    pub(crate) fn get(&self, object: ObjectId) -> Option<(LockMode, Need)> {
+        self.pos(object)
+            .map(|i| (self.modes.get_copy(i), self.needs.get_copy(i)))
+    }
+
+    /// Updates the progress of `object`; no-op if absent.
+    pub(crate) fn set_need(&mut self, object: ObjectId, need: Need) {
+        if let Some(i) = self.pos(object) {
+            self.needs.set(i, need);
+        }
+    }
+
+    /// The objects of this set, ascending.
+    pub(crate) fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objs.iter().copied()
+    }
+
+    /// True once every entry is `Need::Held`.
+    pub(crate) fn all_held(&self) -> bool {
+        self.needs.iter().all(|&n| n == Need::Held)
+    }
+}
+
 /// One executing transaction/subtask at a client.
 #[derive(Debug)]
 pub(crate) struct TxnRun {
     pub spec: TransactionSpec,
     pub kind: RunKind,
     pub state: RunState,
-    pub needed: BTreeMap<ObjectId, (LockMode, Need)>,
+    pub needed: NeededSet,
     pub acquire_started: SimTime,
     /// When the transaction reached the CPU (feeds the ATL estimate of H1).
     pub exec_started: SimTime,
@@ -315,7 +454,7 @@ pub(crate) struct TxnRun {
 
 impl TxnRun {
     pub(crate) fn ready(&self) -> bool {
-        self.state == RunState::Acquiring && self.needed.values().all(|(_, n)| *n == Need::Held)
+        self.state == RunState::Acquiring && self.needed.all_held()
     }
 }
 
@@ -489,7 +628,7 @@ pub struct ClientServerSim {
     pub(crate) cfg: ExperimentConfig,
     pub(crate) ls: bool,
     pub(crate) now: SimTime,
-    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) queue: ClusterQueue,
     pub(crate) fabric: Fabric,
     pub(crate) clients: Vec<ClientState>,
     pub(crate) server: ServerState,
@@ -574,7 +713,7 @@ impl ClientServerSim {
             fabric,
             ls,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: ClusterQueue::new(),
             clients,
             server,
             warmup_end,
@@ -682,6 +821,13 @@ impl ClientServerSim {
         }
         self.queue.push(self.warmup_end, Ev::EndWarmup);
         self.queue.push(SimTime::from_secs(1), Ev::Sweep);
+        // The server's lock table sees every object id sooner or later;
+        // pre-sizing its slab keeps first-touch requests off the allocator
+        // mid-run. Client-local tables only ever cover each site's cached
+        // working set, so they are left to grow amortized on demand.
+        self.server
+            .locks
+            .reserve_objects(self.cfg.database.num_objects as usize);
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
@@ -720,7 +866,7 @@ impl ClientServerSim {
     /// Schedules (or accounts for the loss of) a fault-aware send.
     pub(crate) fn push_delivery(&mut self, delivery: Delivery, to: SiteDest, msg: Msg) {
         match delivery {
-            Delivery::Delivered(t) => self.queue.push(t, Ev::Deliver { to, msg }),
+            Delivery::Delivered(t) => self.queue.stage_delivery(t, to, msg),
             Delivery::Dropped => self.on_dropped_delivery(msg),
         }
     }
@@ -771,30 +917,39 @@ impl ClientServerSim {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrive(i) => self.on_arrive(i),
-            Ev::Deliver { to, msg } => match to {
-                SiteDest::Server => {
-                    // Crash refusal for deliveries already in flight when
-                    // the server went down (new sends are refused by the
-                    // fabric itself).
-                    if self.faults.server_up {
-                        self.server_on_msg(msg);
-                    } else {
-                        self.faults.gate_dropped += 1;
-                        self.on_dropped_delivery(msg);
+            Ev::Deliver { to, mut msgs } => {
+                // Messages of one group arrive back-to-back at the same
+                // instant; liveness cannot change between them, so the
+                // crash-refusal gate is evaluated per message against the
+                // same state it would have seen ungrouped.
+                for msg in msgs.drain(..) {
+                    match to {
+                        SiteDest::Server => {
+                            // Crash refusal for deliveries already in
+                            // flight when the server went down (new sends
+                            // are refused by the fabric itself).
+                            if self.faults.server_up {
+                                self.server_on_msg(msg);
+                            } else {
+                                self.faults.gate_dropped += 1;
+                                self.on_dropped_delivery(msg);
+                            }
+                        }
+                        SiteDest::Client(c) => {
+                            // Crash refusal for deliveries already in
+                            // flight when the destination went down (new
+                            // sends are refused by the fabric itself).
+                            if self.site_up(c) {
+                                self.client_on_msg(c, msg);
+                            } else {
+                                self.faults.gate_dropped += 1;
+                                self.on_dropped_delivery(msg);
+                            }
+                        }
                     }
                 }
-                SiteDest::Client(c) => {
-                    // Crash refusal for deliveries already in flight when
-                    // the destination went down (new sends are refused by
-                    // the fabric itself).
-                    if self.site_up(c) {
-                        self.client_on_msg(c, msg);
-                    } else {
-                        self.faults.gate_dropped += 1;
-                        self.on_dropped_delivery(msg);
-                    }
-                }
-            },
+                self.queue.recycle(msgs);
+            }
             Ev::ClientCpu { client, generation } => self.on_client_cpu(client, generation),
             Ev::ClientDiskReady {
                 client,

@@ -16,7 +16,7 @@
 //! for priority queues without deletable entries.
 
 
-use siteselect_types::{SimDuration, SimTime};
+use siteselect_types::{InlineVec, SimDuration, SimTime};
 
 /// A `(when, generation)` pair the caller must turn into a scheduled event.
 pub type Reschedule = Option<(SimTime, u64)>;
@@ -38,6 +38,10 @@ fn ceil_to_micros(secs: f64) -> SimDuration {
 }
 
 /// Outcome of delivering a completion event to a CPU model.
+///
+/// `finished` is an [`InlineVec`] because completions are on the simulator
+/// hot loop: the common case (one task done, occasionally a handful tying
+/// at the same instant) must not heap-allocate per event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tick<K> {
     /// The event was superseded by a later scheduling change; ignore it.
@@ -46,7 +50,7 @@ pub enum Tick<K> {
     /// completion.
     Done {
         /// Tasks that completed at this instant.
-        finished: Vec<K>,
+        finished: InlineVec<K, 8>,
         /// Next completion to schedule, if the CPU is still busy.
         next: Reschedule,
     },
@@ -78,7 +82,7 @@ struct EdfJob<K> {
 /// assert_eq!(t, SimTime::from_secs(2));
 /// match cpu.on_completion(t, generation) {
 ///     Tick::Done { finished, next } => {
-///         assert_eq!(finished, vec![1]);
+///         assert_eq!(finished.to_vec(), vec![1]);
 ///         assert!(next.is_none());
 ///     }
 ///     Tick::Stale => unreachable!(),
@@ -218,10 +222,9 @@ impl<K: Copy + Eq> EdfCpu<K> {
         debug_assert!(run.remaining <= 1e-9, "completion fired early");
         self.completed += 1;
         let next = self.dispatch(now);
-        Tick::Done {
-            finished: vec![run.key],
-            next,
-        }
+        let mut finished = InlineVec::new();
+        finished.push(run.key);
+        Tick::Done { finished, next }
     }
 
     /// Removes a task (aborted transaction). Returns the next completion to
@@ -399,7 +402,7 @@ impl<K: Copy + Eq> PsCpu<K> {
             return Tick::Stale;
         }
         self.advance(now);
-        let mut finished = Vec::new();
+        let mut finished = InlineVec::new();
         self.active.retain(|j| {
             if j.remaining <= 1e-9 {
                 finished.push(j.key);
@@ -454,7 +457,7 @@ mod tests {
         assert_eq!(t, s(5));
         match cpu.on_completion(t, g) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![1]);
+                assert_eq!(finished.to_vec(), vec![1]);
                 assert!(next.is_none());
             }
             Tick::Stale => panic!("not stale"),
@@ -480,13 +483,13 @@ mod tests {
         assert_eq!(cpu.on_completion(s(10), g1), Tick::Stale);
         match cpu.on_completion(t2, g2) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![2]);
+                assert_eq!(finished.to_vec(), vec![2]);
                 // Job 1 resumes with 6s left: completes at 7 + 6 = 13.
                 let (t3, g3) = next.unwrap();
                 assert_eq!(t3, s(13));
                 match cpu.on_completion(t3, g3) {
                     Tick::Done { finished, next } => {
-                        assert_eq!(finished, vec![1]);
+                        assert_eq!(finished.to_vec(), vec![1]);
                         assert!(next.is_none());
                     }
                     Tick::Stale => panic!(),
@@ -504,7 +507,7 @@ mod tests {
         assert_eq!(t, s(5)); // job 1 still finishes first
         match cpu.on_completion(t, g) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![1]);
+                assert_eq!(finished.to_vec(), vec![1]);
                 assert_eq!(next.unwrap().0, s(6));
             }
             Tick::Stale => panic!(),
@@ -520,7 +523,7 @@ mod tests {
         let (t, g) = next.unwrap();
         assert_eq!(t, s(6)); // job 2 starts at 2, runs 4s
         match cpu.on_completion(t, g) {
-            Tick::Done { finished, .. } => assert_eq!(finished, vec![2]),
+            Tick::Done { finished, .. } => assert_eq!(finished.to_vec(), vec![2]),
             Tick::Stale => panic!(),
         }
     }
@@ -539,7 +542,7 @@ mod tests {
         assert!(!cpu.contains(2));
         match cpu.on_completion(t1b, g1b) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![1]);
+                assert_eq!(finished.to_vec(), vec![1]);
                 assert!(next.is_none());
             }
             Tick::Stale => panic!("the running job's completion must stay valid"),
@@ -558,7 +561,7 @@ mod tests {
         loop {
             match tick {
                 Tick::Done { finished, next } => {
-                    order.extend(finished);
+                    order.extend(finished.iter().copied());
                     match next {
                         Some((tn, gn)) => tick = cpu.on_completion(tn, gn),
                         None => break,
@@ -590,7 +593,7 @@ mod tests {
         assert_eq!(t, s(4));
         match cpu.on_completion(t, g) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![1]);
+                assert_eq!(finished.to_vec(), vec![1]);
                 assert!(next.is_none());
             }
             Tick::Stale => panic!(),
@@ -623,12 +626,12 @@ mod tests {
         assert_eq!(t1, s(4));
         match cpu.on_completion(t1, g1) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![1]);
+                assert_eq!(finished.to_vec(), vec![1]);
                 // Job 2 had 6-2=4s left, now alone: done at 4+4=8.
                 let (t2, g2) = next.unwrap();
                 assert_eq!(t2, s(8));
                 match cpu.on_completion(t2, g2) {
-                    Tick::Done { finished, .. } => assert_eq!(finished, vec![2]),
+                    Tick::Done { finished, .. } => assert_eq!(finished.to_vec(), vec![2]),
                     Tick::Stale => panic!(),
                 }
             }
@@ -647,11 +650,11 @@ mod tests {
         assert_eq!(t, s(2));
         match cpu.on_completion(t, g) {
             Tick::Done { finished, next } => {
-                assert_eq!(finished, vec![1]);
+                assert_eq!(finished.to_vec(), vec![1]);
                 // Deadline order: job 3 (deadline 20) admitted before job 2.
                 let (t2, g2) = next.unwrap();
                 match cpu.on_completion(t2, g2) {
-                    Tick::Done { finished, .. } => assert_eq!(finished, vec![3]),
+                    Tick::Done { finished, .. } => assert_eq!(finished.to_vec(), vec![3]),
                     Tick::Stale => panic!(),
                 }
             }
@@ -677,7 +680,7 @@ mod tests {
         let (t, g) = next.unwrap();
         assert_eq!(t, s(5));
         match cpu.on_completion(t, g) {
-            Tick::Done { finished, .. } => assert_eq!(finished, vec![2]),
+            Tick::Done { finished, .. } => assert_eq!(finished.to_vec(), vec![2]),
             Tick::Stale => panic!(),
         }
         assert!(cpu.remove(s(6), 42u64).is_none());

@@ -4,10 +4,12 @@
 //! Per-object state is stored in a dense slab indexed by `ObjectId` rather
 //! than a `HashMap`: the paper's database is a flat array of objects
 //! numbered `0..10_000`, so a bounds-checked vector index replaces a SipHash
-//! round plus probe on every request, release and promotion. Slots whose
-//! state empties out are kept allocated and reused the next time the object
-//! is locked. Holder and waiter lists use [`InlineVec`] so the common one-
-//! or two-entry case never touches the heap.
+//! round plus probe on every request, release and promotion. A slot whose
+//! state empties out returns its box to a recycling pool, so live boxes
+//! track the *concurrently* locked set and steady-state first-touch
+//! requests pop a warm box instead of allocating. Holder and waiter lists
+//! use [`InlineVec`] so the common one- or two-entry case never touches the
+//! heap.
 
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -120,6 +122,13 @@ impl<O: LockOwner> ObjectLocks<O> {
     }
 }
 
+/// Upper bound on how many per-object boxes [`LockTable::reserve_objects`]
+/// pre-loads into the recycling pool. The pool only has to cover objects
+/// locked *concurrently* — bounded by in-flight transactions times accesses
+/// per transaction, far below the database size — so seeding is capped well
+/// under the paper's 10 000-object database.
+const FREE_POOL_SEED: usize = 1024;
+
 /// Waiters cancelled by [`LockTable::cancel_expired`], tagged by object.
 pub type ExpiredWaiters<O> = Vec<(ObjectId, Waiter<O>)>;
 /// Grants unblocked by a pruning pass, grouped by object.
@@ -133,14 +142,28 @@ pub type UnblockedGrants<O> = Vec<(ObjectId, Vec<Waiter<O>>)>;
 /// starvation of queued writers); otherwise it waits in FIFO or deadline
 /// order. Releases promote the longest prefix of now-grantable waiters.
 ///
-/// Object state lives in a dense slab indexed by object id; an emptied slot
-/// stays allocated for reuse, so `objects.len()` tracks the largest id ever
-/// locked, not the live count (see [`active_objects`](Self::active_objects)).
+/// Object state lives in a dense slab indexed by object id; an emptied
+/// slot's box is recycled through a free pool, so `objects.len()` tracks the
+/// largest id ever locked, not the live count (see
+/// [`active_objects`](Self::active_objects)).
 #[derive(Debug)]
 pub struct LockTable<O> {
     discipline: QueueDiscipline,
     objects: Vec<Option<Box<ObjectLocks<O>>>>,
-    held_by: HashMap<O, Vec<ObjectId>>,
+    // Retired per-object state, recycled by the next first-touch request.
+    // A slot whose holders and waiters both empty out returns its box here,
+    // so the slab's live boxes stay proportional to the *concurrently*
+    // locked set (not every object ever touched) and steady-state requests
+    // never allocate: they pop a warm box instead.
+    free: Vec<Box<ObjectLocks<O>>>,
+    held_by: HashMap<O, InlineVec<ObjectId, 16>>,
+    // Reverse index of queued waiters (multiset: one entry per queued
+    // waiter), so release_all never has to scan the whole slab for an
+    // owner's pending requests.
+    waits_of: HashMap<O, InlineVec<ObjectId, 4>>,
+    // Recycled between release_all / cancel_expired calls so the per-
+    // transaction cleanup path stays allocation-free at steady state.
+    scratch: Vec<ObjectId>,
     next_seq: u64,
 }
 
@@ -151,25 +174,91 @@ impl<O: LockOwner> LockTable<O> {
         LockTable {
             discipline,
             objects: Vec::new(),
+            free: Vec::new(),
             held_by: HashMap::new(),
+            waits_of: HashMap::new(),
+            scratch: Vec::new(),
             next_seq: 0,
         }
     }
 
-    /// Immutable entry access; empty slots read as absent state.
+    /// Removes one instance of `object` from `owner`'s waiting index.
+    fn forget_wait_one(
+        waits_of: &mut HashMap<O, InlineVec<ObjectId, 4>>,
+        owner: O,
+        object: ObjectId,
+    ) {
+        if let Some(v) = waits_of.get_mut(&owner) {
+            let pos = v.iter().position(|&o| o == object);
+            if let Some(pos) = pos {
+                v.remove(pos);
+            }
+            if v.is_empty() {
+                waits_of.remove(&owner);
+            }
+        }
+    }
+
+    /// Removes every instance of `object` from `owner`'s waiting index
+    /// (the counterpart of a `retain` that drops all of the owner's
+    /// waiters on that object).
+    fn forget_wait_all(
+        waits_of: &mut HashMap<O, InlineVec<ObjectId, 4>>,
+        owner: O,
+        object: ObjectId,
+    ) {
+        if let Some(v) = waits_of.get_mut(&owner) {
+            v.retain(|&o| o != object);
+            if v.is_empty() {
+                waits_of.remove(&owner);
+            }
+        }
+    }
+
+    /// Pre-sizes the slab for object ids `0..n` and seeds the recycling
+    /// pool, so first-touch lock requests mid-run neither grow the slab nor
+    /// allocate per-object state. Engines that know the database size call
+    /// this at setup; the slab still grows on demand past `n`, and the pool
+    /// is capacity rather than a limit — a workload that pins more objects
+    /// at once than the seed simply allocates the excess on demand.
+    pub fn reserve_objects(&mut self, n: usize) {
+        if self.objects.len() < n {
+            self.objects.resize_with(n, || None);
+        }
+        let seed = n.min(FREE_POOL_SEED);
+        while self.free.len() < seed {
+            self.free.push(Box::default());
+        }
+    }
+
     fn entry(&self, object: ObjectId) -> Option<&ObjectLocks<O>> {
         self.objects
             .get(object.index() as usize)
-            .and_then(|s| s.as_deref())
+            .and_then(|slot| slot.as_deref())
     }
 
-    /// Mutable entry access, growing the slab and (re)using the slot's box.
+    /// Mutable entry access, growing the slab on demand. An empty slot is
+    /// filled from the recycling pool, so inside a pre-seeded table a fresh
+    /// object costs no allocation.
     fn entry_mut(&mut self, object: ObjectId) -> &mut ObjectLocks<O> {
         let idx = object.index() as usize;
         if idx >= self.objects.len() {
             self.objects.resize_with(idx + 1, || None);
         }
-        self.objects[idx].get_or_insert_with(Box::default)
+        let free = &mut self.free;
+        self.objects[idx].get_or_insert_with(|| free.pop().unwrap_or_default())
+    }
+
+    /// Returns an emptied slot's box to the recycling pool.
+    fn reclaim(&mut self, object: ObjectId) {
+        let idx = object.index() as usize;
+        if let Some(slot) = self.objects.get_mut(idx) {
+            if slot.as_deref().is_some_and(ObjectLocks::is_unused) {
+                if let Some(boxed) = slot.take() {
+                    self.free.push(boxed);
+                }
+            }
+        }
     }
 
     /// Requests `mode` on `object` for `owner`.
@@ -219,6 +308,7 @@ impl<O: LockOwner> LockTable<O> {
             // Upgrades go to the front of their discipline class so the
             // upgrading holder cannot deadlock behind newcomers it blocks.
             Self::insert_waiter(&mut entry.waiters, waiter, discipline, true);
+            self.waits_of.entry(owner).or_default().push(object);
             return Acquire::Blocked { conflicts: others };
         }
 
@@ -242,6 +332,7 @@ impl<O: LockOwner> LockTable<O> {
             seq,
         };
         Self::insert_waiter(&mut entry.waiters, waiter, discipline, false);
+        self.waits_of.entry(owner).or_default().push(object);
         Acquire::Blocked { conflicts: blockers }
     }
 
@@ -312,32 +403,38 @@ impl<O: LockOwner> LockTable<O> {
                 v.retain(|&o| o != object);
             }
         }
+        let waiting = entry.waiters.len();
         entry.waiters.retain(|w| w.owner != owner);
-        self.promote(object)
+        if entry.waiters.len() != waiting {
+            Self::forget_wait_all(&mut self.waits_of, owner, object);
+        }
+        let granted = self.promote(object);
+        self.reclaim(object);
+        granted
     }
 
     /// Releases every lock `owner` holds or awaits; returns, per object, the
     /// newly granted waiters.
     pub fn release_all(&mut self, owner: O) -> Vec<(ObjectId, Vec<Waiter<O>>)> {
-        let mut held = self.held_by.remove(&owner).unwrap_or_default();
-        held.sort_unstable();
-        held.dedup();
-        // Also drop queued requests on objects the owner never held. The
-        // slab scan yields ascending id order without a sort.
-        let queued: Vec<ObjectId> = self
-            .objects
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| {
-                let e = s.as_deref()?;
-                e.waiters
-                    .iter()
-                    .any(|w| w.owner == owner)
-                    .then_some(ObjectId(i as u32))
-            })
-            .collect();
+        // Held objects first (ascending), then awaited objects (ascending),
+        // matching the order of the original held-then-slab-scan walk; an
+        // object appearing in both lists is processed twice, which is a
+        // harmless no-op the second time. The work list is a recycled
+        // scratch buffer so the common commit path never allocates.
+        let mut work = std::mem::take(&mut self.scratch);
+        work.clear();
+        if let Some(held) = self.held_by.remove(&owner) {
+            work.extend(held.iter().copied());
+        }
+        work.sort_unstable();
+        work.dedup();
+        let split = work.len();
+        if let Some(queued) = self.waits_of.remove(&owner) {
+            work.extend(queued.iter().copied());
+        }
+        work[split..].sort_unstable();
         let mut out = Vec::new();
-        for obj in held.into_iter().chain(queued) {
+        for &obj in &work {
             if let Some(entry) = self
                 .objects
                 .get_mut(obj.index() as usize)
@@ -347,10 +444,13 @@ impl<O: LockOwner> LockTable<O> {
                 entry.waiters.retain(|w| w.owner != owner);
             }
             let granted = self.promote(obj);
+            self.reclaim(obj);
             if !granted.is_empty() {
                 out.push((obj, granted));
             }
         }
+        work.clear();
+        self.scratch = work;
         out
     }
 
@@ -386,7 +486,11 @@ impl<O: LockOwner> LockTable<O> {
         let before = entry.waiters.len();
         entry.waiters.retain(|w| w.owner != owner);
         let removed = entry.waiters.len() != before;
+        if removed {
+            Self::forget_wait_all(&mut self.waits_of, owner, object);
+        }
         let granted = if removed { self.promote(object) } else { Vec::new() };
+        self.reclaim(object);
         (removed, granted)
     }
 
@@ -394,16 +498,29 @@ impl<O: LockOwner> LockTable<O> {
     /// cancelled waiters and any grants unblocked by the pruning.
     pub fn cancel_expired(&mut self, now: SimTime) -> (ExpiredWaiters<O>, UnblockedGrants<O>) {
         let mut expired = Vec::new();
-        let mut touched = Vec::new();
-        for (i, slot) in self.objects.iter_mut().enumerate() {
-            let Some(entry) = slot.as_deref_mut() else {
+        if self.waits_of.is_empty() {
+            // Nothing is blocked anywhere: the sweep is free. This is the
+            // common case, and it must not walk the object slab.
+            return (expired, Vec::new());
+        }
+        // Visit only objects with queued waiters, straight from the
+        // reverse index; pruning and promotion are no-ops elsewhere.
+        let mut touched = std::mem::take(&mut self.scratch);
+        touched.clear();
+        // detlint: allow(D2) — order is erased by the sort below
+        for objs in self.waits_of.values() {
+            touched.extend(objs.iter().copied());
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &obj in &touched {
+            let Some(entry) = self
+                .objects
+                .get_mut(obj.index() as usize)
+                .and_then(|s| s.as_deref_mut())
+            else {
                 continue;
             };
-            if entry.is_unused() {
-                continue;
-            }
-            let obj = ObjectId(i as u32);
-            touched.push(obj);
             for w in entry.waiters.iter() {
                 if w.deadline < now {
                     expired.push((obj, *w));
@@ -411,13 +528,19 @@ impl<O: LockOwner> LockTable<O> {
             }
             entry.waiters.retain(|w| w.deadline >= now);
         }
+        for &(obj, w) in &expired {
+            Self::forget_wait_one(&mut self.waits_of, w.owner, obj);
+        }
         let mut grants = Vec::new();
-        for obj in touched {
+        for &obj in &touched {
             let g = self.promote(obj);
+            self.reclaim(obj);
             if !g.is_empty() {
                 grants.push((obj, g));
             }
         }
+        touched.clear();
+        self.scratch = touched;
         (expired, grants)
     }
 
@@ -439,6 +562,7 @@ impl<O: LockOwner> LockTable<O> {
                         }
                     }
                     entry.waiters.remove(0);
+                    Self::forget_wait_one(&mut self.waits_of, head.owner, object);
                     granted.push(Waiter {
                         upgrade: true,
                         ..head
@@ -451,6 +575,7 @@ impl<O: LockOwner> LockTable<O> {
                 entry.holders.push((head.owner, head.mode));
                 self.held_by.entry(head.owner).or_default().push(object);
                 entry.waiters.remove(0);
+                Self::forget_wait_one(&mut self.waits_of, head.owner, object);
                 granted.push(head);
             } else {
                 break;
@@ -493,7 +618,11 @@ impl<O: LockOwner> LockTable<O> {
     /// Objects currently locked by `owner`.
     #[must_use]
     pub fn locks_of(&self, owner: O) -> Vec<ObjectId> {
-        let mut v = self.held_by.get(&owner).cloned().unwrap_or_default();
+        let mut v = self
+            .held_by
+            .get(&owner)
+            .map(InlineVec::to_vec)
+            .unwrap_or_default();
         v.sort_unstable();
         v.dedup();
         v
@@ -502,20 +631,14 @@ impl<O: LockOwner> LockTable<O> {
     /// Number of objects with any lock state.
     #[must_use]
     pub fn active_objects(&self) -> usize {
-        self.objects
-            .iter()
-            .filter_map(|s| s.as_deref())
-            .filter(|e| !e.is_unused())
-            .count()
+        self.objects.iter().flatten().filter(|e| !e.is_unused()).count()
     }
 
     /// Internal consistency check (tests / debug builds): no conflicting
     /// holders coexist and the reverse index matches.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, slot) in self.objects.iter().enumerate() {
-            let Some(e) = slot.as_deref() else {
-                continue;
-            };
+            let Some(e) = slot.as_deref() else { continue };
             let obj = ObjectId(i as u32);
             let holders: Vec<(O, LockMode)> = e.holders.to_vec();
             for i in 0..holders.len() {
@@ -533,9 +656,42 @@ impl<O: LockOwner> LockTable<O> {
                 }
             }
             for (o, _) in &holders {
-                let listed = self.held_by.get(o).is_some_and(|v| v.contains(&obj));
+                let listed = self
+                    .held_by
+                    .get(o)
+                    .is_some_and(|v| v.iter().any(|&x| x == obj));
                 if !listed {
                     return Err(format!("{obj}: holder {o:?} missing from reverse index"));
+                }
+            }
+            for w in e.waiters.iter() {
+                let indexed = self
+                    .waits_of
+                    .get(&w.owner)
+                    .map_or(0, |v| v.iter().filter(|&&x| x == obj).count());
+                let queued = e.waiters.iter().filter(|x| x.owner == w.owner).count();
+                if indexed != queued {
+                    return Err(format!(
+                        "{obj}: waiter {:?} indexed {indexed}x but queued {queued}x",
+                        w.owner
+                    ));
+                }
+            }
+        }
+        // No stale entries: everything in the waiting index must point at a
+        // live waiter.
+        // detlint: allow(D2) — validation sweep; any violation fails the
+        // check regardless of visit order
+        for (o, objs) in &self.waits_of {
+            if objs.is_empty() {
+                return Err(format!("empty waits_of entry for {o:?}"));
+            }
+            for &obj in objs.iter() {
+                let live = self
+                    .entry(obj)
+                    .is_some_and(|e| e.waiters.iter().any(|w| w.owner == *o));
+                if !live {
+                    return Err(format!("stale waits_of entry {o:?} -> {obj}"));
                 }
             }
         }

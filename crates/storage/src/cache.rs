@@ -7,9 +7,7 @@
 //! LRU victim leaves the cache entirely. A reference to a disk-tier object
 //! promotes it back to memory (costing a local disk access in the simulator).
 
-use std::collections::BTreeMap;
-
-use siteselect_types::{ObjectId, ObjectMap};
+use siteselect_types::ObjectId;
 
 /// Which tier a probe found the object in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,44 +48,100 @@ impl ClientCacheStats {
     }
 }
 
-/// A deterministic LRU set with O(log n) operations.
+/// Link sentinel: "no neighbour" / "not a member".
+const NIL: u32 = u32::MAX;
+
+/// One intrusive list node, indexed by object id.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: u32,
+    next: u32,
+    live: bool,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            prev: NIL,
+            next: NIL,
+            live: false,
+        }
+    }
+}
+
+/// A deterministic LRU set with O(1) operations: an intrusive doubly-
+/// linked recency list threaded through a dense id-indexed slot vector.
+/// The list runs LRU (head) to MRU (tail); a touch unlinks the node and
+/// re-links it at the tail, all by index arithmetic — no tree rebalance,
+/// no per-operation allocation. (The previous `BTreeMap` stamp index paid
+/// a node-churning remove+insert on every probe, which made the cache the
+/// hottest line of the client–server engines.)
 #[derive(Debug, Default, Clone)]
 struct LruSet {
     capacity: usize,
-    stamp: u64,
-    by_id: ObjectMap<u64>,
-    by_stamp: BTreeMap<u64, ObjectId>,
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    len: usize,
 }
 
 impl LruSet {
     fn new(capacity: usize) -> Self {
         LruSet {
             capacity,
-            stamp: 0,
-            by_id: ObjectMap::new(),
-            by_stamp: BTreeMap::new(),
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
         }
     }
 
     fn len(&self) -> usize {
-        self.by_id.len()
+        self.len
     }
 
     fn contains(&self, id: ObjectId) -> bool {
-        self.by_id.contains(id)
+        self.nodes
+            .get(id.index() as usize)
+            .is_some_and(|n| n.live)
+    }
+
+    /// Detaches a live node from the recency list (leaves `live` set).
+    fn unlink(&mut self, idx: u32) {
+        let Node { prev, next, .. } = self.nodes[idx as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Attaches a node at the MRU tail.
+    fn link_tail(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        node.live = true;
+        node.next = NIL;
+        node.prev = self.tail;
+        match self.tail {
+            NIL => self.head = idx,
+            t => self.nodes[t as usize].next = idx,
+        }
+        self.tail = idx;
     }
 
     fn touch(&mut self, id: ObjectId) -> bool {
-        match self.by_id.get_mut(id) {
-            Some(s) => {
-                self.by_stamp.remove(s);
-                self.stamp += 1;
-                *s = self.stamp;
-                self.by_stamp.insert(self.stamp, id);
-                true
-            }
-            None => false,
+        let idx = id.index();
+        if !self.contains(id) {
+            return false;
         }
+        if self.tail != idx {
+            self.unlink(idx);
+            self.link_tail(idx);
+        }
+        true
     }
 
     /// Inserts `id` as most-recently-used; returns the evicted LRU element
@@ -99,32 +153,54 @@ impl LruSet {
         if self.touch(id) {
             return None;
         }
-        let victim = if self.by_id.len() >= self.capacity {
-            let (&s, &v) = self.by_stamp.iter().next().expect("full set non-empty");
-            self.by_stamp.remove(&s);
-            self.by_id.remove(v);
-            Some(v)
+        let victim = if self.len >= self.capacity {
+            let lru = self.head;
+            self.unlink(lru);
+            self.nodes[lru as usize].live = false;
+            self.len -= 1;
+            Some(ObjectId(lru))
         } else {
             None
         };
-        self.stamp += 1;
-        self.by_id.insert(id, self.stamp);
-        self.by_stamp.insert(self.stamp, id);
+        let idx = id.index() as usize;
+        if idx >= self.nodes.len() {
+            self.nodes.resize(idx + 1, Node::default());
+        }
+        self.link_tail(id.index());
+        self.len += 1;
         victim
     }
 
-    fn remove(&mut self, id: ObjectId) -> bool {
-        match self.by_id.remove(id) {
-            Some(s) => {
-                self.by_stamp.remove(&s);
-                true
-            }
-            None => false,
+    /// Pre-sizes the node slab for ids `0..n` so later inserts never grow
+    /// it (keeps first-touch insertions off the allocator).
+    fn reserve_ids(&mut self, n: usize) {
+        if self.nodes.len() < n {
+            self.nodes.resize(n, Node::default());
         }
     }
 
+    fn remove(&mut self, id: ObjectId) -> bool {
+        if !self.contains(id) {
+            return false;
+        }
+        let idx = id.index();
+        self.unlink(idx);
+        self.nodes[idx as usize].live = false;
+        self.len -= 1;
+        true
+    }
+
+    /// Members from LRU to MRU.
     fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.by_stamp.values().copied()
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let id = cur;
+            cur = self.nodes[cur as usize].next;
+            Some(ObjectId(id))
+        })
     }
 }
 
@@ -159,6 +235,15 @@ impl ClientCache {
             disk: LruSet::new(disk_objects),
             stats: ClientCacheStats::default(),
         }
+    }
+
+    /// Pre-sizes both tiers' node slabs for ids `0..n`, so steady-state
+    /// inserts never touch the allocator. Worth it only where one cache
+    /// sees the whole database (e.g. a server buffer) — per-client caches
+    /// would pay `n` slots each for ids they mostly never see.
+    pub fn reserve_ids(&mut self, n: usize) {
+        self.memory.reserve_ids(n);
+        self.disk.reserve_ids(n);
     }
 
     /// Looks up `id` without recording statistics or promoting.

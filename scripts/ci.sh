@@ -64,20 +64,44 @@ fi
 
 echo "==> bench smoke (suite runs, report parses, no >2x regression vs fresh rerun)"
 cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench.json" > "$tracedir/bench.out"
-for field in '"meta"' '"cores"' '"rustc"' '"git_rev"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"'; do
+for field in '"meta"' '"cores"' '"rustc"' '"git_rev"' '"benchmarks"' '"ns_per_iter"' '"events_per_sec"' '"events_per_sec_cpu"'; do
   grep -q "$field" "$tracedir/bench.json" || { echo "bench.json missing $field"; exit 1; }
 done
 # Sweep benchmarks must report simulated throughput, not null (the sim/*
 # and sweep/* rows double as the tracing-off overhead smoke: the suite
 # times untraced runs, so span instrumentation that leaks into the
-# disabled path shows up here and in the baseline gate below).
+# disabled path shows up here and in the regression gate below).
 if grep -E '"name": "(sim|sweep)/' "$tracedir/bench.json" | grep -q '"events_per_sec": null'; then
   echo "a sim/ or sweep/ benchmark reported events_per_sec: null"; exit 1
 fi
-# Same-machine regression gate: a second run must stay within the 2x limit
-# of the first (the committed results/BENCH_sim.json baseline documents a
-# reference machine and is not comparable across hardware).
-cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench2.json" --baseline "$tracedir/bench.json" > "$tracedir/bench2.out"
+# Same-machine regression gate: a second run, diffed against the first by
+# the compare mode, must keep every benchmark present and within the 2x
+# limit (the committed results/BENCH_sim.json baseline documents a
+# reference machine and is not comparable across hardware). The delta
+# table lands in the CI log either way.
+cargo run --release -q -p siteselect-bench --bin repro -- bench --out "$tracedir/bench2.json" > "$tracedir/bench2.out"
+cargo run --release -q -p siteselect-bench --bin repro -- bench --compare "$tracedir/bench.json" "$tracedir/bench2.json"
+# Hot-loop throughput floor: each end-to-end sim row must hold at least
+# 2x the seed-era throughput pinned in results/BENCH_sim.seed.json. The
+# gate reads the CPU-time figure, which host-level steal on shared
+# runners cannot depress (wall-clock swings several-fold on busy boxes
+# while CPU accounting stays steady); it falls back to wall-clock
+# events_per_sec where CPU accounting is unavailable.
+for row in centralized client_server load_sharing; do
+  seed=$(grep "\"sim/${row}_quick\"" results/BENCH_sim.seed.json \
+    | sed 's/.*"events_per_sec": \([0-9.]*\).*/\1/')
+  cur=$(grep "\"sim/${row}_quick\"" "$tracedir/bench.json" \
+    | sed 's/.*"events_per_sec_cpu": \([0-9.]*\).*/\1/')
+  if ! [[ "$cur" =~ ^[0-9.]+$ ]]; then
+    cur=$(grep "\"sim/${row}_quick\"" "$tracedir/bench.json" \
+      | sed 's/.*"events_per_sec": \([0-9.]*\).*/\1/')
+  fi
+  [[ "$seed" =~ ^[0-9.]+$ && "$cur" =~ ^[0-9.]+$ ]] \
+    || { echo "cannot read sim/${row}_quick throughput (seed='$seed' cur='$cur')"; exit 1; }
+  awk -v c="$cur" -v s="$seed" 'BEGIN { exit !(c >= 2.0 * s) }' \
+    || { echo "sim/${row}_quick throughput $cur below 2x seed baseline ($seed)"; exit 1; }
+  echo "sim/${row}_quick: $cur ev/cpu-s vs seed $seed ev/s (floor 2x)"
+done
 
 if [[ "$(nproc)" -ge 2 ]]; then
   echo "==> parallel-sweep speedup (quick sweep, jobs=nproc vs jobs=1)"

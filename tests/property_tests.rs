@@ -674,3 +674,141 @@ fn inline_vec_spill_unspill_round_trips() {
         assert_eq!(iv.to_vec(), want);
     }
 }
+
+// ------------------------------------------------------------------
+// Event queue: the bucketed timer wheel matches a BinaryHeap oracle.
+// ------------------------------------------------------------------
+
+/// Reference model: a max-heap of `Reverse((time, seq))`, i.e. exactly the
+/// pre-wheel implementation of [`EventQueue`].
+#[derive(Default)]
+struct HeapOracle {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    next_seq: u64,
+}
+
+impl HeapOracle {
+    fn push(&mut self, t: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((t, seq)));
+        seq
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|std::cmp::Reverse(e)| e)
+    }
+
+    fn pop_before(&mut self, deadline: u64) -> Option<(u64, u64)> {
+        match self.heap.peek() {
+            Some(std::cmp::Reverse((t, _))) if *t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+/// A random fire time spanning every wheel level: mostly near-future
+/// offsets, sometimes far-future jumps (level cascades) and occasionally
+/// the extreme top of the range (rollover of the highest-level buckets).
+fn wheel_time(rng: &mut Prng, now: u64) -> u64 {
+    // All arms saturate: `now` itself can sit near u64::MAX after a
+    // top-of-range pop.
+    match rng.below(10) {
+        0..=4 => now.saturating_add(rng.below(64)),        // level 0 window
+        5 | 6 => now.saturating_add(rng.below(1 << 12)),   // level 1-2
+        7 => now.saturating_add(rng.below(1 << 30)),       // mid levels
+        8 => now.saturating_add(rng.below(1 << 62)),       // far future
+        _ => u64::MAX - rng.below(1 << 8),                 // top-level wrap
+    }
+}
+
+/// Full randomized coverage natively; a small but representative slice
+/// under Miri, where each interpreted case costs ~10000x.
+const QUEUE_CASES: u64 = if cfg!(miri) { 48 } else { 10_000 };
+
+#[test]
+fn event_queue_matches_heap_oracle() {
+    // Randomized interleavings of push / pop / pop_before, asserting
+    // identical (time, FIFO-sequence) pop order against the heap model.
+    for case in 0..QUEUE_CASES {
+        let mut rng = Prng::seed_from_u64(0x0EE1_0000 + case);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut oracle = HeapOracle::default();
+        let mut now = 0u64;
+        let ops = 1 + rng.below_usize(40);
+        for _ in 0..ops {
+            match rng.below(4) {
+                0 | 1 => {
+                    let t = wheel_time(&mut rng, now);
+                    let seq = oracle.push(t);
+                    q.push(SimTime::from_micros(t), seq);
+                }
+                2 => {
+                    let want = oracle.pop();
+                    let got = q.pop().map(|(t, seq)| (t.as_micros(), seq));
+                    assert_eq!(got, want, "case {case}");
+                    if let Some((t, _)) = got {
+                        now = now.max(t);
+                    }
+                }
+                _ => {
+                    let deadline = wheel_time(&mut rng, now);
+                    let want = oracle.pop_before(deadline);
+                    let got = q
+                        .pop_before(SimTime::from_micros(deadline))
+                        .map(|(t, seq)| (t.as_micros(), seq));
+                    assert_eq!(got, want, "case {case}");
+                    if let Some((t, _)) = got {
+                        now = now.max(t);
+                    }
+                }
+            }
+            assert_eq!(q.len(), oracle.heap.len(), "case {case}");
+            assert_eq!(
+                q.peek_time().map(SimTime::as_micros),
+                oracle.heap.peek().map(|std::cmp::Reverse((t, _))| *t),
+                "case {case}"
+            );
+        }
+        // Drain both to the end: every queued event must come out in the
+        // oracle's order.
+        loop {
+            let want = oracle.pop();
+            let got = q.pop().map(|(t, seq)| (t.as_micros(), seq));
+            assert_eq!(got, want, "case {case} drain");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(q.is_empty());
+    }
+}
+
+#[test]
+fn event_queue_equal_timestamps_stay_fifo_across_cascades() {
+    // Bursts of equal-timestamp pushes issued from different wheel origins
+    // (forcing different cascade paths into the shared bucket) must still
+    // pop in global insertion order.
+    for case in 0..(QUEUE_CASES / 50).max(8) {
+        let mut rng = Prng::seed_from_u64(0xF1F0_0000 + case);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut seq = 0u64;
+        let t_shared = 1 + rng.below(1 << 20);
+        let mut expected = Vec::new();
+        for _ in 0..3 {
+            for _ in 0..rng.below(5) {
+                q.push(SimTime::from_micros(t_shared), seq);
+                expected.push(seq);
+                seq += 1;
+            }
+            // Advance the cursor by draining an earlier filler event.
+            let filler = rng.below(t_shared);
+            q.push(SimTime::from_micros(filler), u64::MAX);
+            while let Some((_, e)) = q.pop_before(SimTime::from_micros(filler)) {
+                assert_eq!(e, u64::MAX, "case {case}: filler out of order");
+            }
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(drained, expected, "case {case}");
+    }
+}
