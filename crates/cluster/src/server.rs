@@ -141,6 +141,8 @@ impl SharedServer {
             return Ok(Self::read_page(&mut inner, object));
         }
         loop {
+            // detlint: allow(D8) — issue_callbacks only does std::sync::mpsc
+            // sends on unbounded channels, which enqueue without blocking
             self.issue_callbacks(&mut inner, client, object, mode);
             let timed_out = self.cv.wait_until(&mut inner, deadline).timed_out();
             if inner
@@ -180,6 +182,8 @@ impl SharedServer {
                 // Ignore send failures: the client may already have shut
                 // down, in which case its locks were voluntarily returned.
                 if let Some(tx) = self.callback_tx.lock()[holder.index()].as_ref() {
+                    // detlint: allow(D8) — unbounded mpsc send enqueues
+                    // without blocking; the guard cannot be held across a wait
                     let _ = tx.send(CallbackReq {
                         object,
                         desired: mode,

@@ -798,7 +798,7 @@ impl CentralizedSim {
         // processed at all", §2) — this is what keeps the overloaded
         // centralized server doing useful work for feasible transactions.
         let mut dead: Vec<Key> = self
-            .txns // detlint: allow(D2) — keys are collected and sorted below
+            .txns
             .iter()
             .filter(|(_, t)| self.specs[t.spec as usize].is_expired(self.now))
             .map(|(&k, _)| k)
@@ -842,7 +842,7 @@ impl CentralizedSim {
         });
         self.fabric.set_site_down(SiteId::Server);
         let mut keys: Vec<Key> = self
-            .txns // detlint: allow(D2) — keys are collected and sorted below
+            .txns
             .keys()
             .copied()
             .collect();

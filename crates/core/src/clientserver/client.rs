@@ -1061,7 +1061,7 @@ impl ClientServerSim {
         if self.sink.is_enabled() {
             let id = self.clients[ci].id;
             let mut open: Vec<(ObjectId, SimTime, Option<TKey>)> = self.clients[ci]
-                .lock_wait_from // detlint: allow(D2) — sorted below
+                .lock_wait_from
                 .iter()
                 .filter(|((k, _), _)| *k == key)
                 .map(|(&(_, o), &(t, b))| (o, t, b))
@@ -1093,7 +1093,6 @@ impl ClientServerSim {
         // Outstanding fetches.
         let mut cancelled: Vec<ObjectId> = Vec::new();
         let c = &mut self.clients[ci];
-        // detlint: allow(D2) — visit order only fills `cancelled`, sorted below
         c.fetches.retain(|&object, f| {
             f.waiters.retain(|&w| w != key);
             if f.waiters.is_empty() {
@@ -1726,7 +1725,6 @@ impl ClientServerSim {
             }
         });
         self.fabric.set_site_down(SiteId::Client(id));
-        // detlint: allow(D2) — keys are collected and sorted before the cascade
         let mut keys: Vec<TKey> = self.clients[ci].txns.keys().copied().collect();
         keys.sort_unstable(); // hash order is process-random; kills cascade
         for key in keys {
@@ -1943,7 +1941,7 @@ impl ClientServerSim {
     pub(crate) fn sweep_expired_txns(&mut self) {
         for ci in 0..self.clients.len() {
             let mut expired: Vec<TKey> = self.clients[ci]
-                .txns // detlint: allow(D2) — collected then sorted below
+                .txns
                 .iter()
                 .filter(|(_, r)| r.spec.is_expired(self.now))
                 .map(|(&k, _)| k)

@@ -536,6 +536,7 @@ impl WaitingWants {
 
     /// Records (or replaces) the want of `client` on `object`.
     pub(crate) fn insert(&mut self, object: ObjectId, client: ClientId, info: WantInfo) {
+        // detlint: allow(D9) — per_client is sized to the client count at construction
         let list = &mut self.per_client[client.index()];
         match list.iter_mut().find(|(o, _)| *o == object) {
             Some(slot) => slot.1 = info,
@@ -545,6 +546,7 @@ impl WaitingWants {
 
     /// Removes and returns the want of `client` on `object`, if any.
     pub(crate) fn remove(&mut self, object: ObjectId, client: ClientId) -> Option<WantInfo> {
+        // detlint: allow(D9) — per_client is sized to the client count at construction
         let list = &mut self.per_client[client.index()];
         let pos = list.iter().position(|(o, _)| *o == object)?;
         Some(list.remove(pos).1)
@@ -552,6 +554,7 @@ impl WaitingWants {
 
     /// True if `client` has a want queued on `object`.
     pub(crate) fn contains(&self, object: ObjectId, client: ClientId) -> bool {
+        // detlint: allow(D9) — per_client is sized to the client count at construction
         self.per_client[client.index()]
             .iter()
             .any(|(o, _)| *o == object)
@@ -559,6 +562,7 @@ impl WaitingWants {
 
     /// All queued wants of `client`, in insertion order.
     pub(crate) fn of_client(&self, client: ClientId) -> &[(ObjectId, WantInfo)] {
+        // detlint: allow(D9) — per_client is sized to the client count at construction
         &self.per_client[client.index()]
     }
 }

@@ -978,7 +978,7 @@ impl ClientServerSim {
                 continue; // a crashed client's work already died with it
             }
             let mut stranded: Vec<TKey> =
-                self.clients[ci].txns.keys().copied().collect(); // detlint: allow(D2) — sorted below
+                self.clients[ci].txns.keys().copied().collect();
             stranded.sort_unstable();
             for key in stranded {
                 self.abort_txn(ci, key, AbortReason::SiteCrash);

@@ -149,6 +149,7 @@ impl<K: Copy + Eq> EdfCpu<K> {
     }
 
     fn completion_time(&self, now: SimTime) -> SimTime {
+        // detlint: allow(D9) — called only from dispatch/on_push paths that just set self.running
         let run = self.running.as_ref().expect("running job");
         now + ceil_to_micros(run.remaining / self.speed)
     }
@@ -197,6 +198,7 @@ impl<K: Copy + Eq> EdfCpu<K> {
         match &self.running {
             Some(run) if (job.deadline, job.seq) < (run.deadline, run.seq) => {
                 // Preempt: running job returns to the ready queue.
+                // detlint: allow(D9) — the enclosing match arm is Some(run)
                 let preempted = self.running.take().expect("checked running");
                 self.insert_ready(preempted);
                 self.running = Some(job);
@@ -218,6 +220,7 @@ impl<K: Copy + Eq> EdfCpu<K> {
             return Tick::Stale;
         }
         self.charge_running(now);
+        // detlint: allow(D9) — generation matched, so the job that armed this completion still runs
         let run = self.running.take().expect("completion implies a running job");
         debug_assert!(run.remaining <= 1e-9, "completion fired early");
         self.completed += 1;

@@ -69,6 +69,7 @@ pub fn run_experiment_traced(
         }
     };
     debug_assert!(metrics.is_consistent(), "outcome accounting out of balance");
+    // detlint: allow(D9) — the sink was attached unconditionally a few lines up
     let trace = sink.finish().expect("sink was enabled");
     Ok((metrics, trace))
 }

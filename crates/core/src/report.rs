@@ -54,17 +54,24 @@ impl TextTable {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate().take(cols) {
+                // detlint: allow(D9) — i < cols == widths.len() via take(cols)
                 widths[i] = widths[i].max(cell.len());
             }
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
+            // Zip instead of indexing: a row wider than the header row
+            // renders its extra cells unaligned rather than panicking.
+            for (i, (cell, width)) in cells.iter().zip(widths).enumerate() {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                line.push_str(&format!("{cell:>width$}"));
+            }
+            for cell in cells.iter().skip(widths.len()) {
+                line.push_str("  ");
+                line.push_str(cell);
             }
             line
         };

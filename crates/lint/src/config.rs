@@ -32,6 +32,12 @@ pub struct Config {
     /// Per-rule path allowlists: a file matching a pattern is exempt
     /// from that rule without needing an inline annotation.
     pub allow: Vec<(RuleId, Vec<String>)>,
+    /// Per-rule crate scoping (`crates = [...]` under `[rules.Dn]`):
+    /// the rule's pass only analyzes files belonging to these crates.
+    /// Used by D7/D8 (lock-order, default: nothing) and D9 (panic
+    /// audit over the engine crates). Rules without an entry keep
+    /// their default scope (everywhere the rule applies).
+    pub rule_crates: Vec<(RuleId, Vec<String>)>,
 }
 
 /// A config-file syntax error with its 1-based line.
@@ -56,6 +62,7 @@ impl Default for Config {
             exclude: vec!["target/".into(), ".git/".into()],
             deterministic_crates: Vec::new(),
             allow: Vec::new(),
+            rule_crates: Vec::new(),
         }
     }
 }
@@ -86,7 +93,32 @@ impl Config {
     /// True when `path` lies inside a deterministic crate.
     #[must_use]
     pub fn is_deterministic_path(&self, path: &str) -> bool {
-        self.deterministic_crates.iter().any(|c| {
+        Self::crate_list_covers(&self.deterministic_crates, path)
+    }
+
+    /// Crate names a rule's pass is scoped to, if configured.
+    #[must_use]
+    pub fn rule_crates(&self, rule: RuleId) -> Option<&[String]> {
+        self.rule_crates
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// True when `rule` is scoped to crates and `path` lies in one of
+    /// them. Rules without a `crates = [...]` entry return false — the
+    /// scoped passes (D7/D8/D9) are opt-in per crate.
+    #[must_use]
+    pub fn rule_applies_to(&self, rule: RuleId, path: &str) -> bool {
+        self.rule_crates(rule)
+            .is_some_and(|crates| Self::crate_list_covers(crates, path))
+    }
+
+    /// Shared membership test for crate-name lists: `root` means the
+    /// workspace package (`src/`, `tests/`, `examples/`), anything else
+    /// the crate directory under `crates/`.
+    fn crate_list_covers(crates: &[String], path: &str) -> bool {
+        crates.iter().any(|c| {
             if c == "root" {
                 path.starts_with("src/")
                     || path.starts_with("tests/")
@@ -104,6 +136,7 @@ impl Config {
             exclude: Vec::new(),
             deterministic_crates: Vec::new(),
             allow: Vec::new(),
+            rule_crates: Vec::new(),
         };
         let mut section = String::new();
         let mut lines = text.lines().enumerate().peekable();
@@ -154,13 +187,17 @@ impl Config {
             match (section.as_str(), key) {
                 ("scan", "exclude") => cfg.exclude = values,
                 ("deterministic", "crates") => cfg.deterministic_crates = values,
-                (s, "allow") => {
+                (s, "allow" | "crates") => {
                     let rule_name = s.strip_prefix("rules.").unwrap_or("");
                     let rule = RuleId::parse(rule_name).ok_or_else(|| ConfigError {
                         line: lineno,
                         message: format!("unknown rule `{rule_name}`"),
                     })?;
-                    cfg.allow.push((rule, values));
+                    if key == "allow" {
+                        cfg.allow.push((rule, values));
+                    } else {
+                        cfg.rule_crates.push((rule, values));
+                    }
                 }
                 (s, k) => {
                     return Err(ConfigError {
@@ -284,9 +321,24 @@ allow = ["crates/bench/**", "crates/cluster/src/runtime.rs"]
 
     #[test]
     fn unknown_rule_and_key_are_errors() {
-        assert!(Config::parse("[rules.D9]\nallow = [\"x\"]").is_err());
+        assert!(Config::parse("[rules.D12]\nallow = [\"x\"]").is_err());
         assert!(Config::parse("[scan]\ninclude = [\"x\"]").is_err());
         assert!(Config::parse("[surprise]\n").is_err());
+    }
+
+    #[test]
+    fn rule_crate_scoping_parses_and_matches() {
+        let cfg = Config::parse(
+            "[rules.D9]\ncrates = [\"core\", \"sim\", \"root\"]\n[rules.D7]\ncrates = [\"cluster\"]\n",
+        )
+        .expect("parses");
+        assert!(cfg.rule_applies_to(RuleId::D9, "crates/core/src/buffer.rs"));
+        assert!(cfg.rule_applies_to(RuleId::D9, "tests/property_tests.rs"));
+        assert!(!cfg.rule_applies_to(RuleId::D9, "crates/cluster/src/server.rs"));
+        assert!(cfg.rule_applies_to(RuleId::D7, "crates/cluster/src/server.rs"));
+        // Unscoped rules are opt-in: no entry means the pass skips.
+        assert!(!cfg.rule_applies_to(RuleId::D8, "crates/cluster/src/server.rs"));
+        assert_eq!(cfg.rule_crates(RuleId::D7).unwrap(), ["cluster"]);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Interprocedural taint dataflow for D1 (wall clock) and D3 (ambient
+//! randomness).
+//!
+//! The per-file token rules only see *direct* uses of `Instant::now()`
+//! etc. This pass propagates the taint through the workspace call graph
+//! so a helper in an allowlisted crate (`bench`, the cluster harness)
+//! is flagged **at the call site inside deterministic code** — the
+//! place that has to change.
+//!
+//! Mechanics: each function gets a per-kind summary (tainted or not,
+//! with a witness chain down to the seeding call); a fixpoint loop
+//! unions summaries along call edges. Reporting then applies the
+//! *frontier rule*: a call is a violation only when the caller's file
+//! is **not** allowlisted for the rule but the callee's defining file
+//! **is**. A tainted callee in a non-allowlisted file is not reported
+//! at its call sites — the taint inside it is either a direct use
+//! (already a per-file violation there) or itself a frontier call
+//! reported in *that* file. Every flow is reported exactly once, where
+//! the fix belongs.
+
+use crate::callgraph::{CallGraph, FnId, Unit};
+use crate::lexer::Token;
+use crate::rules::{allowed_by_line, RuleId, Violation, AMBIENT_RNG_IDENTS};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file rule applicability, derived from `detlint.toml` by the
+/// workspace layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitPolicy {
+    /// File is allowlisted for D1 (may read the wall clock).
+    pub allow_wall_clock: bool,
+    /// File is allowlisted for D3 (may use ambient randomness).
+    pub allow_rng: bool,
+}
+
+/// Why a function is tainted: the seeding use and the call chain from
+/// this function down to it.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Human description of the seed (e.g. "`Instant::now()`").
+    pub what: String,
+    pub seed_file: String,
+    pub seed_line: u32,
+    /// Qualified fn names, tainted fn first, seed fn last (capped).
+    pub chain: Vec<String>,
+}
+
+const CHAIN_CAP: usize = 8;
+
+#[derive(Debug, Default, Clone)]
+struct Taint {
+    wall: Option<Witness>,
+    rng: Option<Witness>,
+}
+
+/// Per-function taint summaries at fixpoint.
+pub struct TaintSummaries {
+    taint: Vec<Taint>,
+}
+
+impl TaintSummaries {
+    /// Wall-clock witness for `f`, if tainted.
+    #[must_use]
+    pub fn wall(&self, f: FnId) -> Option<&Witness> {
+        self.taint[f].wall.as_ref()
+    }
+
+    /// Ambient-randomness witness for `f`, if tainted.
+    #[must_use]
+    pub fn rng(&self, f: FnId) -> Option<&Witness> {
+        self.taint[f].rng.as_ref()
+    }
+}
+
+/// Computes taint summaries for every function.
+#[must_use]
+pub fn compute(units: &[Unit], graph: &CallGraph) -> TaintSummaries {
+    let mut taint: Vec<Taint> = Vec::with_capacity(graph.fns.len());
+    // Direct seeds.
+    let codes: Vec<Vec<&Token>> = units.iter().map(Unit::code).collect();
+    for (id, node) in graph.fns.iter().enumerate() {
+        let unit = &units[node.unit];
+        let def = &unit.parsed.fns[node.def];
+        let mut t = Taint::default();
+        if let Some((s, e)) = def.body {
+            let code = &codes[node.unit];
+            for i in s..e {
+                if unit.parsed.fn_containing(i).is_none_or(|f| !std::ptr::eq(f, def)) {
+                    continue; // nested fn's tokens belong to the nested node
+                }
+                if t.wall.is_none() {
+                    if let Some(what) = wall_seed(code, i) {
+                        t.wall = Some(Witness {
+                            what,
+                            seed_file: unit.path.clone(),
+                            seed_line: code[i].line,
+                            chain: vec![graph.fns[id].qualified.clone()],
+                        });
+                    }
+                }
+                if t.rng.is_none() {
+                    if let Some(what) = rng_seed(code, i) {
+                        t.rng = Some(Witness {
+                            what,
+                            seed_file: unit.path.clone(),
+                            seed_line: code[i].line,
+                            chain: vec![graph.fns[id].qualified.clone()],
+                        });
+                    }
+                }
+                if t.wall.is_some() && t.rng.is_some() {
+                    break;
+                }
+            }
+        }
+        taint.push(t);
+    }
+    // Fixpoint: union callee taint into callers. The graph is small
+    // (a few thousand nodes) so a simple iterate-until-stable loop in
+    // deterministic FnId order is fast and gives deterministic
+    // witnesses.
+    loop {
+        let mut changed = false;
+        for caller in 0..graph.fns.len() {
+            for call in &graph.calls[caller] {
+                let callee_wall = taint[call.callee].wall.clone();
+                let callee_rng = taint[call.callee].rng.clone();
+                if taint[caller].wall.is_none() {
+                    if let Some(w) = callee_wall {
+                        taint[caller].wall = Some(extend(&graph.fns[caller].qualified, w));
+                        changed = true;
+                    }
+                }
+                if taint[caller].rng.is_none() {
+                    if let Some(w) = callee_rng {
+                        taint[caller].rng = Some(extend(&graph.fns[caller].qualified, w));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return TaintSummaries { taint };
+        }
+    }
+}
+
+fn extend(caller: &str, mut w: Witness) -> Witness {
+    w.chain.insert(0, caller.to_string());
+    w.chain.truncate(CHAIN_CAP);
+    w
+}
+
+/// `Instant::now` / `SystemTime::…` at code index `i`.
+fn wall_seed(code: &[&Token], i: usize) -> Option<String> {
+    let name = code[i].ident()?;
+    let sep = code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'));
+    if name == "Instant" && sep && code.get(i + 3).and_then(|t| t.ident()) == Some("now") {
+        return Some("`Instant::now()`".into());
+    }
+    if name == "SystemTime" && sep {
+        return Some("`SystemTime`".into());
+    }
+    None
+}
+
+/// Ambient-randomness idents / `rand::` paths at code index `i`.
+fn rng_seed(code: &[&Token], i: usize) -> Option<String> {
+    let name = code[i].ident()?;
+    if AMBIENT_RNG_IDENTS.contains(&name) {
+        return Some(format!("`{name}`"));
+    }
+    if name == "rand"
+        && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+    {
+        return Some("`rand::`".into());
+    }
+    None
+}
+
+/// Applies the frontier rule and returns the interprocedural D1/D3
+/// violations, honoring inline suppressions in the caller file.
+#[must_use]
+pub fn check(units: &[Unit], graph: &CallGraph, policies: &[UnitPolicy]) -> Vec<Violation> {
+    let summaries = compute(units, graph);
+    let allowed: Vec<BTreeMap<u32, BTreeSet<RuleId>>> = units
+        .iter()
+        .map(|u| allowed_by_line(&u.tokens))
+        .collect();
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, u32, RuleId)> = BTreeSet::new();
+    for (caller, node) in graph.fns.iter().enumerate() {
+        let unit = &units[node.unit];
+        let def = &unit.parsed.fns[node.def];
+        if def.test_only {
+            continue;
+        }
+        let pol = policies[node.unit];
+        for call in &graph.calls[caller] {
+            if unit.parsed.in_test_span(call.tok) {
+                continue;
+            }
+            let callee_unit = graph.fns[call.callee].unit;
+            let callee_pol = policies[callee_unit];
+            let mut frontier = |rule: RuleId,
+                               caller_allowed: bool,
+                               callee_allowed: bool,
+                               witness: Option<&Witness>,
+                               out: &mut Vec<Violation>| {
+                let Some(w) = witness else { return };
+                if caller_allowed || !callee_allowed {
+                    return; // not a frontier call for this rule
+                }
+                if allowed[node.unit]
+                    .get(&call.line)
+                    .is_some_and(|rs| rs.contains(&rule))
+                {
+                    return;
+                }
+                if !seen.insert((node.unit, call.line, rule)) {
+                    return; // one report per line per rule
+                }
+                out.push(Violation {
+                    file: unit.path.clone(),
+                    line: call.line,
+                    rule,
+                    message: format!(
+                        "call to `{}` reaches {} ({}:{}) — via {}",
+                        call.display,
+                        w.what,
+                        w.seed_file,
+                        w.seed_line,
+                        w.chain.join(" → "),
+                    ),
+                });
+            };
+            frontier(
+                RuleId::D1,
+                pol.allow_wall_clock,
+                callee_pol.allow_wall_clock,
+                summaries.wall(call.callee),
+                &mut out,
+            );
+            frontier(
+                RuleId::D3,
+                pol.allow_rng,
+                callee_pol.allow_rng,
+                summaries.rng(call.callee),
+                &mut out,
+            );
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Unit;
+
+    /// Mini-workspace: `bench` is allowlisted for both rules, `core` is
+    /// not.
+    fn setup(core_src: &str, bench_src: &str) -> (Vec<Unit>, CallGraph, Vec<UnitPolicy>) {
+        let units = vec![
+            Unit::new(
+                "crates/bench/src/helpers.rs".into(),
+                "bench".into(),
+                bench_src,
+            ),
+            Unit::new("crates/core/src/engine.rs".into(), "core".into(), core_src),
+        ];
+        let graph = CallGraph::build(&units);
+        let policies = vec![
+            UnitPolicy {
+                allow_wall_clock: true,
+                allow_rng: true,
+            },
+            UnitPolicy::default(),
+        ];
+        (units, graph, policies)
+    }
+
+    #[test]
+    fn cross_crate_wall_clock_flow_is_flagged_at_the_frontier() {
+        let (units, graph, policies) = setup(
+            "fn tick() { siteselect_bench::helpers::stamp_micros(); }",
+            "pub fn stamp_micros() -> u128 { std::time::Instant::now().elapsed().as_micros() }",
+        );
+        let v = check(&units, &graph, &policies);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::D1);
+        assert_eq!(v[0].file, "crates/core/src/engine.rs");
+        assert!(v[0].message.contains("Instant::now"), "{}", v[0].message);
+        assert!(v[0].message.contains("crates/bench/src/helpers.rs"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn transitive_flows_report_once_at_the_deepest_frontier() {
+        // core::outer → core::mid → bench::seed: the frontier is
+        // mid→seed; outer→mid must NOT double-report.
+        let (units, graph, policies) = setup(
+            r"
+fn outer() { mid(); }
+fn mid() { siteselect_bench::helpers::seed(); }
+",
+            "pub fn seed() { let _ = std::time::Instant::now(); }",
+        );
+        let v = check(&units, &graph, &policies);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`helpers::seed`") || v[0].message.contains("seed"));
+    }
+
+    #[test]
+    fn rng_taint_propagates_and_annotations_suppress() {
+        let (units, graph, policies) = setup(
+            r"
+fn a() { siteselect_bench::helpers::jitter(); }
+// detlint: allow(D3) — deliberate jitter in the bench-only path
+fn b() { siteselect_bench::helpers::jitter(); }
+",
+            "pub fn jitter() -> u64 { thread_rng() }",
+        );
+        let v = check(&units, &graph, &policies);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::D3);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn calls_to_clean_helpers_are_not_flagged() {
+        let (units, graph, policies) = setup(
+            "fn f() { siteselect_bench::helpers::pure(); }",
+            "pub fn pure() -> u64 { 42 }",
+        );
+        assert!(check(&units, &graph, &policies).is_empty());
+    }
+
+    #[test]
+    fn test_only_callers_are_exempt() {
+        let (units, graph, policies) = setup(
+            r"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { siteselect_bench::helpers::stamp(); }
+}
+",
+            "pub fn stamp() -> u128 { std::time::Instant::now().elapsed().as_micros() }",
+        );
+        assert!(check(&units, &graph, &policies).is_empty());
+    }
+}

@@ -1,0 +1,573 @@
+//! Flow-sensitive escape analysis for D2 (hash-ordered iteration).
+//!
+//! v1 flagged *every* iteration over a `HashMap`/`HashSet`, which made
+//! the rule mostly a suppression generator: the dominant safe patterns
+//! (collect-then-sort, order-free folds) each needed an inline
+//! annotation. v2 only reports an iteration whose order can **escape**.
+//! Three safety proofs, each purely local to the enclosing function:
+//!
+//! 1. **Order-free terminal** — the method chain ends in a fold whose
+//!    result does not depend on visit order (`sum`, `count`, `any`, …)
+//!    and no chain closure emits/sends anything.
+//! 2. **Collect-then-sort** — the iteration feeds a `let` binding via
+//!    `.collect()` that is (a) typed/turbofished into an ordered
+//!    container (`BTreeMap`/`BTreeSet`/`BinaryHeap`), or (b) sorted
+//!    later in the same function (`bind.sort*(…)`).
+//! 3. **Fill-then-sort** — a `for` loop body or `retain` closure whose
+//!    only escapes are `X.push(…)`/`X.extend(…)` fills where *every*
+//!    fill target is sorted after the region; `return`/`break`/`?`,
+//!    emission, sends, prints, and `self.method(…)` calls in the region
+//!    void the proof (unknown side effects observe the order).
+//!
+//! Anything not provably safe is still reported — the proofs shrink the
+//! annotation burden, they do not relax the rule.
+
+use crate::lexer::Token;
+use crate::parse::ParsedFile;
+
+/// Chain terminals whose value is independent of visit order.
+const ORDER_FREE_TERMINALS: [&str; 9] = [
+    "sum", "count", "min", "max", "any", "all", "product", "len", "is_empty",
+];
+
+/// Ordered collectors: collecting into one of these sorts by key.
+const ORDERED_COLLECTORS: [&str; 3] = ["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+/// Is the D2 method-call site at `i` (`name . method ( …`) provably
+/// order-safe? `i` indexes the map name; `i + 2` the method.
+#[must_use]
+pub fn method_site_is_safe(code: &[&Token], parsed: &ParsedFile, i: usize, method: &str) -> bool {
+    let (body_s, body_e) = enclosing_span(parsed, i, code.len());
+    if method == "retain" {
+        // `map.retain(|…| …)` — the closure is the region.
+        let open = i + 3;
+        let close = matching(code, open, '(', ')', body_e);
+        return region_is_safe(code, open + 1, close, body_e);
+    }
+    let (last, ordered_collect, chain_end) = chain_scan(code, i + 3, body_e);
+    if !span_has_observers(code, i + 3, chain_end)
+        && (ordered_collect || last.is_some_and(|t| ORDER_FREE_TERMINALS.contains(&t)))
+    {
+        return true;
+    }
+    // `for pat in map.values() { … }` — the loop body is the region.
+    if code.get(chain_end).is_some_and(|t| t.is_punct('{')) {
+        let stmt_s = statement_start(code, i, body_s);
+        let is_for = code[stmt_s..i].iter().any(|t| t.ident() == Some("for"))
+            && code[stmt_s..i].iter().any(|t| t.ident() == Some("in"));
+        if is_for {
+            let close = matching(code, chain_end, '{', '}', body_e);
+            return region_is_safe(code, chain_end + 1, close, body_e);
+        }
+    }
+    collects_into_sorted_binding(code, i, body_s, body_e)
+}
+
+/// Is the D2 `for`-loop site safe? `body_open` indexes the loop body's
+/// `{`.
+#[must_use]
+pub fn loop_site_is_safe(code: &[&Token], parsed: &ParsedFile, body_open: usize) -> bool {
+    let (_, body_e) = enclosing_span(parsed, body_open, code.len());
+    let close = matching(code, body_open, '{', '}', body_e);
+    region_is_safe(code, body_open + 1, close, body_e)
+}
+
+/// The enclosing fn body span, or the whole file for top-level code.
+fn enclosing_span(parsed: &ParsedFile, i: usize, len: usize) -> (usize, usize) {
+    parsed
+        .fn_containing(i)
+        .and_then(|f| f.body)
+        .unwrap_or((0, len))
+}
+
+/// Index of the token closing the group opened at `open` (bounded).
+fn matching(code: &[&Token], open: usize, oc: char, cc: char, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end.min(code.len()) {
+        if code[k].is_punct(oc) {
+            depth += 1;
+        } else if code[k].is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end.min(code.len())
+}
+
+/// Walks the method chain starting at the call whose `(` is at
+/// `call_open`. Returns the last chained method, whether an ordered
+/// container was collected via turbofish, and the index one past the
+/// chain (the first non-chain token).
+fn chain_scan<'c>(
+    code: &'c [&Token],
+    call_open: usize,
+    end: usize,
+) -> (Option<&'c str>, bool, usize) {
+    if !code.get(call_open).is_some_and(|t| t.is_punct('(')) {
+        return (None, false, call_open);
+    }
+    let mut last: Option<&str> = None;
+    let mut ordered_collect = false;
+    let mut k = matching(code, call_open, '(', ')', end) + 1;
+    loop {
+        if !code.get(k).is_some_and(|t| t.is_punct('.')) {
+            break;
+        }
+        let Some(m) = code.get(k + 1).and_then(|t| t.ident()) else {
+            break;
+        };
+        let mut j = k + 2;
+        // `.collect::<BTreeMap<…>>(…)` turbofish.
+        if code.get(j).is_some_and(|t| t.is_punct(':'))
+            && code.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(j + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            let close = skip_angles(code, j + 2, end);
+            if m == "collect"
+                && (j + 2..close).any(|x| {
+                    code[x]
+                        .ident()
+                        .is_some_and(|n| ORDERED_COLLECTORS.contains(&n))
+                })
+            {
+                ordered_collect = true;
+            }
+            j = close;
+        }
+        if !code.get(j).is_some_and(|t| t.is_punct('(')) {
+            break; // field access or end of expression
+        }
+        last = Some(m);
+        k = matching(code, j, '(', ')', end) + 1;
+    }
+    (last, ordered_collect, k)
+}
+
+/// `<…>` skip with `->` guard; returns index one past the closing `>`.
+fn skip_angles(code: &[&Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end.min(code.len()) {
+        if code[k].is_punct('-') && code.get(k + 1).is_some_and(|t| t.is_punct('>')) {
+            k += 2;
+            continue;
+        }
+        if code[k].is_punct('<') {
+            depth += 1;
+        } else if code[k].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    k
+}
+
+/// True when the span contains an emission, send, or print — a way for
+/// per-element work to observe the iteration order.
+fn span_has_observers(code: &[&Token], s: usize, e: usize) -> bool {
+    for k in s..e.min(code.len()) {
+        let Some(name) = code[k].ident() else { continue };
+        let called = code.get(k + 1).is_some_and(|t| t.is_punct('('));
+        if (name == "emit" || name == "send") && called {
+            return true;
+        }
+        if matches!(name, "println" | "print" | "eprintln" | "eprint" | "dbg")
+            && code.get(k + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Proof 2: the statement containing `site` is
+/// `let [mut] BIND [: Ty] = <chain with .collect…> ;` where BIND is
+/// either collected into an ordered container or sorted later in the
+/// function.
+fn collects_into_sorted_binding(
+    code: &[&Token],
+    site: usize,
+    body_s: usize,
+    body_e: usize,
+) -> bool {
+    let stmt_s = statement_start(code, site, body_s);
+    let stmt_e = statement_end(code, site, body_e);
+    // Pattern: let [mut] BIND …
+    let mut j = stmt_s;
+    if code.get(j).and_then(|t| t.ident()) != Some("let") {
+        return false;
+    }
+    j += 1;
+    if code.get(j).and_then(|t| t.ident()) == Some("mut") {
+        j += 1;
+    }
+    let Some(bind) = code.get(j).and_then(|t| t.ident()) else {
+        return false;
+    };
+    j += 1;
+    // Optional `: Type` — an ordered container type is proof by itself.
+    if code.get(j).is_some_and(|t| t.is_punct(':'))
+        && !code.get(j + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        let ty_end = (j..stmt_e)
+            .find(|&k| code[k].is_punct('='))
+            .unwrap_or(stmt_e);
+        if (j..ty_end).any(|k| {
+            code[k]
+                .ident()
+                .is_some_and(|n| ORDERED_COLLECTORS.contains(&n))
+        }) {
+            return true;
+        }
+        j = ty_end;
+    }
+    if !code.get(j).is_some_and(|t| t.is_punct('=')) {
+        return false;
+    }
+    // The initializer must actually collect.
+    let mut collected = false;
+    for k in site..stmt_e {
+        if code[k].ident() == Some("collect") {
+            collected = true;
+            // Ordered-container turbofish is proof by itself.
+            if code.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(k + 3).is_some_and(|t| t.is_punct('<'))
+            {
+                let close = skip_angles(code, k + 3, stmt_e);
+                if (k + 3..close).any(|x| {
+                    code[x]
+                        .ident()
+                        .is_some_and(|n| ORDERED_COLLECTORS.contains(&n))
+                }) {
+                    return true;
+                }
+            }
+        }
+    }
+    if !collected {
+        return false;
+    }
+    sorted_later(code, bind, stmt_e, body_e)
+}
+
+/// Backward scan to the start of the statement containing `site`.
+/// Brackets/parens are balanced; a `{`, `}`, or `;` at depth 0 is a
+/// statement boundary (`}` ends a preceding block statement — braces
+/// nested inside parens are ignored by the depth rule and stay inside).
+pub(crate) fn statement_start(code: &[&Token], site: usize, body_s: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = site;
+    while j > body_s {
+        let t = code[j - 1];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) && depth == 0 {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Forward scan to one past the `;` ending the statement at `site`.
+fn statement_end(code: &[&Token], site: usize, body_e: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = site;
+    while k < body_e.min(code.len()) {
+        let t = code[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return k;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// `target.sort*(…)` anywhere in `[s, e)`. `target` may be plain
+/// (`done`) or a `self.` field (`self.touched` — matched on the field).
+fn sorted_later(code: &[&Token], target: &str, s: usize, e: usize) -> bool {
+    for k in s..e.min(code.len()) {
+        if code[k].ident() == Some(target)
+            && code.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && code
+                .get(k + 2)
+                .and_then(|t| t.ident())
+                .is_some_and(|m| m.starts_with("sort"))
+            && code.get(k + 3).is_some_and(|t| t.is_punct('('))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Proof 3: a region (loop body / retain closure) whose only escapes
+/// are fills into subsequently-sorted collections.
+fn region_is_safe(code: &[&Token], s: usize, e: usize, body_e: usize) -> bool {
+    let mut fills: Vec<&str> = Vec::new();
+    let mut k = s;
+    while k < e.min(code.len()) {
+        let t = code[k];
+        // Control flow / effects that observe order void the proof.
+        if t.is_punct('?') {
+            return false;
+        }
+        if let Some(name) = t.ident() {
+            if name == "return" || name == "break" {
+                return false;
+            }
+            // `self.method(…)` — unknown side effects. (`self.field.push`
+            // is re-matched below as a fill on the field.)
+            if name == "self"
+                && code.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                && code.get(k + 2).and_then(|t| t.ident()).is_some()
+                && code.get(k + 3).is_some_and(|t| t.is_punct('('))
+            {
+                let m = code[k + 2].ident().unwrap_or("");
+                if !matches!(m, "push" | "extend") {
+                    return false;
+                }
+            }
+            // `X.push(…)` / `X.extend(…)` — record the fill target.
+            if code.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                && matches!(code.get(k + 2).and_then(|t| t.ident()), Some("push" | "extend"))
+                && code.get(k + 3).is_some_and(|t| t.is_punct('('))
+                && name != "self"
+            {
+                fills.push(name);
+            }
+        }
+        k += 1;
+    }
+    if span_has_observers(code, s, e) {
+        return false;
+    }
+    !fills.is_empty() && fills.iter().all(|f| sorted_later(code, f, e, body_e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::{code_tokens, parse_file};
+
+    /// Runs the full D2 check over `src` and returns the flagged lines.
+    fn d2_lines(src: &str) -> Vec<u32> {
+        use crate::rules::{check_file, FileContext};
+        use std::collections::BTreeSet;
+        let empty = BTreeSet::new();
+        let ctx = FileContext {
+            path: "crates/core/src/t.rs",
+            allow_wall_clock: false,
+            allow_rng: false,
+            deterministic: true,
+            library: true,
+            allow_print: false,
+            crate_map_names: &empty,
+        };
+        check_file(src, &ctx)
+            .violations
+            .iter()
+            .filter(|v| v.rule == crate::rules::RuleId::D2)
+            .map(|v| v.line)
+            .collect()
+    }
+
+    #[test]
+    fn order_free_terminals_are_safe() {
+        let src = r"
+fn f(m: &HashMap<u32, Vec<u32>>) -> usize {
+    let total: usize = m.values().map(|v| v.len()).sum();
+    let any_big = m.keys().any(|k| *k > 7);
+    let n = m.iter().count();
+    total + n + usize::from(any_big)
+}
+";
+        assert_eq!(d2_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn terminal_with_a_send_inside_still_fires() {
+        let src = r"
+fn f(m: &HashMap<u32, u32>, tx: &Sender<u32>) -> usize {
+    m.values().map(|v| { tx.send(*v); *v }).count()
+}
+";
+        assert_eq!(d2_lines(src), vec![3]);
+    }
+
+    #[test]
+    fn collect_then_sort_is_safe_and_unsorted_collect_fires() {
+        let src = r"
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    let vs: Vec<u32> = m.values().copied().collect();
+    vs
+}
+";
+        assert_eq!(d2_lines(src), vec![5]);
+    }
+
+    #[test]
+    fn collect_into_ordered_containers_is_safe() {
+        let src = r"
+fn f(m: &HashMap<u32, u32>) {
+    let sorted: BTreeMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    let set = m.keys().copied().collect::<BTreeSet<u32>>();
+}
+";
+        assert_eq!(d2_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn loop_fill_then_sort_is_safe() {
+        let src = r"
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut touched = Vec::new();
+    for (k, v) in &m {
+        touched.push(*k);
+    }
+    touched.sort_unstable();
+    touched
+}
+";
+        // The symbol table sees `m` declared as `&HashMap` via the
+        // signature's `name: Type` pattern; the loop is proven safe.
+        assert_eq!(d2_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn loop_that_returns_or_emits_fires() {
+        let ret = r"
+fn f(m: &HashMap<u32, u32>) -> Option<u32> {
+    for (k, v) in &m {
+        if *v > 3 { return Some(*k); }
+    }
+    None
+}
+";
+        assert_eq!(d2_lines(ret), vec![3]);
+        let emit = r"
+fn f(m: &HashMap<u32, u32>, sink: &S) {
+    let mut acc = Vec::new();
+    for (k, v) in &m {
+        acc.push(*k);
+        sink.emit(*v);
+    }
+    acc.sort_unstable();
+}
+";
+        assert_eq!(d2_lines(emit), vec![4]);
+    }
+
+    #[test]
+    fn retain_filling_a_sorted_vec_is_safe_bare_retain_fires() {
+        let safe = r"
+fn f(m: &mut HashMap<u32, u32>) -> Vec<u32> {
+    let mut done = Vec::new();
+    m.retain(|k, v| { if *v == 0 { done.push(*k); false } else { true } });
+    done.sort_unstable();
+    done
+}
+";
+        assert_eq!(d2_lines(safe), Vec::<u32>::new());
+        let unsafe_src = r"
+fn f(m: &mut HashMap<u32, u32>, tx: &Sender<u32>) {
+    m.retain(|k, v| { tx.send(*k); *v > 0 });
+}
+";
+        assert_eq!(d2_lines(unsafe_src), vec![3]);
+    }
+
+    #[test]
+    fn loop_with_no_fills_fires() {
+        let src = r#"
+fn f(m: &HashMap<u32, u32>, out: &mut String) {
+    for (k, v) in &m {
+        out.push_str(&format!("{k}"));
+    }
+}
+"#;
+        assert_eq!(d2_lines(src), vec![3]);
+    }
+
+    #[test]
+    fn preceding_block_statements_do_not_confuse_the_binding_scan() {
+        // The `if … { continue; }` before the `let` ends with `}` — the
+        // backward scan must stop there, not swallow the block.
+        let src = r"
+struct S { txns: HashMap<u64, u32> }
+impl S {
+    fn f(&mut self) {
+        for ci in 0..self.clients.len() {
+            if !self.faults.up[ci] {
+                continue;
+            }
+            let mut stranded: Vec<u64> =
+                self.clients[ci].txns.keys().copied().collect();
+            stranded.sort_unstable();
+        }
+    }
+}
+";
+        assert_eq!(d2_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn for_over_method_chain_with_fill_then_sort_is_safe() {
+        let src = r"
+struct S { waits_of: HashMap<u64, Vec<u64>> }
+impl S {
+    fn f(&mut self) {
+        let mut touched = Vec::new();
+        for objs in self.waits_of.values() {
+            touched.extend(objs.iter().copied());
+        }
+        touched.sort_unstable();
+    }
+    fn g(&self) -> u64 {
+        for objs in self.waits_of.values() {
+            if objs.is_empty() { return 0; }
+        }
+        1
+    }
+}
+";
+        assert_eq!(d2_lines(src), vec![12]);
+    }
+
+    #[test]
+    fn statement_bounds_are_found_through_nested_groups() {
+        let toks = lex("fn f() { let x = g(h(1), [2, 3]); x.sort(); }");
+        let code = code_tokens(&toks);
+        let parsed = parse_file(&code);
+        let x_idx = code.iter().position(|t| t.ident() == Some("x")).unwrap();
+        let (s, e) = parsed.fns[0].body.unwrap();
+        let st = statement_start(&code, x_idx, s);
+        assert_eq!(code[st].ident(), Some("let"));
+        let en = statement_end(&code, x_idx, e);
+        assert!(code[en].is_punct(';'));
+        assert!(sorted_later(&code, "x", en, e));
+    }
+}

@@ -126,6 +126,13 @@ impl<'a> Lexer<'a> {
     }
 
     fn run(mut self) -> Vec<Token> {
+        // A leading shebang (`#!/usr/bin/env …`) is the one place `#!`
+        // does not start an inner attribute; treat it as a comment so
+        // `#` and `!` never reach the rule engine as code. `#![…]` at
+        // file top is still an attribute.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            self.line_comment(1);
+        }
         while self.pos < self.src_len {
             let c = self.peek(0).expect("pos < len");
             let line = self.line;
@@ -137,7 +144,7 @@ impl<'a> Lexer<'a> {
                 '/' if self.peek(1) == Some('*') => self.block_comment(line),
                 '"' => self.string_lit(line),
                 '\'' => self.quote(line),
-                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_lit(line),
+                'r' | 'b' | 'c' if self.raw_or_byte_prefix() => self.prefixed_lit(line),
                 c if c == '_' || c.is_alphabetic() => self.ident(line),
                 c if c.is_ascii_digit() => self.number(line),
                 _ => {
@@ -251,14 +258,16 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// True when the cursor sits on `r"`, `r#"`, `b"`, `b'`, `br"` or
-    /// `br#"` — a raw/byte literal rather than an identifier. `r#ident`
+    /// True when the cursor sits on `r"`, `r#"`, `b"`, `b'`, `br"`,
+    /// `br#"`, or (Rust 1.77) a C-string prefix `c"` / `cr"` / `cr#"` —
+    /// a raw/byte/C literal rather than an identifier. `r#ident`
     /// (raw identifier) is *not* a literal and returns false.
     fn raw_or_byte_prefix(&self) -> bool {
         let c0 = self.peek(0);
         match c0 {
-            Some('b') => match self.peek(1) {
-                Some('"' | '\'') => true,
+            Some('b' | 'c') => match self.peek(1) {
+                Some('"') => true,
+                Some('\'') => c0 == Some('b'),
                 Some('r') => matches!(self.peek(2), Some('"' | '#')),
                 _ => false,
             },
@@ -279,8 +288,9 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` after
-    /// [`Self::raw_or_byte_prefix`] returned true.
+    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, or a
+    /// C-string (`c"…"`, `cr#"…"#`) after [`Self::raw_or_byte_prefix`]
+    /// returned true.
     fn prefixed_lit(&mut self, line: u32) {
         if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
             self.bump(); // 'b'
@@ -289,8 +299,8 @@ impl<'a> Lexer<'a> {
             // b'x' disambiguates the same way as 'x'.
             return;
         }
-        // Skip the r/b/br prefix.
-        while matches!(self.peek(0), Some('r' | 'b')) {
+        // Skip the r/b/br/c/cr prefix.
+        while matches!(self.peek(0), Some('r' | 'b' | 'c')) {
             self.bump();
         }
         let mut hashes = 0usize;
@@ -428,6 +438,56 @@ let actual = foo();
         // only need the final ident, so `r#type` yielding `type` is fine.
         let toks = lex("let r#type = 3;");
         assert!(toks.iter().any(|t| t.ident() == Some("type")));
+    }
+
+    #[test]
+    fn c_string_literals_hide_contents() {
+        // Rust 1.77 C strings: plain, raw, and escaped forms must all
+        // lex as string literals, not identifiers + stray quotes.
+        let src = r##"
+let a = c"Instant::now()";
+let b = cr#"SystemTime::now with "quotes""#;
+let c = c"escaped \" quote";
+let after = done();
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"quotes".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+        let strs = lex(src).iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn c_prefixed_identifiers_still_lex_as_idents() {
+        // `c` / `cr` starting ordinary identifiers must not be eaten as
+        // literal prefixes.
+        let ids = idents("let count = crate_local + c + cr;");
+        for want in ["count", "crate_local", "c", "cr"] {
+            assert!(ids.contains(&want.to_string()), "missing `{want}`");
+        }
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment() {
+        let src = "#!/usr/bin/env run-cargo-script\nfn main() { f(); }";
+        let toks = lex(src);
+        assert!(matches!(
+            toks.first().map(|t| &t.kind),
+            Some(TokKind::LineComment { text, .. }) if text.starts_with("#!/usr")
+        ));
+        assert!(toks.iter().any(|t| t.ident() == Some("main")));
+        // No stray `#` / `!` puncts from the shebang.
+        assert!(!toks.iter().any(|t| t.is_punct('#')));
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let toks = lex("#![allow(dead_code)]\nfn f() {}");
+        assert!(toks.iter().any(|t| t.is_punct('#')));
+        assert!(toks.iter().any(|t| t.ident() == Some("allow")));
     }
 
     #[test]

@@ -21,11 +21,19 @@
 //! detlint rules                    # print the rule table
 //! ```
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
+pub mod flow;
+pub mod json;
 pub mod lexer;
+pub mod locks;
+pub mod panic;
+pub mod parse;
 pub mod rules;
 pub mod workspace;
 
 pub use config::Config;
 pub use rules::{RuleId, Violation};
-pub use workspace::{check_paths, check_workspace, load_config, Report};
+pub use workspace::{check_paths, check_workspace, load_baseline, load_config, Report};

@@ -1,8 +1,11 @@
 //! `detlint` — CLI for the determinism & safety analyzer.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage/config/io error.
+//! Exit codes: 0 clean, 1 violations found (or, with `--ratchet`, a
+//! stale baseline), 2 usage/config/io error.
 
-use siteselect_lint::{check_paths, check_workspace, load_config, RuleId};
+use siteselect_lint::baseline::Baseline;
+use siteselect_lint::workspace::load_baseline;
+use siteselect_lint::{check_paths, check_workspace, load_config, Report, RuleId};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -10,9 +13,18 @@ const USAGE: &str = "\
 detlint — determinism & safety analyzer for the siteselect workspace
 
 USAGE:
-    detlint check --workspace [--root <dir>]
+    detlint check --workspace [--json] [--ratchet] [--no-baseline] [--root <dir>]
     detlint check [--root <dir>] <file.rs>...
-    detlint rules
+    detlint baseline [--root <dir>]
+    detlint rules [--toml]
+
+`check --workspace` runs every pass: the per-file token rules, the
+interprocedural D1/D3 dataflow, the D7/D8 lock-order analysis, and the
+D9 panic audit. Targeted `check <file>` runs the per-file passes only.
+`baseline` regenerates detlint.baseline.json, the ratchet that absorbs
+the accepted D9 surface; `--ratchet` additionally fails when that file
+is stale (counts shrank without regenerating). `--json` prints the
+report as deterministic JSON on stdout.
 
 Violations print as `file:line: detlint[Dn]: message`. Deliberate ones
 are suppressed in place with `// detlint: allow(Dn) — <reason>` on the
@@ -39,10 +51,15 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     match args.first().map(String::as_str) {
         Some("rules") => {
-            print_rules();
+            if args.get(1).map(String::as_str) == Some("--toml") {
+                print!("{}", siteselect_lint::rules::toml_rule_table());
+            } else {
+                print_rules();
+            }
             Ok(true)
         }
         Some("check") => check(&args[1..]),
+        Some("baseline") => regenerate_baseline(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             Ok(true)
@@ -54,18 +71,30 @@ fn run(args: &[String]) -> Result<bool, String> {
 fn print_rules() {
     println!("{:<4} {:<20} summary", "id", "name");
     for rule in RuleId::ALL {
-        println!("{:<4} {:<20} {}", rule.id(), rule.name(), rule.summary());
+        println!(
+            "{:<4} {:<20} {}{}",
+            rule.id(),
+            rule.name(),
+            rule.summary(),
+            if rule.meta().baselined { " [baselined]" } else { "" },
+        );
     }
 }
 
 fn check(args: &[String]) -> Result<bool, String> {
     let mut root = default_root();
     let mut whole_workspace = false;
+    let mut json = false;
+    let mut ratchet = false;
+    let mut use_baseline = true;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => whole_workspace = true,
+            "--json" => json = true,
+            "--ratchet" => ratchet = true,
+            "--no-baseline" => use_baseline = false,
             "--root" => {
                 root = PathBuf::from(
                     it.next().ok_or("--root needs a directory argument")?,
@@ -81,31 +110,144 @@ fn check(args: &[String]) -> Result<bool, String> {
         return Err(format!("nothing to check\n\n{USAGE}"));
     }
     let cfg = load_config(&root)?;
+    let baseline = if use_baseline { load_baseline(&root)? } else { None };
     let report = if whole_workspace {
-        check_workspace(&root, &cfg).map_err(|e| e.to_string())?
+        check_workspace(&root, &cfg, baseline.as_ref()).map_err(|e| e.to_string())?
     } else {
-        check_paths(&root, &files, &cfg).map_err(|e| e.to_string())?
+        check_paths(&root, &files, &cfg, baseline.as_ref()).map_err(|e| e.to_string())?
     };
+    let stale_fails = ratchet && !report.stale.is_empty();
+    if json {
+        print!("{}", render_json(&report));
+        return Ok(report.is_clean() && !stale_fails);
+    }
     for v in &report.violations {
         println!("{v}");
     }
-    if report.is_clean() {
+    for s in &report.stale {
         println!(
-            "detlint: clean ({} files, {} suppression{})",
+            "detlint: stale baseline: {} {} accepts {} finding{} but {} remain{} — run `detlint baseline`",
+            s.file,
+            s.rule.id(),
+            s.accepted,
+            if s.accepted == 1 { "" } else { "s" },
+            s.actual,
+            if s.actual == 1 { "s" } else { "" },
+        );
+    }
+    if report.is_clean() && !stale_fails {
+        let absorbed = if report.absorbed > 0 {
+            format!(", {} baselined", report.absorbed)
+        } else {
+            String::new()
+        };
+        println!(
+            "detlint: clean ({} files, {} suppression{}{absorbed})",
             report.files_checked,
             report.suppressions,
             if report.suppressions == 1 { "" } else { "s" }
         );
         Ok(true)
     } else {
-        println!(
-            "detlint: {} violation{} in {} files",
-            report.violations.len(),
-            if report.violations.len() == 1 { "" } else { "s" },
-            report.files_checked
-        );
+        if !report.violations.is_empty() {
+            println!(
+                "detlint: {} violation{} in {} files",
+                report.violations.len(),
+                if report.violations.len() == 1 { "" } else { "s" },
+                report.files_checked
+            );
+        }
         Ok(false)
     }
+}
+
+/// Deterministic JSON rendering of a report: same findings, same bytes.
+fn render_json(report: &Report) -> String {
+    use siteselect_lint::json::quote;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files\": {},\n", report.files_checked));
+    out.push_str(&format!("  \"suppressions\": {},\n", report.suppressions));
+    out.push_str(&format!("  \"absorbed\": {},\n", report.absorbed));
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            quote(&v.file),
+            v.line,
+            quote(v.rule.id()),
+            quote(&v.message),
+        ));
+    }
+    if report.violations.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"stale\": [");
+    for (i, s) in report.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"rule\": {}, \"accepted\": {}, \"actual\": {}}}",
+            quote(&s.file),
+            quote(s.rule.id()),
+            s.accepted,
+            s.actual,
+        ));
+    }
+    if report.stale.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// `detlint baseline`: regenerate `detlint.baseline.json` from the
+/// current findings so the accepted surface matches reality exactly.
+fn regenerate_baseline(args: &[String]) -> Result<bool, String> {
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    let cfg = load_config(&root)?;
+    let report = check_workspace(&root, &cfg, None).map_err(|e| e.to_string())?;
+    let baseline = Baseline::from_violations(&report.violations);
+    let entries: usize = baseline.counts.values().map(|m| m.values().sum::<usize>()).sum();
+    let path = root.join("detlint.baseline.json");
+    std::fs::write(&path, baseline.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "detlint: baseline written to {} ({} accepted finding{} in {} file{})",
+        path.display(),
+        entries,
+        if entries == 1 { "" } else { "s" },
+        baseline.counts.len(),
+        if baseline.counts.len() == 1 { "" } else { "s" },
+    );
+    // Non-baselined findings still fail the run so `baseline` cannot
+    // be used to paper over real violations.
+    let hard: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| !v.rule.meta().baselined)
+        .collect();
+    for v in &hard {
+        println!("{v}");
+    }
+    Ok(hard.is_empty())
 }
 
 /// The workspace root: walk up from the current directory to the first

@@ -1,19 +1,27 @@
-//! The determinism & safety contract: rule definitions and the per-file
-//! checking pass.
+//! The determinism & safety contract: the rule registry and the
+//! per-file checking pass.
 //!
-//! | ID | Name               | What it guards                                        |
-//! |----|--------------------|-------------------------------------------------------|
-//! | D1 | wall-clock         | no `Instant::now` / `SystemTime::…` outside allowlist |
-//! | D2 | map-iter           | no order-dependent `HashMap`/`HashSet` iteration in   |
-//! |    |                    | deterministic crates without an annotation            |
-//! | D3 | unseeded-rng       | no ambient randomness (`thread_rng`, `RandomState`, …)|
-//! | D4 | undocumented-unsafe| every `unsafe` carries a nearby `// SAFETY:` comment  |
-//! | D5 | bare-allow         | every `#[allow(…)]` carries a reason comment          |
-//! | D6 | stray-print        | no `println!`/`eprintln!`/`dbg!` in library crates    |
+//! The authoritative rule list is [`REGISTRY`] (one row per rule:
+//! id, mnemonic name, producing pass, summary). `detlint rules`, the
+//! generated comment table in `detlint.toml`, and the docs all render
+//! from it; see [`rules_table`] and [`toml_rule_table`].
 //!
 //! A deliberate violation is suppressed in place with
 //! `// detlint: allow(D2) — <reason>` either trailing the offending line
 //! or on the line directly above it; the reason text is mandatory.
+//! D9 findings may alternatively be absorbed by the committed
+//! `detlint.baseline.json` (see [`crate::baseline`]) so the existing
+//! panic surface can be burned down incrementally while CI gates new
+//! findings.
+//!
+//! This module implements the *per-file* rules (D1–D6, D9 direct
+//! sites). D2 is flow-sensitive since v2: a hash-ordered iteration only
+//! fires when its order can escape — order-free terminal folds
+//! (`sum`/`any`/…), collect-then-sort chains, and loop/closure bodies
+//! that only fill subsequently-sorted collections are proven safe via
+//! the item parser's function spans ([`crate::parse`]). Interprocedural
+//! D1/D3 flows live in [`crate::dataflow`], the D7/D8 lock-order pass
+//! in [`crate::locks`], and the D9 audit in [`crate::panic`].
 //!
 //! The engine is token-pattern based (see [`crate::lexer`]): it has no
 //! type information, so D2 relies on a per-crate symbol table of names
@@ -38,30 +46,146 @@ pub enum RuleId {
     D4,
     D5,
     D6,
+    D7,
+    D8,
+    D9,
 }
 
+/// Which analysis pass produces a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Per-file token patterns (the PR-4 engine).
+    Token,
+    /// Per-file token patterns + workspace-wide interprocedural dataflow.
+    Dataflow,
+    /// Flow-sensitive per-function escape analysis.
+    Flow,
+    /// Lock-order pass over guard scopes and the call graph.
+    LockOrder,
+    /// Panic-surface audit (baselined via `detlint.baseline.json`).
+    PanicAudit,
+}
+
+impl Pass {
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Pass::Token => "token",
+            Pass::Dataflow => "token+dataflow",
+            Pass::Flow => "flow",
+            Pass::LockOrder => "lock-order",
+            Pass::PanicAudit => "panic-audit",
+        }
+    }
+}
+
+/// One row of the rule registry. `detlint rules`, the generated comment
+/// table in `detlint.toml`, the config parser, and the docs all derive
+/// from this single table so they cannot drift.
+pub struct RuleMeta {
+    pub id: RuleId,
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub pass: Pass,
+    /// Findings may be absorbed by `detlint.baseline.json` (burn-down
+    /// rules); all other rules must be fixed or inline-annotated.
+    pub baselined: bool,
+}
+
+/// The registry: the one authoritative description of the contract.
+pub const REGISTRY: [RuleMeta; 9] = [
+    RuleMeta {
+        id: RuleId::D1,
+        name: "wall-clock",
+        summary: "wall-clock read outside the allowlisted harness modules",
+        pass: Pass::Dataflow,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D2,
+        name: "map-iter",
+        summary: "order-dependent HashMap/HashSet iteration whose order can escape",
+        pass: Pass::Flow,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D3,
+        name: "unseeded-rng",
+        summary: "ambient (unseeded) randomness source",
+        pass: Pass::Dataflow,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D4,
+        name: "undocumented-unsafe",
+        summary: "`unsafe` without a nearby `// SAFETY:` comment",
+        pass: Pass::Token,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D5,
+        name: "bare-allow",
+        summary: "#[allow(...)] without a reason comment",
+        pass: Pass::Token,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D6,
+        name: "stray-print",
+        summary: "print macro in library code (route output through obs/bench)",
+        pass: Pass::Token,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D7,
+        name: "lock-order",
+        summary: "lock acquisition cycle (potential deadlock) in the threaded cluster",
+        pass: Pass::LockOrder,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D8,
+        name: "held-across-send",
+        summary: "mutex guard held across a channel send or thread join",
+        pass: Pass::LockOrder,
+        baselined: false,
+    },
+    RuleMeta {
+        id: RuleId::D9,
+        name: "panic-surface",
+        summary: "unwrap/expect/slice-indexing in engine crates without a proven invariant",
+        pass: Pass::PanicAudit,
+        baselined: true,
+    },
+];
+
 impl RuleId {
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
         RuleId::D5,
         RuleId::D6,
+        RuleId::D7,
+        RuleId::D8,
+        RuleId::D9,
     ];
+
+    /// This rule's registry row.
+    #[must_use]
+    pub fn meta(self) -> &'static RuleMeta {
+        &REGISTRY[self as usize]
+    }
 
     /// Parses `"D1"` / `"d1"` / the mnemonic name (not `FromStr`: no error type).
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
-        match s.to_ascii_lowercase().as_str() {
-            "d1" | "wall-clock" => Some(RuleId::D1),
-            "d2" | "map-iter" => Some(RuleId::D2),
-            "d3" | "unseeded-rng" => Some(RuleId::D3),
-            "d4" | "undocumented-unsafe" => Some(RuleId::D4),
-            "d5" | "bare-allow" => Some(RuleId::D5),
-            "d6" | "stray-print" => Some(RuleId::D6),
-            _ => None,
-        }
+        let lower = s.to_ascii_lowercase();
+        REGISTRY
+            .iter()
+            .find(|m| lower == m.id.id().to_ascii_lowercase() || lower == m.name)
+            .map(|m| m.id)
     }
 
     #[must_use]
@@ -73,32 +197,64 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
         }
     }
 
     #[must_use]
     pub fn name(self) -> &'static str {
-        match self {
-            RuleId::D1 => "wall-clock",
-            RuleId::D2 => "map-iter",
-            RuleId::D3 => "unseeded-rng",
-            RuleId::D4 => "undocumented-unsafe",
-            RuleId::D5 => "bare-allow",
-            RuleId::D6 => "stray-print",
-        }
+        self.meta().name
     }
 
     #[must_use]
     pub fn summary(self) -> &'static str {
-        match self {
-            RuleId::D1 => "wall-clock read outside the allowlisted harness modules",
-            RuleId::D2 => "order-dependent HashMap/HashSet iteration in a deterministic crate",
-            RuleId::D3 => "ambient (unseeded) randomness source",
-            RuleId::D4 => "`unsafe` without a nearby `// SAFETY:` comment",
-            RuleId::D5 => "#[allow(...)] without a reason comment",
-            RuleId::D6 => "print macro in library code (route output through obs/bench)",
-        }
+        self.meta().summary
     }
+}
+
+/// The `detlint rules` table, rendered from [`REGISTRY`].
+#[must_use]
+pub fn rules_table() -> String {
+    let mut out = format!(
+        "{:<4} {:<20} {:<15} summary\n",
+        "id", "name", "pass"
+    );
+    for m in &REGISTRY {
+        out.push_str(&format!(
+            "{:<4} {:<20} {:<15} {}{}\n",
+            m.id.id(),
+            m.name,
+            m.pass.label(),
+            m.summary,
+            if m.baselined { " [baselined]" } else { "" },
+        ));
+    }
+    out
+}
+
+/// The canonical rule-table comment block embedded in `detlint.toml`
+/// between the `# --- rule table` markers. `detlint rules --toml`
+/// prints it; an engine test asserts the committed config matches, so
+/// the config comments cannot drift from the registry.
+#[must_use]
+pub fn toml_rule_table() -> String {
+    let mut out = String::from(
+        "# --- rule table (generated: `detlint rules --toml`; do not edit by hand) ---\n",
+    );
+    for m in &REGISTRY {
+        out.push_str(&format!(
+            "#   {} {:<20} [{}]{} {}\n",
+            m.id.id(),
+            m.name,
+            m.pass.label(),
+            if m.baselined { " [baselined]" } else { "" },
+            m.summary,
+        ));
+    }
+    out.push_str("# --- end rule table ---\n");
+    out
 }
 
 impl fmt::Display for RuleId {
@@ -171,7 +327,7 @@ const ORDER_DEPENDENT_METHODS: [&str; 9] = [
     "retain",
 ];
 const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
-const AMBIENT_RNG_IDENTS: [&str; 6] = [
+pub(crate) const AMBIENT_RNG_IDENTS: [&str; 6] = [
     "thread_rng",
     "from_entropy",
     "OsRng",
@@ -198,7 +354,7 @@ pub fn collect_symbols(tokens: &[Token]) -> SymbolTable {
                 continue;
             };
             if code.get(j + 1).is_some_and(|t| t.is_punct('=')) {
-                let path = leading_path(&code[j + 2..]);
+                let path = leading_path(&code[skip_ref_prefix(&code, j + 2)..]);
                 if path.iter().any(|s| MAP_TYPES.contains(&s.as_str())) {
                     table.map_names.insert(name.to_string());
                 }
@@ -216,7 +372,7 @@ pub fn collect_symbols(tokens: &[Token]) -> SymbolTable {
             if name.chars().next().is_some_and(char::is_uppercase) {
                 continue; // enum variant / struct path, not a binding
             }
-            let path = leading_path(&code[i + 2..]);
+            let path = leading_path(&code[skip_ref_prefix(&code, i + 2)..]);
             if path.iter().any(|s| MAP_TYPES.contains(&s.as_str())) {
                 table.map_names.insert(name.to_string());
             } else if path
@@ -232,6 +388,17 @@ pub fn collect_symbols(tokens: &[Token]) -> SymbolTable {
         }
     }
     table
+}
+
+/// Skips reference sigils so `m: &'a mut HashMap<…>` registers `m` the
+/// same as an owned binding.
+fn skip_ref_prefix(code: &[&Token], mut j: usize) -> usize {
+    while code.get(j).is_some_and(|t| {
+        t.is_punct('&') || t.kind == TokKind::Lifetime || t.ident() == Some("mut")
+    }) {
+        j += 1;
+    }
+    j
 }
 
 /// The identifier path starting at `code[0]`: `std :: collections ::
@@ -359,6 +526,14 @@ fn collect_annotations(tokens: &[Token]) -> Annotations {
     ann
 }
 
+/// Well-formed inline suppressions by target line — the workspace-level
+/// passes (dataflow, lock order, panic audit) honor the same inline
+/// `allow(…)` annotations as the per-file engine.
+#[must_use]
+pub fn allowed_by_line(tokens: &[Token]) -> BTreeMap<u32, BTreeSet<RuleId>> {
+    collect_annotations(tokens).allowed
+}
+
 /// Everything the checker needs to know about the file being linted.
 pub struct FileContext<'a> {
     /// Workspace-relative path with `/` separators.
@@ -439,6 +614,7 @@ pub fn check_file(src: &str, ctx: &FileContext<'_>) -> FileReport {
     };
 
     let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let parsed = crate::parse::parse_file(&code);
     for i in 0..code.len() {
         let t = code[i];
         let Some(name) = t.ident() else {
@@ -560,12 +736,15 @@ pub fn check_file(src: &str, ctx: &FileContext<'_>) -> FileReport {
                 && code.get(i + 3).is_some_and(|t| t.is_punct('('))
             {
                 if let Some(method) = code.get(i + 2).and_then(|t| t.ident()) {
-                    if ORDER_DEPENDENT_METHODS.contains(&method) && is_map_name(name) {
+                    if ORDER_DEPENDENT_METHODS.contains(&method)
+                        && is_map_name(name)
+                        && !crate::flow::method_site_is_safe(&code, &parsed, i, method)
+                    {
                         emit(
                             RuleId::D2,
                             t.line,
                             format!(
-                                "`.{method}()` on hash-ordered `{name}` — iteration order is process-random; collect-and-sort or annotate"
+                                "`.{method}()` on hash-ordered `{name}` — iteration order escapes; collect-and-sort or annotate"
                             ),
                             &mut report,
                         );
@@ -574,13 +753,15 @@ pub fn check_file(src: &str, ctx: &FileContext<'_>) -> FileReport {
             }
             // `for <pat> in [&[mut]] [self.]<name> {`
             if name == "for" {
-                if let Some((target, line)) = for_loop_target(&code[i..]) {
-                    if is_map_name(&target) {
+                if let Some((target, line, body_rel)) = for_loop_target(&code[i..]) {
+                    if is_map_name(&target)
+                        && !crate::flow::loop_site_is_safe(&code, &parsed, i + body_rel)
+                    {
                         emit(
                             RuleId::D2,
                             line,
                             format!(
-                                "`for … in` over hash-ordered `{target}` — iteration order is process-random; collect-and-sort or annotate"
+                                "`for … in` over hash-ordered `{target}` — iteration order escapes; collect-and-sort or annotate"
                             ),
                             &mut report,
                         );
@@ -593,10 +774,10 @@ pub fn check_file(src: &str, ctx: &FileContext<'_>) -> FileReport {
 }
 
 /// For `code` starting at a `for` token, returns the identifier being
-/// iterated when the loop has the direct shape
-/// `for <pat> in [&][mut] [self .] name {` — method chains after the
-/// name are handled by the method-call check instead.
-fn for_loop_target(code: &[&Token]) -> Option<(String, u32)> {
+/// iterated and the offset of the loop body's `{` when the loop has the
+/// direct shape `for <pat> in [&][mut] [self .] name {` — method chains
+/// after the name are handled by the method-call check instead.
+fn for_loop_target(code: &[&Token]) -> Option<(String, u32, usize)> {
     // Find `in` within a short window, stopping at tokens that cannot
     // appear in a loop pattern — `impl Display for Foo {` must not scan
     // into the impl body and pick up an unrelated `in`.
@@ -624,7 +805,7 @@ fn for_loop_target(code: &[&Token]) -> Option<(String, u32)> {
     }
     let name = code.get(k).and_then(|t| t.ident())?;
     if code.get(k + 1).is_some_and(|t| t.is_punct('{')) {
-        return Some((name.to_string(), code[k].line));
+        return Some((name.to_string(), code[k].line, k + 1));
     }
     None
 }

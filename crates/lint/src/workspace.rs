@@ -1,9 +1,20 @@
-//! Workspace traversal: file discovery, crate grouping, the two-pass
-//! D2 symbol collection, and the top-level [`check_workspace`] entry
-//! point the CLI and tests share.
+//! Workspace traversal and pass orchestration: file discovery, crate
+//! grouping, the two-pass D2 symbol collection, the whole-workspace
+//! passes (interprocedural dataflow, lock order, panic audit), baseline
+//! application, and the top-level [`check_workspace`] entry point the
+//! CLI and tests share.
+//!
+//! Targeted runs (`detlint check <files>`) execute the per-file passes
+//! only — the call-graph passes need the whole workspace to resolve
+//! calls and are meaningless on a subset. `check --workspace` runs
+//! everything.
 
+use crate::baseline::{Baseline, StaleEntry};
+use crate::callgraph::{CallGraph, Unit};
 use crate::config::Config;
+use crate::dataflow::{self, UnitPolicy};
 use crate::lexer::lex;
+use crate::locks;
 use crate::rules::{
     check_file, collect_symbols, CrateSymbols, FileContext, RuleId, Violation,
 };
@@ -17,6 +28,11 @@ pub struct Report {
     pub violations: Vec<Violation>,
     pub files_checked: usize,
     pub suppressions: u32,
+    /// Findings absorbed by `detlint.baseline.json`.
+    pub absorbed: usize,
+    /// Baseline entries whose accepted count exceeds reality (the
+    /// surface shrank; `--ratchet` fails until the file is regenerated).
+    pub stale: Vec<StaleEntry>,
 }
 
 impl Report {
@@ -91,26 +107,34 @@ fn relative(path: &Path, root: &Path) -> String {
         .join("/")
 }
 
-/// Lints the given workspace-relative files (two passes: symbols, then
-/// rules). `check --workspace` passes every discovered file; targeted
-/// invocations still get crate-wide D2 resolution for the files given.
-pub fn check_paths(
-    root: &Path,
-    files: &[String],
-    cfg: &Config,
-) -> std::io::Result<Report> {
+/// Reads and parses the given workspace-relative files into call-graph
+/// [`Unit`]s (each carries its token stream and parsed item tree).
+pub fn build_units(root: &Path, files: &[String]) -> std::io::Result<Vec<Unit>> {
+    files
+        .iter()
+        .map(|rel| {
+            let src = fs::read_to_string(root.join(rel))?;
+            Ok(Unit::new(rel.clone(), crate_of(rel), &src))
+        })
+        .collect()
+}
+
+/// The per-file passes over pre-built units: token rules and, for files
+/// the D9 scope covers, the panic audit. Fills `files_checked`,
+/// `suppressions` and the raw violation list (no baseline applied).
+fn per_file_passes(root: &Path, units: &[Unit], cfg: &Config) -> std::io::Result<Report> {
     // Pass 1: per-crate symbol tables for D2.
     let mut crates: BTreeMap<String, CrateSymbols> = BTreeMap::new();
-    let mut sources: BTreeMap<String, String> = BTreeMap::new();
-    for rel in files {
-        let src = fs::read_to_string(root.join(rel))?;
+    let mut sources: BTreeMap<&str, String> = BTreeMap::new();
+    for unit in units {
+        let src = fs::read_to_string(root.join(&unit.path))?;
         let table = collect_symbols(&lex(&src));
         crates
-            .entry(crate_of(rel))
+            .entry(unit.crate_name.clone())
             .or_default()
             .per_file
-            .insert(rel.clone(), table);
-        sources.insert(rel.clone(), src);
+            .insert(unit.path.clone(), table);
+        sources.insert(&unit.path, src);
     }
     let crate_maps: BTreeMap<String, BTreeSet<String>> = crates
         .iter()
@@ -120,8 +144,8 @@ pub fn check_paths(
     // Pass 2: rules.
     let empty = BTreeSet::new();
     let mut report = Report::default();
-    for rel in files {
-        let src = &sources[rel];
+    for unit in units {
+        let rel = &unit.path;
         let ctx = FileContext {
             path: rel,
             allow_wall_clock: cfg.is_allowed(RuleId::D1, rel),
@@ -130,20 +154,92 @@ pub fn check_paths(
                 && !cfg.is_allowed(RuleId::D2, rel),
             library: is_library_path(rel),
             allow_print: cfg.is_allowed(RuleId::D6, rel),
-            crate_map_names: crate_maps.get(&crate_of(rel)).unwrap_or(&empty),
+            crate_map_names: crate_maps.get(&unit.crate_name).unwrap_or(&empty),
         };
-        let file_report = check_file(src, &ctx);
+        let file_report = check_file(&sources[rel.as_str()], &ctx);
         report.files_checked += 1;
         report.suppressions += file_report.suppressions;
         report.violations.extend(file_report.violations);
+        // The panic audit covers engine *library* code: integration
+        // tests, benches and examples may panic freely.
+        if cfg.rule_applies_to(RuleId::D9, rel)
+            && is_library_path(rel)
+            && !cfg.is_allowed(RuleId::D9, rel)
+        {
+            report.violations.extend(crate::panic::check_unit(unit));
+        }
     }
     Ok(report)
 }
 
-/// Discovers and lints every `.rs` file under `root`.
-pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+/// The whole-workspace passes over pre-built units: interprocedural
+/// D1/D3 dataflow and the D7/D8 lock-order analysis. Exposed so tests
+/// can run them against the real repository.
+#[must_use]
+pub fn graph_passes(units: &[Unit], cfg: &Config) -> Vec<Violation> {
+    let graph = CallGraph::build(units);
+    let policies: Vec<UnitPolicy> = units
+        .iter()
+        .map(|u| UnitPolicy {
+            allow_wall_clock: cfg.is_allowed(RuleId::D1, &u.path),
+            allow_rng: cfg.is_allowed(RuleId::D3, &u.path),
+        })
+        .collect();
+    let mut out = dataflow::check(units, &graph, &policies);
+    let active: Vec<bool> = units
+        .iter()
+        .map(|u| {
+            cfg.rule_applies_to(RuleId::D7, &u.path) || cfg.rule_applies_to(RuleId::D8, &u.path)
+        })
+        .collect();
+    let (_, lock_violations) = locks::check(units, &graph, &active);
+    out.extend(
+        lock_violations
+            .into_iter()
+            .filter(|v| cfg.rule_applies_to(v.rule, &v.file)),
+    );
+    out
+}
+
+/// Applies the committed baseline (when given), then sorts.
+fn finish(mut report: Report, baseline: Option<&Baseline>) -> Report {
+    if let Some(b) = baseline {
+        let outcome = b.apply(std::mem::take(&mut report.violations));
+        report.violations = outcome.kept;
+        report.absorbed = outcome.absorbed;
+        report.stale = outcome.stale;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Lints the given workspace-relative files with the per-file passes
+/// (token rules + panic audit). The call-graph passes only run under
+/// [`check_workspace`]; `baseline` (usually [`load_baseline`]) absorbs
+/// accepted findings.
+pub fn check_paths(
+    root: &Path,
+    files: &[String],
+    cfg: &Config,
+    baseline: Option<&Baseline>,
+) -> std::io::Result<Report> {
+    let units = build_units(root, files)?;
+    Ok(finish(per_file_passes(root, &units, cfg)?, baseline))
+}
+
+/// Discovers and lints every `.rs` file under `root` with all passes.
+pub fn check_workspace(
+    root: &Path,
+    cfg: &Config,
+    baseline: Option<&Baseline>,
+) -> std::io::Result<Report> {
     let files = discover_files(root, cfg)?;
-    check_paths(root, &files, cfg)
+    let units = build_units(root, &files)?;
+    let mut report = per_file_passes(root, &units, cfg)?;
+    report.violations.extend(graph_passes(&units, cfg));
+    Ok(finish(report, baseline))
 }
 
 /// Loads `detlint.toml` from `root`, falling back to defaults when the
@@ -153,6 +249,16 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
     match fs::read_to_string(&path) {
         Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Loads `detlint.baseline.json` from `root`; `Ok(None)` when absent.
+pub fn load_baseline(root: &Path) -> Result<Option<Baseline>, String> {
+    let path = root.join("detlint.baseline.json");
+    match fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).map(Some).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(format!("{}: {e}", path.display())),
     }
 }

@@ -19,7 +19,8 @@ fn repo_root() -> PathBuf {
 }
 
 /// The contract the fixture mini-workspace runs under: everything is
-/// deterministic, and one module is allowlisted for wall-clock reads.
+/// deterministic, the lock-order and panic rules are in force, and one
+/// module is allowlisted for wall-clock reads.
 fn fixture_cfg() -> Config {
     Config::parse(
         r#"
@@ -28,6 +29,15 @@ crates = ["root"]
 
 [rules.D1]
 allow = ["src/allowed_clock.rs"]
+
+[rules.D7]
+crates = ["root"]
+
+[rules.D8]
+crates = ["root"]
+
+[rules.D9]
+crates = ["root"]
 "#,
     )
     .expect("fixture config parses")
@@ -39,6 +49,7 @@ fn lint_fixture(name: &str) -> Vec<RuleId> {
         &fixtures_root(),
         &[format!("src/{name}")],
         &fixture_cfg(),
+        None,
     )
     .expect("fixture readable");
     report.violations.iter().map(|v| v.rule).collect()
@@ -58,6 +69,10 @@ fn positive_fixtures_fire_their_rule() {
     assert_eq!(lint_fixture("d4_bad.rs"), vec![RuleId::D4]);
     assert_eq!(lint_fixture("d5_bad.rs"), vec![RuleId::D5]);
     assert_eq!(lint_fixture("d6_bad.rs"), vec![RuleId::D6, RuleId::D6]);
+    assert_eq!(
+        lint_fixture("d9_bad.rs"),
+        vec![RuleId::D9, RuleId::D9, RuleId::D9]
+    );
 }
 
 #[test]
@@ -69,6 +84,9 @@ fn negative_fixtures_are_clean() {
         "d4_good.rs",
         "d5_good.rs",
         "d6_good.rs",
+        "d7_good.rs",
+        "d8_good.rs",
+        "d9_good.rs",
     ] {
         assert_eq!(lint_fixture(name), Vec::new(), "{name} should be clean");
     }
@@ -83,6 +101,7 @@ fn config_allowlist_exempts_a_module() {
         &fixtures_root(),
         &["src/allowed_clock.rs".to_string()],
         &strict,
+        None,
     )
     .expect("readable");
     assert_eq!(
@@ -97,6 +116,7 @@ fn inline_annotations_suppress_and_are_counted() {
         &fixtures_root(),
         &["src/annotated.rs".to_string()],
         &fixture_cfg(),
+        None,
     )
     .expect("readable");
     assert!(report.is_clean(), "{:?}", report.violations);
@@ -109,6 +129,7 @@ fn diagnostics_carry_file_line_and_rule() {
         &fixtures_root(),
         &["src/d1_bad.rs".to_string()],
         &fixture_cfg(),
+        None,
     )
     .expect("readable");
     let first = &report.violations[0];
@@ -124,11 +145,74 @@ fn diagnostics_carry_file_line_and_rule() {
 #[test]
 fn whole_fixture_tree_discovery_finds_every_bad_file() {
     let report =
-        check_workspace(&fixtures_root(), &fixture_cfg()).expect("fixture tree scans");
-    // 6 bad fixtures with 2+3+3+1+1+2 = 12 violations; good/annotated/
-    // allowlisted files contribute none.
-    assert_eq!(report.violations.len(), 12);
-    assert_eq!(report.files_checked, 14);
+        check_workspace(&fixtures_root(), &fixture_cfg(), None).expect("fixture tree scans");
+    // 9 bad fixtures with 2+3+3+1+1+2+1+1+3 = 17 violations; good/
+    // annotated/allowlisted files contribute none.
+    assert_eq!(report.violations.len(), 17);
+    assert_eq!(report.files_checked, 20);
+}
+
+/// The lock-order rules only exist at the workspace level: D7 needs the
+/// acquired-while-held graph, D8 needs guard scopes. One cycle and one
+/// send-under-lock in the fixture tree, each reported exactly once.
+#[test]
+fn lock_rules_fire_in_the_fixture_tree() {
+    let report =
+        check_workspace(&fixtures_root(), &fixture_cfg(), None).expect("fixture tree scans");
+    let lock_hits: Vec<(&str, RuleId)> = report
+        .violations
+        .iter()
+        .filter(|v| matches!(v.rule, RuleId::D7 | RuleId::D8))
+        .map(|v| (v.file.as_str(), v.rule))
+        .collect();
+    assert_eq!(
+        lock_hits,
+        vec![
+            ("src/d7_bad.rs", RuleId::D7),
+            ("src/d8_bad.rs", RuleId::D8),
+        ]
+    );
+}
+
+/// The regression detlint v2 exists for: a deterministic crate reaching
+/// the wall clock *through* an allowlisted helper crate. The per-file
+/// pass sees nothing; the interprocedural pass reports the frontier
+/// call site in the caller.
+#[test]
+fn interprocedural_flow_needs_the_workspace_pass() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/interproc");
+    let cfg = Config::parse(
+        r#"
+[deterministic]
+crates = ["engine", "clockutil"]
+
+[rules.D1]
+allow = ["crates/clockutil/src/lib.rs"]
+"#,
+    )
+    .expect("interproc config parses");
+    // v1 behaviour: the engine file alone is spotless.
+    let per_file = check_paths(
+        &root,
+        &["crates/engine/src/lib.rs".to_string()],
+        &cfg,
+        None,
+    )
+    .expect("engine file readable");
+    assert!(per_file.is_clean(), "{:?}", per_file.violations);
+    // v2: the workspace pass follows the call into the helper.
+    let full = check_workspace(&root, &cfg, None).expect("interproc tree scans");
+    let hits: Vec<(&str, RuleId)> = full
+        .violations
+        .iter()
+        .map(|v| (v.file.as_str(), v.rule))
+        .collect();
+    assert_eq!(hits, vec![("crates/engine/src/lib.rs", RuleId::D1)]);
+    let message = &full.violations[0].message;
+    assert!(
+        message.contains("stamp_micros") && message.contains("Instant::now"),
+        "witness chain missing from: {message}"
+    );
 }
 
 /// The acceptance gate: the real repository, under its real
@@ -141,7 +225,8 @@ fn repository_is_clean_under_its_own_contract() {
         !cfg.deterministic_crates.is_empty(),
         "repo config must name the deterministic crates"
     );
-    let report = check_workspace(&root, &cfg).expect("workspace scans");
+    let baseline = siteselect_lint::load_baseline(&root).expect("baseline parses");
+    let report = check_workspace(&root, &cfg, baseline.as_ref()).expect("workspace scans");
     let rendered: Vec<String> =
         report.violations.iter().map(ToString::to_string).collect();
     assert!(
@@ -202,4 +287,159 @@ fn cli_flags_seeded_violations_with_file_line() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("crates/sim/src/bad.rs:3: detlint[D1]"), "{stdout}");
     assert!(stdout.contains("crates/sim/src/bad.rs:5: detlint[D2]"), "{stdout}");
+}
+
+/// The rule-table comment block in detlint.toml is generated; it must
+/// match `detlint rules --toml` byte-for-byte.
+#[test]
+fn config_rule_table_matches_the_registry() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(["rules", "--toml"])
+        .output()
+        .expect("detlint binary runs");
+    assert!(out.status.success());
+    let table = String::from_utf8(out.stdout).expect("rule table is utf-8");
+    let config =
+        std::fs::read_to_string(repo_root().join("detlint.toml")).expect("config readable");
+    assert!(
+        config.contains(table.trim_end()),
+        "detlint.toml rule table is stale — regenerate with `detlint rules --toml`"
+    );
+}
+
+/// The recursive-descent parser digests every file in the repository
+/// without a single recovery: a parse error means the call graph (and
+/// with it D1/D3/D7/D8) silently loses functions.
+#[test]
+fn whole_repository_parses_without_errors() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("detlint.toml parses");
+    let files = siteselect_lint::workspace::discover_files(&root, &cfg).expect("discovery");
+    let units = siteselect_lint::workspace::build_units(&root, &files).expect("units build");
+    assert!(units.len() > 90, "discovery looks truncated: {}", units.len());
+    let mut fn_count = 0;
+    for unit in &units {
+        assert!(
+            unit.parsed.errors.is_empty(),
+            "{} has parse errors: {:?}",
+            unit.path,
+            unit.parsed.errors
+        );
+        fn_count += unit.parsed.fns.len();
+    }
+    assert!(fn_count > 1000, "suspiciously few functions parsed: {fn_count}");
+}
+
+/// The acceptance gate for D7: the repository's lock graph contains the
+/// two known acquired-while-held edges and nothing cyclic.
+#[test]
+fn repository_lock_graph_is_acyclic_with_known_edges() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("detlint.toml parses");
+    let files = siteselect_lint::workspace::discover_files(&root, &cfg).expect("discovery");
+    let units = siteselect_lint::workspace::build_units(&root, &files).expect("units build");
+    let graph = siteselect_lint::callgraph::CallGraph::build(&units);
+    let active: Vec<bool> = units
+        .iter()
+        .map(|u| {
+            cfg.rule_applies_to(RuleId::D7, &u.path) || cfg.rule_applies_to(RuleId::D8, &u.path)
+        })
+        .collect();
+    let (lock_graph, violations) = siteselect_lint::locks::check(&units, &graph, &active);
+    assert!(
+        lock_graph.has_edge("ClientShared.state", "SharedServer.inner"),
+        "client → server edge missing: {:?}",
+        lock_graph.edges
+    );
+    assert!(
+        lock_graph.has_edge("SharedServer.inner", "SharedServer.callback_tx"),
+        "server → callback edge missing: {:?}",
+        lock_graph.edges
+    );
+    let cycles: Vec<_> = violations.iter().filter(|v| v.rule == RuleId::D7).collect();
+    assert!(cycles.is_empty(), "lock graph has a cycle: {cycles:?}");
+}
+
+/// `check --json` is byte-deterministic: two runs over the same tree
+/// produce identical output, and it parses as JSON.
+#[test]
+fn cli_json_output_is_byte_deterministic() {
+    let run = || {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+            .args(["check", "--workspace", "--json", "--root"])
+            .arg(repo_root())
+            .output()
+            .expect("detlint binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "check --json must be byte-deterministic");
+    let text = String::from_utf8(first).expect("json output is utf-8");
+    let value = siteselect_lint::json::parse(&text).expect("output parses as JSON");
+    let obj = value.as_obj().expect("top level is an object");
+    assert!(obj.contains_key("violations"));
+    assert!(obj.contains_key("files"));
+}
+
+/// The ratchet: a baseline accepting more findings than remain is
+/// *stale* — tolerated by a plain `check`, fatal under `--ratchet` —
+/// and findings in files the baseline never saw always fail.
+#[test]
+fn cli_ratchet_flags_stale_and_unbaselined_findings() {
+    let dir = std::env::temp_dir().join(format!("detlint_ratchet_{}", std::process::id()));
+    let src_dir = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src_dir).expect("temp tree");
+    std::fs::write(
+        dir.join("detlint.toml"),
+        "[deterministic]\ncrates = []\n\n[rules.D9]\ncrates = [\"sim\"]\n",
+    )
+    .expect("write config");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "fn f(v: &[u8]) -> u8 {\n    *v.first().unwrap()\n}\n",
+    )
+    .expect("write panic site");
+    // Baseline accepts two findings; only one remains → stale.
+    std::fs::write(
+        dir.join("detlint.baseline.json"),
+        "{\"version\": 1, \"counts\": {\"crates/sim/src/lib.rs\": {\"D9\": 2}}}\n",
+    )
+    .expect("write baseline");
+    let check = |extra: &[&str]| {
+        let mut args = vec!["check", "--workspace"];
+        args.extend_from_slice(extra);
+        args.push("--root");
+        std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+            .args(&args)
+            .arg(&dir)
+            .output()
+            .expect("detlint binary runs")
+    };
+    let plain = check(&[]);
+    assert!(
+        plain.status.success(),
+        "stale baseline must not fail a plain check:\n{}",
+        String::from_utf8_lossy(&plain.stdout)
+    );
+    let ratchet = check(&["--ratchet"]);
+    assert_eq!(
+        ratchet.status.code(),
+        Some(1),
+        "stale baseline must fail under --ratchet"
+    );
+    let stdout = String::from_utf8_lossy(&ratchet.stdout);
+    assert!(stdout.contains("stale baseline"), "{stdout}");
+    // A finding in a file the baseline never saw fails either way.
+    std::fs::write(
+        src_dir.join("fresh.rs"),
+        "fn g(v: &[u8]) -> u8 {\n    v[0]\n}\n",
+    )
+    .expect("write unbaselined panic site");
+    let fresh = check(&[]);
+    assert_eq!(fresh.status.code(), Some(1), "unbaselined finding must fail");
+    let stdout = String::from_utf8_lossy(&fresh.stdout);
+    assert!(stdout.contains("crates/sim/src/fresh.rs:2: detlint[D9]"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,4 +1,6 @@
-//! D2 positive: hash-ordered iteration in a deterministic crate.
+//! D2 positive: hash-ordered iteration in a deterministic crate whose
+//! order escapes (returned, collected without a sort, or retained with
+//! no provable fill-then-sort).
 use std::collections::{HashMap, HashSet};
 
 struct State {
@@ -9,10 +11,10 @@ impl State {
     fn sweep(&mut self) -> Vec<u64> {
         let mut out = Vec::new();
         for (k, _v) in &self.txns {
-            out.push(*k); // violation: order is process-random
+            out.push(*k); // violation: `out` is returned unsorted
         }
         let live: HashSet<u64> = HashSet::new();
-        let _count = live.iter().count(); // violation
+        let _ids: Vec<u64> = live.iter().copied().collect(); // violation: collected, never sorted
         self.txns.retain(|_, v| *v > 0); // violation (closure sees hash order)
         out
     }

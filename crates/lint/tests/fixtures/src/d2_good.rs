@@ -1,5 +1,6 @@
 //! D2 negative: ordered structures iterate freely; hash maps are only
-//! probed point-wise.
+//! probed point-wise, folded order-free, or collected-and-sorted —
+//! all proven safe by the flow pass without annotations.
 use std::collections::{BTreeMap, HashMap};
 
 struct State {
@@ -14,5 +15,17 @@ impl State {
             total += *v; // BTreeMap: deterministic order
         }
         (total, self.index.get(&7).copied())
+    }
+
+    fn summarize(&self) -> (usize, u32, Vec<u64>) {
+        let live = self.index.values().filter(|v| **v > 0).count();
+        let total: u32 = self.index.values().sum();
+        let mut keys: Vec<u64> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        (live, total, keys)
+    }
+
+    fn reindex(&self) -> BTreeMap<u64, u32> {
+        self.index.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u32>>()
     }
 }

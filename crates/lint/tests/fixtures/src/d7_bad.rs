@@ -1,0 +1,30 @@
+//! D7 positive: two locks acquired in opposite orders on two paths.
+struct Lock<T>(std::sync::Mutex<T>);
+
+impl<T> Lock<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+struct Ledger {
+    accounts: Lock<u64>,
+    journal: Lock<u64>,
+}
+
+impl Ledger {
+    fn post(&self) -> u64 {
+        let a = self.accounts.lock();
+        let j = self.journal.lock();
+        *a + *j
+    }
+
+    fn audit(&self) -> u64 {
+        let j = self.journal.lock();
+        let a = self.accounts.lock(); // violation: closes the accounts/journal cycle
+        *a + *j
+    }
+}

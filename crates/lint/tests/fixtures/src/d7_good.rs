@@ -1,0 +1,30 @@
+//! D7 negative: both paths honor the same lock order.
+struct Guarded<T>(std::sync::Mutex<T>);
+
+impl<T> Guarded<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+struct Registry {
+    names: Guarded<u64>,
+    owners: Guarded<u64>,
+}
+
+impl Registry {
+    fn bind(&self) -> u64 {
+        let n = self.names.lock();
+        let o = self.owners.lock();
+        *n + *o
+    }
+
+    fn resolve(&self) -> u64 {
+        let n = self.names.lock();
+        let o = self.owners.lock();
+        *n * *o
+    }
+}

@@ -1,0 +1,23 @@
+//! D8 positive: a channel send while a lock guard is live.
+struct Shared<T>(std::sync::Mutex<T>);
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+struct Hub {
+    state: Shared<u64>,
+    updates: std::sync::mpsc::Sender<u64>,
+}
+
+impl Hub {
+    fn publish(&self) {
+        let g = self.state.lock();
+        let _ = self.updates.send(*g); // violation: send under `Hub.state`
+    }
+}

@@ -1,0 +1,26 @@
+//! D8 negative: the guard is dropped before the send.
+struct Cell<T>(std::sync::Mutex<T>);
+
+impl<T> Cell<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+struct Relay {
+    state: Cell<u64>,
+    updates: std::sync::mpsc::Sender<u64>,
+}
+
+impl Relay {
+    fn publish(&self) {
+        let snapshot = {
+            let g = self.state.lock();
+            *g
+        };
+        let _ = self.updates.send(snapshot);
+    }
+}

@@ -1,0 +1,6 @@
+//! D9 positive: panic-capable operations in engine library code.
+fn head_and_tail(v: &[u64]) -> u64 {
+    let head = *v.first().unwrap(); // violation: `.unwrap()`
+    let tail = *v.last().expect("nonempty"); // violation: `.expect()`
+    head + tail + v[0] // violation: indexing
+}

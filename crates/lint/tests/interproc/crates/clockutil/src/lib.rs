@@ -1,0 +1,4 @@
+//! Wall-clock helper, allowlisted for D1 in the test config.
+pub fn stamp_micros() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

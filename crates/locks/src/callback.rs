@@ -137,7 +137,7 @@ impl CallbackTracker {
             return Vec::new();
         }
         let mut out: Vec<(ObjectId, ClientId)> = self
-            .recalls // detlint: allow(D2) — pairs are collected and sorted below
+            .recalls
             .iter()
             .flat_map(|(&obj, r)| {
                 r.outstanding
@@ -193,7 +193,6 @@ impl CallbackTracker {
     /// ack); returns the objects whose recalls completed as a result.
     pub fn forget_client(&mut self, client: ClientId) -> Vec<ObjectId> {
         let mut done = Vec::new();
-        // detlint: allow(D2) — visit order only fills `done`, sorted below
         self.recalls.retain(|&obj, r| {
             r.outstanding.remove(&client);
             if r.outstanding.is_empty() {

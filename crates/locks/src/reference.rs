@@ -209,7 +209,7 @@ impl<O: LockOwner> RefLockTable<O> {
         held.sort_unstable();
         held.dedup();
         let mut queued: Vec<ObjectId> = self
-            .objects // detlint: allow(D2) — ids are collected and sorted below
+            .objects
             .iter()
             .filter(|(_, e)| e.waiters.iter().any(|w| w.owner == owner))
             .map(|(&o, _)| o)
@@ -269,7 +269,6 @@ impl<O: LockOwner> RefLockTable<O> {
         Vec<(ObjectId, Vec<RefWaiter<O>>)>,
     ) {
         let mut expired = Vec::new();
-        // detlint: allow(D2) — keys are collected and sorted before the scan
         let mut objs: Vec<ObjectId> = self.objects.keys().copied().collect();
         objs.sort_unstable();
         for obj in &objs {

@@ -507,7 +507,6 @@ impl<O: LockOwner> LockTable<O> {
         // reverse index; pruning and promotion are no-ops elsewhere.
         let mut touched = std::mem::take(&mut self.scratch);
         touched.clear();
-        // detlint: allow(D2) — order is erased by the sort below
         for objs in self.waits_of.values() {
             touched.extend(objs.iter().copied());
         }

@@ -111,14 +111,13 @@ impl<N: Copy + Eq + Hash + Debug> WaitForGraph<N> {
     /// Total number of wait edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(HashSet::len).sum() // detlint: allow(D2) — order-free sum
+        self.edges.values().map(HashSet::len).sum()
     }
 
     /// Exhaustive cycle check (O(V·E)); used by tests to validate that the
     /// incremental `would_deadlock` gate keeps the graph acyclic.
     #[must_use]
     pub fn has_cycle(&self) -> bool {
-        // detlint: allow(D2) — existential check; result independent of visit order
         self.edges.keys().any(|&n| self.reaches_via_edges(n))
     }
 

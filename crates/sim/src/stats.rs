@@ -195,6 +195,7 @@ impl Histogram {
             let width = (self.hi - self.lo) / self.buckets.len() as f64;
             let idx = ((x - self.lo) / width) as usize;
             let idx = idx.min(self.buckets.len() - 1);
+            // detlint: allow(D9) — idx is clamped to len-1 on the line above
             self.buckets[idx] += 1;
         }
     }

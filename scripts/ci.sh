@@ -11,7 +11,9 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> detlint (determinism & safety contract, see detlint.toml)"
-cargo run --release -q -p siteselect-lint --bin detlint -- check --workspace
+# --ratchet: a baseline entry that over-accepts (findings were fixed but
+# the baseline not regenerated) fails the gate instead of rotting.
+cargo run --release -q -p siteselect-lint --bin detlint -- check --workspace --ratchet
 
 echo "==> cargo clippy (warnings are errors via [workspace.lints])"
 cargo clippy --workspace --all-targets

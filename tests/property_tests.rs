@@ -521,7 +521,7 @@ fn dense_id(rng: &mut Prng) -> ObjectId {
 fn check_map_matches(m: &ObjectMap<u64>, model: &HashMap<u32, u64>) {
     assert_eq!(m.len(), model.len());
     assert_eq!(m.is_empty(), model.is_empty());
-    let mut expect: Vec<(u32, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect(); // detlint: allow(D2) — sorted on the next line
+    let mut expect: Vec<(u32, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
     expect.sort_unstable();
     let got: Vec<(u32, u64)> = m.iter().map(|(id, &v)| (id.0, v)).collect();
     assert_eq!(got, expect, "iteration differs from sorted model");
@@ -604,7 +604,7 @@ fn object_set_matches_hashset_oracle() {
             }
             assert_eq!(s.len(), model.len());
             assert_eq!(s.is_empty(), model.is_empty());
-            let mut expect: Vec<u32> = model.iter().copied().collect(); // detlint: allow(D2) — sorted on the next line
+            let mut expect: Vec<u32> = model.iter().copied().collect();
             expect.sort_unstable();
             let got: Vec<u32> = s.iter().map(|id| id.0).collect();
             assert_eq!(got, expect, "membership differs from sorted model");
